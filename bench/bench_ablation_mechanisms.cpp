@@ -1,0 +1,186 @@
+// Ablation: which individual mechanism buys what.
+//
+// The paper evaluates four bundled levels; this bench unbundles them to
+// show each ingredient's contribution — including two configurations the
+// paper only hints at:
+//   * RSA_memory_align WITHOUT sshd -r (the child re-execs, re-parses and
+//     re-aligns per connection; its aligned page is freed UNCLEARED at
+//     exit) — demonstrating why the paper needs the -r flag;
+//   * align + -r but WITHOUT the clear-free discipline (per-op Montgomery
+//     temporaries freed uncleared in the children) — demonstrating why the
+//     "no library copies" requirement matters.
+// Plus a free-list sensitivity sweep over bulk_reuse_fraction, the one
+// workload-calibration knob the simulator has.
+#include "sweeps.hpp"
+
+#include "util/bytes.hpp"
+
+using namespace kgbench;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  bool zero_on_free = false;
+  bool o_nocache = false;
+  bool auto_align = false;    // library d2i aligns
+  bool align_at_load = false; // app aligns
+  bool clear_temps = false;
+  bool no_reexec = false;
+  bool use_nocache_flag = false;
+  bool cache_transfers = false;  // scp served through the page cache
+};
+
+struct Outcome {
+  scan::Census census;
+  std::size_t ext2_copies = 0;
+  std::size_t ntty_copies = 0;
+};
+
+Outcome run_variant(const Variant& v, const Scale& scale) {
+  core::ScenarioConfig cfg;
+  cfg.level = core::ProtectionLevel::kNone;
+  cfg.mem_bytes = scale.mem_bytes;
+  cfg.key_bits = scale.key_bits;
+  cfg.seed = 31415;
+  core::Scenario s(cfg);
+
+  // Hand-build the configuration instead of using a profile.
+  sim::KernelConfig kcfg;
+  kcfg.mem_bytes = scale.mem_bytes;
+  kcfg.zero_on_free = v.zero_on_free;
+  kcfg.o_nocache_supported = v.o_nocache;
+  if (v.cache_transfers) kcfg.page_cache_limit_pages = scale.mem_bytes / sim::kPageSize / 4;
+  // A private kernel carrying this variant's patches; reinstall the key.
+  sim::Kernel kernel(kcfg, cfg.seed);
+  kernel.vfs().write_file(core::Scenario::kSshKeyPath,
+                          util::to_bytes(s.pem()));
+
+  servers::SshConfig ssh;
+  ssh.key_path = core::Scenario::kSshKeyPath;
+  ssh.ssl.auto_align = v.auto_align;
+  ssh.ssl.clear_temporaries = v.clear_temps;
+  ssh.ssl.open_keys_nocache = v.use_nocache_flag;
+  ssh.align_at_load = v.align_at_load;
+  ssh.no_reexec = v.no_reexec;
+  ssh.transfer_files_via_cache = v.cache_transfers;
+
+  util::Rng rng(777);
+  servers::SshServer server(kernel, ssh, rng);
+  Outcome out;
+  if (!server.start()) return out;
+  const int connections = scale.full ? 120 : 40;
+  for (int i = 0; i < connections; ++i) server.handle_connection(16 << 10);
+
+  out.census = scan::KeyScanner::census(s.scanner().scan_kernel(kernel));
+  {
+    attack::Ext2DirectoryLeak leak(kernel);
+    leak.create_directories(scale.full ? 4000 : 1500);
+    out.ext2_copies = s.scanner().count_copies(leak.capture());
+  }
+  {
+    attack::NttyLeak leak(kernel);
+    util::Rng attack_rng(999);
+    out.ntty_copies = s.scanner().count_copies(leak.dump(attack_rng));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = scale_from_env();
+  banner("Ablation — per-mechanism contribution (OpenSSH workload)",
+         "unbundles the paper's four levels into individual patches",
+         scale);
+
+  const Variant variants[] = {
+      {.name = "baseline (stock)"},
+      {.name = "align only, re-exec ON", .align_at_load = true},
+      {.name = "align + -r (no clear-free)", .align_at_load = true, .no_reexec = true},
+      {.name = "clear-free only", .clear_temps = true},
+      {.name = "align + -r + clear-free (=app level)",
+       .align_at_load = true,
+       .clear_temps = true,
+       .no_reexec = true},
+      {.name = "zero-on-free only (=kernel level)", .zero_on_free = true},
+      {.name = "integrated w/o O_NOCACHE",
+       .zero_on_free = true,
+       .auto_align = true,
+       .clear_temps = true,
+       .no_reexec = true},
+      {.name = "baseline + cache-served files",
+       .cache_transfers = true},
+      {.name = "integrated (full)",
+       .zero_on_free = true,
+       .o_nocache = true,
+       .auto_align = true,
+       .clear_temps = true,
+       .no_reexec = true,
+       .use_nocache_flag = true},
+  };
+
+  util::Table table({"variant", "alloc copies", "unalloc copies", "ext2 finds",
+                     "ntty finds"});
+  std::vector<Outcome> outcomes;
+  for (const auto& v : variants) {
+    outcomes.push_back(run_variant(v, scale));
+    const auto& o = outcomes.back();
+    table.add_row({v.name, std::to_string(o.census.allocated),
+                   std::to_string(o.census.unallocated), std::to_string(o.ext2_copies),
+                   std::to_string(o.ntty_copies)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bool ok = true;
+  ok &= shape_check(outcomes[0].ext2_copies > 0, "baseline leaks through ext2");
+  ok &= shape_check(outcomes[1].census.unallocated > 0,
+                    "align WITHOUT -r still leaks: per-child aligned pages are "
+                    "freed uncleared at exit (why the paper needs -r)");
+  ok &= shape_check(outcomes[2].census.unallocated > 0,
+                    "align + -r WITHOUT clear-free still leaks via per-op "
+                    "Montgomery temporaries in exiting children");
+  ok &= shape_check(outcomes[4].census.unallocated == 0 && outcomes[4].ext2_copies == 0,
+                    "the full application-level bundle is clean");
+  ok &= shape_check(outcomes[5].census.unallocated == 0 && outcomes[5].ext2_copies == 0,
+                    "zero-on-free alone stops the ext2 attack");
+  ok &= shape_check(outcomes[5].census.allocated > outcomes[4].census.allocated,
+                    "zero-on-free does NOT curb allocated duplication");
+  ok &= shape_check(outcomes[6].census.allocated == outcomes[8].census.allocated + 1,
+                    "O_NOCACHE removes exactly the page-cache PEM copy");
+  ok &= shape_check(outcomes[7].ext2_copies > 0,
+                    "page-cache churn does not rescue the stock system");
+
+  // Free-list sensitivity: how fast does residue accumulate as the share
+  // of promptly-reused exit pages drops?
+  std::printf("\n-- free-list calibration: unallocated copies after 40 connections "
+              "vs bulk_reuse_fraction --\n");
+  util::Table sens({"bulk_reuse_fraction", "unallocated copies"});
+  std::size_t prev_copies = 0;
+  bool monotone = true;
+  for (const double f : {0.95, 0.80, 0.50, 0.20}) {
+    sim::KernelConfig kcfg;
+    kcfg.mem_bytes = scale.mem_bytes;
+    kcfg.bulk_reuse_fraction = f;
+    sim::Kernel kernel(kcfg, 1);
+    core::ScenarioConfig scfg;
+    scfg.mem_bytes = scale.mem_bytes;
+    scfg.key_bits = scale.key_bits;
+    scfg.seed = 31415;
+    core::Scenario s(scfg);
+    kernel.vfs().write_file(core::Scenario::kSshKeyPath, util::to_bytes(s.pem()));
+    servers::SshConfig ssh;
+    ssh.key_path = core::Scenario::kSshKeyPath;
+    util::Rng rng(777);
+    servers::SshServer server(kernel, ssh, rng);
+    server.start();
+    for (int i = 0; i < 40; ++i) server.handle_connection(16 << 10);
+    const auto census = scan::KeyScanner::census(s.scanner().scan_kernel(kernel));
+    sens.add_row({util::fmt(f, 2), std::to_string(census.unallocated)});
+    monotone &= census.unallocated >= prev_copies;
+    prev_copies = census.unallocated;
+  }
+  std::printf("%s\n", sens.render().c_str());
+  ok &= shape_check(monotone, "less prompt reuse => more residue (monotone)");
+  return ok ? 0 : 1;
+}

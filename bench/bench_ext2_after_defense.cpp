@@ -1,0 +1,78 @@
+// Paper §5.2 / §6.2 (text result): re-running the ext2 attack against each
+// patched configuration recovers NOTHING — "in no case were we able to
+// recover any portion of the private key" — while the stock system leaks
+// freely. Kernel/integrated eliminate the attack by construction;
+// application/library level are empirically clean too.
+#include "sweeps.hpp"
+
+using namespace kgbench;
+
+namespace {
+
+struct Row {
+  std::string level;
+  double ssh_copies;
+  double ssh_success;
+  double apache_copies;
+  double apache_success;
+};
+
+Row run_level(core::ProtectionLevel level, const Scale& scale) {
+  Row row{std::string(core::protection_name(level)), 0, 0, 0, 0};
+  const int connections = scale.full ? 200 : 60;
+  const std::size_t dirs = scale.full ? 5000 : 1500;
+  for (const auto kind : {ServerKind::kSsh, ServerKind::kApache}) {
+    attack::TrialStats stats;
+    for (int trial = 0; trial < scale.ext2_trials; ++trial) {
+      auto s = make_scenario(level, scale, 4000 + static_cast<std::uint64_t>(trial));
+      if (level == core::ProtectionLevel::kNone) {
+        s.precache_key_file(kind == ServerKind::kSsh ? core::Scenario::kSshKeyPath
+                                                     : core::Scenario::kApacheKeyPath);
+      }
+      ChurnDriver driver(s, kind);
+      if (!driver.started()) continue;
+      driver.connections(connections);
+      attack::Ext2DirectoryLeak leak(s.kernel());
+      leak.create_directories(dirs);
+      stats.record(s.scanner().count_copies(leak.capture()));
+    }
+    if (kind == ServerKind::kSsh) {
+      row.ssh_copies = stats.avg_copies();
+      row.ssh_success = stats.success_rate();
+    } else {
+      row.apache_copies = stats.avg_copies();
+      row.apache_success = stats.success_rate();
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = scale_from_env();
+  banner("§5.2/§6.2 — ext2 attack re-run against every protection level",
+         "after ANY of the four defenses the ext2 attack recovers nothing; "
+         "the stock system leaks freely",
+         scale);
+
+  util::Table table({"protection", "ssh copies", "ssh success", "apache copies",
+                     "apache success"});
+  std::vector<Row> rows;
+  for (const auto level : core::kAllProtectionLevels) {
+    rows.push_back(run_level(level, scale));
+    const auto& r = rows.back();
+    table.add_row({r.level, util::fmt(r.ssh_copies, 1), util::fmt(r.ssh_success, 2),
+                   util::fmt(r.apache_copies, 1), util::fmt(r.apache_success, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bool ok = true;
+  ok &= shape_check(rows[0].ssh_copies > 0 && rows[0].apache_copies > 0,
+                    "stock system: ext2 attack recovers key copies");
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    ok &= shape_check(rows[i].ssh_copies == 0 && rows[i].apache_copies == 0,
+                      rows[i].level + ": ext2 attack recovers nothing");
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// Figure 1: OpenSSH vs the ext2 directory leak.
+// (a) average number of private-key copies recovered, over a grid of
+//     (total connections x total directories); (b) attack success rate.
+#include "sweeps.hpp"
+
+using namespace kgbench;
+
+int main() {
+  const Scale scale = scale_from_env();
+  banner("Figure 1 — OpenSSH + ext2 directory leak (copies & success rate)",
+         "~8 copies at (500 conns, 1000 dirs); up to ~30 at (500, 10000); "
+         "success rate ~1 almost everywhere",
+         scale);
+
+  const auto sweep = run_ext2_sweep(ServerKind::kSsh, core::ProtectionLevel::kNone, scale);
+  print_ext2_sweep(sweep, "Fig 1(a)/(b) OpenSSH, stock system");
+
+  const auto& first = sweep.copies.front().front();
+  const auto& last = sweep.copies.back().back();
+  bool ok = true;
+  ok &= shape_check(last.mean() > 0.0, "attack recovers the key at the top corner");
+  ok &= shape_check(last.mean() >= first.mean(),
+                    "copies grow from (min conns, min dirs) to (max, max)");
+  ok &= shape_check(sweep.copies.back().back().mean() >=
+                        sweep.copies.back().front().mean(),
+                    "more directories disclose more copies at fixed connections");
+  ok &= shape_check(sweep.success.back().back() >= 0.9,
+                    "success rate ~1 at the top corner (paper: almost always succeeds)");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Figure 2: Apache vs the ext2 directory leak.
+// (a) average copies recovered over (connections x directories); (b)
+//     success rate. The paper: ~5 copies at (500, 1000), success ~1.
+#include "sweeps.hpp"
+
+using namespace kgbench;
+
+int main() {
+  const Scale scale = scale_from_env();
+  banner("Figure 2 — Apache + ext2 directory leak (copies & success rate)",
+         "~5 copies at (500 conns, 1000 dirs), up to ~18 at the top corner; "
+         "success rate ~1",
+         scale);
+
+  const auto sweep =
+      run_ext2_sweep(ServerKind::kApache, core::ProtectionLevel::kNone, scale);
+  print_ext2_sweep(sweep, "Fig 2(a)/(b) Apache, stock system");
+
+  bool ok = true;
+  ok &= shape_check(sweep.copies.back().back().mean() > 0.0,
+                    "attack recovers the key at the top corner");
+  ok &= shape_check(sweep.copies.back().back().mean() >=
+                        sweep.copies.front().front().mean(),
+                    "copies grow with both axes");
+  ok &= shape_check(sweep.success.back().back() >= 0.9, "success ~1 at the top corner");
+  return ok ? 0 : 1;
+}

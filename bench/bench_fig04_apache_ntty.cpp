@@ -1,0 +1,24 @@
+// Figure 4: Apache vs the n_tty leak.
+// (a) average copies found vs connections (up to ~60); (b) success rate
+//     (1.0 for >= 30 connections).
+#include "sweeps.hpp"
+
+using namespace kgbench;
+
+int main() {
+  const Scale scale = scale_from_env();
+  banner("Figure 4 — Apache + n_tty dump (copies & success rate vs connections)",
+         "up to ~60 copies; success rate 1.0 once >= 30 connections are made",
+         scale);
+
+  const auto sweep =
+      run_ntty_sweep(ServerKind::kApache, core::ProtectionLevel::kNone, scale);
+  print_ntty_sweep(sweep, "Fig 4(a)/(b) Apache, stock system");
+
+  bool ok = true;
+  ok &= shape_check(sweep.copies.back().mean() > sweep.copies.front().mean(),
+                    "copies grow with connections");
+  ok &= shape_check(sweep.success.back() >= 0.9,
+                    "success ~1 at >= 30 connections (paper: always succeeds)");
+  return ok ? 0 : 1;
+}

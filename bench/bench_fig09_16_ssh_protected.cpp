@@ -1,0 +1,63 @@
+// Figures 9-16: OpenSSH timelines under each protection level
+// (application, library, kernel, integrated) — key locations and counts.
+//
+// Paper shapes:
+//   App/Lib   (Figs 9-12):  zero unallocated copies; small CONSTANT
+//                           allocated count (aligned page + cached PEM).
+//   Kernel    (Figs 13-14): zero unallocated copies; allocated count still
+//                           LARGE and load-dependent (duplication untouched);
+//                           PEM stays cached to the end.
+//   Integrated(Figs 15-16): zero unallocated; exactly the aligned page
+//                           (d,P,Q) while running; PEM gone entirely.
+#include "timelines.hpp"
+
+using namespace kgbench;
+
+int main() {
+  const Scale scale = scale_from_env();
+  banner("Figures 9-16 — OpenSSH timelines under each defense level",
+         "app/lib: flat small counts, no unallocated; kernel: large allocated, "
+         "no unallocated; integrated: exactly one aligned page, no PEM",
+         scale);
+
+  bool ok = true;
+  const core::ProtectionLevel levels[] = {
+      core::ProtectionLevel::kApplication, core::ProtectionLevel::kLibrary,
+      core::ProtectionLevel::kKernel, core::ProtectionLevel::kIntegrated};
+  const char* figures[] = {"Figs 9/10 (application level)", "Figs 11/12 (library level)",
+                           "Figs 13/14 (kernel level)", "Figs 15/16 (integrated)"};
+
+  for (int i = 0; i < 4; ++i) {
+    auto s = make_scenario(levels[i], scale, 900 + static_cast<std::uint64_t>(i));
+    const auto samples = run_timeline(s, ServerKind::kSsh, scale);
+    print_timeline(samples, scale.mem_bytes, figures[i]);
+    const auto sum = summarize(samples);
+    const auto name = std::string(core::protection_name(levels[i]));
+
+    ok &= shape_check(sum.peak_unallocated == 0 && sum.final_unallocated == 0,
+                      name + ": no copies ever reach unallocated memory");
+    switch (levels[i]) {
+      case core::ProtectionLevel::kApplication:
+      case core::ProtectionLevel::kLibrary:
+        ok &= shape_check(sum.peak_allocated <= 4,
+                          name + ": allocated count small & load-independent "
+                                 "(aligned page [+ cached PEM])");
+        break;
+      case core::ProtectionLevel::kKernel:
+        ok &= shape_check(sum.peak_allocated > 8,
+                          name + ": allocated duplication NOT curbed (Fig 14)");
+        ok &= shape_check(sum.final_allocated >= 1,
+                          name + ": PEM remains in the page cache to the end");
+        break;
+      case core::ProtectionLevel::kIntegrated:
+        ok &= shape_check(sum.peak_allocated == 3,
+                          name + ": exactly d,P,Q on the aligned page while running");
+        ok &= shape_check(sum.final_allocated == 0,
+                          name + ": nothing remains after stop (PEM evicted too)");
+        break;
+      default:
+        break;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Figures 21-28: Apache timelines under each protection level.
+//
+// Same shapes as the OpenSSH set (Figures 9-16): app/lib keep a small
+// constant allocated count with zero unallocated copies; kernel level
+// allows allocated duplication but nothing unallocated; integrated leaves
+// exactly the aligned page and removes the PEM from the page cache.
+#include "timelines.hpp"
+
+using namespace kgbench;
+
+int main() {
+  const Scale scale = scale_from_env();
+  banner("Figures 21-28 — Apache timelines under each defense level",
+         "app/lib: counts independent of the number of worker processes; "
+         "kernel: allocated duplication persists; integrated: single page",
+         scale);
+
+  bool ok = true;
+  const core::ProtectionLevel levels[] = {
+      core::ProtectionLevel::kApplication, core::ProtectionLevel::kLibrary,
+      core::ProtectionLevel::kKernel, core::ProtectionLevel::kIntegrated};
+  const char* figures[] = {"Figs 21/22 (application level)", "Figs 23/24 (library level)",
+                           "Figs 25/26 (kernel level)", "Figs 27/28 (integrated)"};
+
+  for (int i = 0; i < 4; ++i) {
+    auto s = make_scenario(levels[i], scale, 2100 + static_cast<std::uint64_t>(i));
+    const auto samples = run_timeline(s, ServerKind::kApache, scale);
+    print_timeline(samples, scale.mem_bytes, figures[i]);
+    const auto sum = summarize(samples);
+    const auto name = std::string(core::protection_name(levels[i]));
+
+    ok &= shape_check(sum.peak_unallocated == 0 && sum.final_unallocated == 0,
+                      name + ": no copies ever reach unallocated memory");
+    switch (levels[i]) {
+      case core::ProtectionLevel::kApplication:
+      case core::ProtectionLevel::kLibrary:
+        ok &= shape_check(sum.peak_allocated <= 4,
+                          name + ": count independent of the worker pool "
+                                 "(d,P,Q on one page [+ cached PEM])");
+        break;
+      case core::ProtectionLevel::kKernel:
+        ok &= shape_check(sum.peak_allocated > 8,
+                          name + ": per-worker duplication NOT curbed (Fig 26)");
+        break;
+      case core::ProtectionLevel::kIntegrated:
+        ok &= shape_check(sum.peak_allocated == 3,
+                          name + ": exactly d,P,Q on the aligned page while running");
+        ok &= shape_check(sum.final_allocated == 0,
+                          name + ": nothing remains after stop");
+        break;
+      default:
+        break;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// Shared plumbing for the per-figure benchmark harnesses.
+//
+// Every bench binary runs argument-free at a reduced-but-faithful scale
+// (full ctest/bench sweeps finish in minutes on one core) and switches to
+// the paper's exact scale with KEYGUARD_BENCH_FULL=1. Each prints:
+//   * a banner naming the figure and the paper's claim,
+//   * the series as both an aligned table and TSV rows (machine readable),
+//   * SHAPE CHECK verdict lines comparing the measured shape against the
+//     paper's qualitative result.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "attack/leaks.hpp"
+#include "core/scenario.hpp"
+#include "servers/apache_server.hpp"
+#include "servers/ssh_server.hpp"
+#include "servers/timeline.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace kgbench {
+
+using namespace keyguard;  // bench binaries are leaf executables
+
+struct Scale {
+  bool full = false;
+  std::size_t mem_bytes = 64ull << 20;
+  std::size_t key_bits = 1024;
+
+  // Attack sweeps.
+  int ext2_trials = 3;         // paper: 15
+  int ntty_trials = 5;         // paper: 20
+  int max_connections = 250;   // paper: 500 (ext2 sweep x-axis)
+  int conn_step = 50;
+  int max_directories = 5000;  // paper: 10000
+  int dir_step = 1000;
+  int ntty_max_connections = 120;  // paper: 120
+  int ntty_conn_step = 20;         // paper: 10
+
+  // Performance benches.
+  int perf_transfers = 400;    // paper: 4000
+  int perf_reps = 3;           // paper: 16 (ssh)
+  int perf_concurrency = 20;   // paper: 20
+
+  // Timelines.
+  int transfers_per_slot = 3;
+};
+
+inline Scale scale_from_env() {
+  Scale s;
+  if (util::env_truthy("KEYGUARD_BENCH_FULL")) {
+    s.full = true;
+    s.mem_bytes = 256ull << 20;  // the paper's 256 MB testbed
+    s.ext2_trials = 15;
+    s.ntty_trials = 20;
+    s.max_connections = 500;
+    s.conn_step = 50;
+    s.max_directories = 10000;
+    s.dir_step = 1000;
+    s.ntty_conn_step = 10;
+    s.perf_transfers = 4000;
+    s.perf_reps = 16;
+  }
+  s.mem_bytes = static_cast<std::size_t>(
+                    util::env_int("KEYGUARD_BENCH_MEM_MB",
+                                  static_cast<std::int64_t>(s.mem_bytes >> 20)))
+                << 20;
+  return s;
+}
+
+inline void banner(const char* figure, const char* paper_claim, const Scale& s) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("scale: %s (%zu MB RAM, %zu-bit key)%s\n",
+              s.full ? "FULL (paper)" : "reduced", s.mem_bytes >> 20, s.key_bits,
+              s.full ? "" : "  [KEYGUARD_BENCH_FULL=1 for paper scale]");
+  std::printf("================================================================\n\n");
+}
+
+inline bool shape_check(bool ok, const std::string& what) {
+  std::printf("SHAPE CHECK [%s] %s\n", ok ? "OK" : "FAIL", what.c_str());
+  return ok;
+}
+
+inline core::Scenario make_scenario(core::ProtectionLevel level, const Scale& s,
+                                    std::uint64_t seed) {
+  core::ScenarioConfig cfg;
+  cfg.level = level;
+  cfg.mem_bytes = s.mem_bytes;
+  cfg.key_bits = s.key_bits;
+  cfg.seed = seed;
+  return core::Scenario(cfg);
+}
+
+/// The attack scripts' workload: open N ssh connections (with a transfer),
+/// then close them all.
+inline void ssh_churn(servers::SshServer& server, int connections,
+                      std::size_t transfer_bytes = 16ull << 10) {
+  for (int i = 0; i < connections; ++i) server.handle_connection(transfer_bytes);
+}
+
+/// Apache equivalent: N HTTPS requests at moderate concurrency.
+inline void apache_churn(servers::ApacheServer& server, int requests) {
+  for (int i = 0; i < requests; ++i) server.handle_request();
+}
+
+}  // namespace kgbench

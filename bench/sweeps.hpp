@@ -1,0 +1,216 @@
+// Attack-sweep drivers shared by the Figure 1-4, 7, 17-18 benches.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common.hpp"
+
+namespace kgbench {
+
+enum class ServerKind { kSsh, kApache };
+
+inline const char* server_name(ServerKind kind) {
+  return kind == ServerKind::kSsh ? "OpenSSH" : "Apache";
+}
+
+/// Drives `delta` more connections at a running server. For Apache each
+/// connection is an HTTPS request; the prefork pool follows the load up
+/// and is reaped when the script closes all connections — the reaping is
+/// what pushes worker heaps into unallocated memory.
+class ChurnDriver {
+ public:
+  ChurnDriver(core::Scenario& s, ServerKind kind) : kind_(kind) {
+    if (kind_ == ServerKind::kSsh) {
+      ssh_ = std::make_unique<servers::SshServer>(s.kernel(), s.ssh_config(), s.make_rng());
+      started_ = ssh_->start();
+    } else {
+      auto cfg = s.apache_config();
+      cfg.start_servers = 4;
+      apache_ = std::make_unique<servers::ApacheServer>(s.kernel(), cfg, s.make_rng());
+      started_ = apache_->start();
+    }
+  }
+
+  bool started() const { return started_; }
+
+  void connections(int delta) {
+    if (kind_ == ServerKind::kSsh) {
+      ssh_churn(*ssh_, delta);
+    } else {
+      // Load rises with the burst, then "the script immediately closed all
+      // connections" — the pool grows and is reaped each burst.
+      apache_->set_concurrency(std::min(delta / 4 + 4, 32));
+      apache_churn(*apache_, delta);
+      apache_->set_concurrency(0);
+    }
+  }
+
+ private:
+  ServerKind kind_;
+  std::unique_ptr<servers::SshServer> ssh_;
+  std::unique_ptr<servers::ApacheServer> apache_;
+  bool started_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// ext2 sweep (Figures 1 and 2): grid over (connections, directories).
+// ---------------------------------------------------------------------------
+
+struct Ext2Sweep {
+  std::vector<int> conn_levels;
+  std::vector<int> dir_levels;
+  // [conn][dir] over trials
+  std::vector<std::vector<util::RunningStats>> copies;
+  std::vector<std::vector<double>> success;
+};
+
+inline Ext2Sweep run_ext2_sweep(ServerKind kind, core::ProtectionLevel level,
+                                const Scale& scale) {
+  Ext2Sweep sweep;
+  for (int c = scale.conn_step; c <= scale.max_connections; c += scale.conn_step) {
+    sweep.conn_levels.push_back(c);
+  }
+  for (int d = scale.dir_step; d <= scale.max_directories; d += scale.dir_step) {
+    sweep.dir_levels.push_back(d);
+  }
+  sweep.copies.assign(sweep.conn_levels.size(),
+                      std::vector<util::RunningStats>(sweep.dir_levels.size()));
+  std::vector<std::vector<int>> successes(
+      sweep.conn_levels.size(), std::vector<int>(sweep.dir_levels.size(), 0));
+
+  for (int trial = 0; trial < scale.ext2_trials; ++trial) {
+    auto s = make_scenario(level, scale, 1000 + static_cast<std::uint64_t>(trial));
+    if (level == core::ProtectionLevel::kNone) {
+      s.precache_key_file(kind == ServerKind::kSsh ? core::Scenario::kSshKeyPath
+                                                   : core::Scenario::kApacheKeyPath);
+    }
+    ChurnDriver driver(s, kind);
+    if (!driver.started()) continue;
+    int prev = 0;
+    for (std::size_t ci = 0; ci < sweep.conn_levels.size(); ++ci) {
+      driver.connections(sweep.conn_levels[ci] - prev);
+      prev = sweep.conn_levels[ci];
+      attack::Ext2DirectoryLeak leak(s.kernel());
+      leak.create_directories(static_cast<std::size_t>(scale.max_directories));
+      const auto capture = leak.capture();
+      for (std::size_t di = 0; di < sweep.dir_levels.size(); ++di) {
+        const std::size_t take = std::min(
+            capture.size(), static_cast<std::size_t>(sweep.dir_levels[di]) *
+                                attack::Ext2DirectoryLeak::kLeakBytesPerDirectory);
+        const auto n = s.scanner().count_copies(capture.first(take));
+        sweep.copies[ci][di].add(static_cast<double>(n));
+        successes[ci][di] += n > 0 ? 1 : 0;
+      }
+      // umount between bursts.
+    }
+  }
+  sweep.success.assign(sweep.conn_levels.size(),
+                       std::vector<double>(sweep.dir_levels.size(), 0.0));
+  for (std::size_t ci = 0; ci < sweep.conn_levels.size(); ++ci) {
+    for (std::size_t di = 0; di < sweep.dir_levels.size(); ++di) {
+      sweep.success[ci][di] =
+          static_cast<double>(successes[ci][di]) / scale.ext2_trials;
+    }
+  }
+  return sweep;
+}
+
+inline void print_ext2_sweep(const Ext2Sweep& sweep, const char* what) {
+  std::printf("-- %s: average copies of the private key found --\n", what);
+  std::vector<std::string> header{"conns\\dirs"};
+  for (const int d : sweep.dir_levels) header.push_back(std::to_string(d));
+  util::Table copies(header);
+  for (std::size_t ci = 0; ci < sweep.conn_levels.size(); ++ci) {
+    std::vector<std::string> row{std::to_string(sweep.conn_levels[ci])};
+    for (const auto& cell : sweep.copies[ci]) row.push_back(util::fmt(cell.mean(), 1));
+    copies.add_row(std::move(row));
+  }
+  std::printf("%s\n", copies.render().c_str());
+
+  std::printf("-- %s: attack success rate --\n", what);
+  util::Table success(header);
+  for (std::size_t ci = 0; ci < sweep.conn_levels.size(); ++ci) {
+    std::vector<std::string> row{std::to_string(sweep.conn_levels[ci])};
+    for (const double rate : sweep.success[ci]) row.push_back(util::fmt(rate, 2));
+    success.add_row(std::move(row));
+  }
+  std::printf("%s\n", success.render().c_str());
+
+  std::printf("-- TSV (conns, dirs, avg_copies, success_rate) --\n");
+  for (std::size_t ci = 0; ci < sweep.conn_levels.size(); ++ci) {
+    for (std::size_t di = 0; di < sweep.dir_levels.size(); ++di) {
+      std::printf("%d\t%d\t%.2f\t%.2f\n", sweep.conn_levels[ci], sweep.dir_levels[di],
+                  sweep.copies[ci][di].mean(), sweep.success[ci][di]);
+    }
+  }
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// n_tty sweep (Figures 3, 4, 7, 17, 18): copies/success vs connections.
+// ---------------------------------------------------------------------------
+
+struct NttySweep {
+  std::vector<int> conn_levels;
+  std::vector<util::RunningStats> copies;
+  std::vector<double> success;
+};
+
+inline NttySweep run_ntty_sweep(ServerKind kind, core::ProtectionLevel level,
+                                const Scale& scale) {
+  NttySweep sweep;
+  for (int c = scale.ntty_conn_step; c <= scale.ntty_max_connections;
+       c += scale.ntty_conn_step) {
+    sweep.conn_levels.push_back(c);
+  }
+  sweep.copies.assign(sweep.conn_levels.size(), {});
+  std::vector<int> successes(sweep.conn_levels.size(), 0);
+
+  for (int trial = 0; trial < scale.ntty_trials; ++trial) {
+    auto s = make_scenario(level, scale, 2000 + static_cast<std::uint64_t>(trial));
+    if (level == core::ProtectionLevel::kNone) {
+      s.precache_key_file(kind == ServerKind::kSsh ? core::Scenario::kSshKeyPath
+                                                   : core::Scenario::kApacheKeyPath);
+    }
+    ChurnDriver driver(s, kind);
+    if (!driver.started()) continue;
+    auto attack_rng = s.make_rng();
+    attack::NttyLeak leak(s.kernel());
+    int prev = 0;
+    for (std::size_t ci = 0; ci < sweep.conn_levels.size(); ++ci) {
+      driver.connections(sweep.conn_levels[ci] - prev);
+      prev = sweep.conn_levels[ci];
+      const auto dump = leak.dump(attack_rng);
+      const auto n = s.scanner().count_copies(dump);
+      sweep.copies[ci].add(static_cast<double>(n));
+      successes[ci] += n > 0 ? 1 : 0;
+    }
+  }
+  sweep.success.assign(sweep.conn_levels.size(), 0.0);
+  for (std::size_t ci = 0; ci < sweep.conn_levels.size(); ++ci) {
+    sweep.success[ci] = static_cast<double>(successes[ci]) / scale.ntty_trials;
+  }
+  return sweep;
+}
+
+inline void print_ntty_sweep(const NttySweep& sweep, const char* what) {
+  std::printf("-- %s --\n", what);
+  util::Table table({"connections", "avg_copies", "success_rate", "bar"});
+  double max_copies = 1.0;
+  for (const auto& c : sweep.copies) max_copies = std::max(max_copies, c.mean());
+  for (std::size_t i = 0; i < sweep.conn_levels.size(); ++i) {
+    table.add_row({std::to_string(sweep.conn_levels[i]),
+                   util::fmt(sweep.copies[i].mean(), 1), util::fmt(sweep.success[i], 2),
+                   util::bar(sweep.copies[i].mean(), max_copies, 30)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("-- TSV (connections, avg_copies, success_rate) --\n");
+  for (std::size_t i = 0; i < sweep.conn_levels.size(); ++i) {
+    std::printf("%d\t%.2f\t%.2f\n", sweep.conn_levels[i], sweep.copies[i].mean(),
+                sweep.success[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace kgbench

@@ -1,0 +1,108 @@
+// Timeline drivers and rendering shared by the Figure 5/6, 9-16, 21-28
+// benches.
+#pragma once
+
+#include "common.hpp"
+#include "sweeps.hpp"
+
+namespace kgbench {
+
+inline std::vector<servers::TimelineSample> run_timeline(core::Scenario& s,
+                                                         ServerKind kind,
+                                                         const Scale& scale) {
+  if (s.profile().level == core::ProtectionLevel::kNone ||
+      s.profile().level == core::ProtectionLevel::kKernel) {
+    // Baseline-ish systems keep the key file on Reiser, which had already
+    // cached it before the server started (paper §3.2 observation 1); the
+    // aligned configurations deliberately moved it to ext2.
+    s.precache_key_file(kind == ServerKind::kSsh ? core::Scenario::kSshKeyPath
+                                                 : core::Scenario::kApacheKeyPath);
+  }
+  if (kind == ServerKind::kSsh) {
+    auto server = std::make_unique<servers::SshServer>(s.kernel(), s.ssh_config(),
+                                                       s.make_rng());
+    servers::SshAdapter adapter(*server, scale.transfers_per_slot, 32ull << 10);
+    servers::TimelineDriver driver(s.kernel(), adapter, s.scanner());
+    return driver.run();
+  }
+  auto cfg = s.apache_config();
+  cfg.start_servers = 4;
+  auto server =
+      std::make_unique<servers::ApacheServer>(s.kernel(), cfg, s.make_rng());
+  servers::ApacheAdapter adapter(*server, scale.transfers_per_slot);
+  servers::TimelineDriver driver(s.kernel(), adapter, s.scanner());
+  return driver.run();
+}
+
+inline void print_timeline(const std::vector<servers::TimelineSample>& samples,
+                           std::size_t mem_bytes, const char* what) {
+  std::printf("-- %s --\n", what);
+  // Location view ('x' allocated, '+' unallocated), 24 physical buckets.
+  constexpr int kRows = 24;
+  std::printf("key locations over time ('x' allocated, '+' free):\n");
+  std::printf("   phys ");
+  for (const auto& s : samples) std::printf("%2d", s.tick % 100);
+  std::printf("\n");
+  for (int row = kRows - 1; row >= 0; --row) {
+    const std::size_t lo = mem_bytes / kRows * static_cast<std::size_t>(row);
+    const std::size_t hi = lo + mem_bytes / kRows;
+    std::printf("%5zuMB ", hi >> 20);
+    for (const auto& s : samples) {
+      char c = ' ';
+      for (const auto& m : s.matches) {
+        if (m.phys_offset >= lo && m.phys_offset < hi) {
+          if (m.allocated()) {
+            c = 'x';
+            break;
+          }
+          c = '+';
+        }
+      }
+      std::printf(" %c", c);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ncopies per tick (allocated / unallocated):\n");
+  util::Table table({"tick", "allocated", "unallocated", "total"});
+  for (const auto& s : samples) {
+    table.add_row({std::to_string(s.tick), std::to_string(s.census.allocated),
+                   std::to_string(s.census.unallocated),
+                   std::to_string(s.census.total())});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("-- TSV (tick, allocated, unallocated) --\n");
+  for (const auto& s : samples) {
+    std::printf("%d\t%zu\t%zu\n", s.tick, s.census.allocated, s.census.unallocated);
+  }
+  std::printf("\n");
+}
+
+/// Peak censuses over the traffic window (ticks 6..18) and the tail after
+/// server stop, used by the shape checks.
+struct TimelineSummary {
+  std::size_t peak_allocated = 0;
+  std::size_t peak_unallocated = 0;
+  std::size_t final_allocated = 0;
+  std::size_t final_unallocated = 0;
+  std::size_t idle_allocated = 0;  // after server start, before traffic (t=4)
+  std::size_t t0_total = 0;
+};
+
+inline TimelineSummary summarize(const std::vector<servers::TimelineSample>& samples) {
+  TimelineSummary sum;
+  sum.t0_total = samples.front().census.total();
+  for (const auto& s : samples) {
+    if (s.tick >= 6 && s.tick <= 18) {
+      sum.peak_allocated = std::max(sum.peak_allocated, s.census.allocated);
+      sum.peak_unallocated = std::max(sum.peak_unallocated, s.census.unallocated);
+    }
+    if (s.tick == 4) sum.idle_allocated = s.census.allocated;
+  }
+  sum.final_allocated = samples.back().census.allocated;
+  sum.final_unallocated = samples.back().census.unallocated;
+  return sum;
+}
+
+}  // namespace kgbench

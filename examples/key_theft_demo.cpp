@@ -1,0 +1,97 @@
+// End-to-end key theft with realistic attacker knowledge.
+//
+// The paper's scanner knows the private key (it measures); a real attacker
+// holds only the PUBLIC key. This demo closes the loop twice:
+//
+//   1. Fresh capture: run the n_tty exploit against a loaded OpenSSH
+//      server, factor N out of the dump (KeyHunter), rebuild the full CRT
+//      key, and prove possession by decrypting a challenge.
+//   2. Degraded capture: decay the recovered fragment cold-boot style
+//      (random 1 -> 0 flips) and reconstruct the key anyway with the
+//      Heninger-Shacham branch-and-prune.
+//
+//   ./key_theft_demo [--connections N] [--decay 0.25]
+#include <cstdio>
+
+#include "attack/cold_boot.hpp"
+#include "attack/leaks.hpp"
+#include "core/scenario.hpp"
+#include "scan/cold_boot_reconstruct.hpp"
+#include "scan/key_hunter.hpp"
+#include "servers/ssh_server.hpp"
+#include "sslsim/ssl_library.hpp"
+#include "util/flags.hpp"
+
+using namespace keyguard;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int connections = static_cast<int>(flags.get_int("connections", 25));
+  const double decay = std::stod(flags.get("decay", "0.25"));
+
+  std::printf("Public-knowledge key theft demo\n");
+  std::printf("===============================\n\n");
+
+  core::ScenarioConfig cfg;
+  cfg.mem_bytes = 64ull << 20;
+  cfg.key_bits = 512;
+  cfg.seed = 42424242;
+  core::Scenario s(cfg);
+  servers::SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  if (!server.start()) return 1;
+  for (int i = 0; i < connections; ++i) server.handle_connection(16 << 10);
+  std::printf("victim: OpenSSH (stock), %d connections served, 512-bit host key\n",
+              connections);
+  std::printf("attacker knowledge: the PUBLIC key only (N, e)\n\n");
+
+  // Phase 1: disclose and factor.
+  attack::NttyLeak leak(s.kernel());
+  auto rng = s.make_rng();
+  scan::KeyHunter hunter(s.key().public_key());
+  std::optional<scan::KeyHunter::Hit> hit;
+  std::vector<std::byte> dump;
+  for (int attempt = 1; attempt <= 8 && !hit; ++attempt) {
+    dump = leak.dump(rng);
+    const auto hits = hunter.hunt(dump, /*stride=*/1);
+    std::printf("n_tty dump #%d: %.1f MB disclosed, %zu prime fragment(s) found\n",
+                attempt, static_cast<double>(dump.size()) / (1 << 20), hits.size());
+    if (!hits.empty()) hit = hits.front();
+  }
+  if (!hit) {
+    std::printf("no fragment recovered — try more connections\n");
+    return 1;
+  }
+  const auto stolen = hunter.reconstruct(hit->factor);
+  if (!stolen || !stolen->validate()) return 1;
+  const bn::Bignum challenge(0x434f4d50524f4dULL);  // "COMPROM"
+  const bool works =
+      stolen->decrypt_crt(s.key().public_key().encrypt_raw(challenge)) == challenge;
+  std::printf("factored N at dump offset %zu -> FULL CRT KEY REBUILT, challenge "
+              "decryption %s\n\n",
+              hit->offset, works ? "OK" : "failed");
+
+  // Phase 2: pretend the capture sat in decaying RAM.
+  std::printf("cold-boot variant: decaying the captured P and Q images at rate %.2f\n",
+              decay);
+  auto decay_rng = s.make_rng();
+  const auto p_img = sslsim::SslLibrary::limb_image(s.key().p);
+  const auto q_img = sslsim::SslLibrary::limb_image(s.key().q);
+  const auto dp = attack::decay_image(p_img, decay, decay_rng);
+  const auto dq = attack::decay_image(q_img, decay, decay_rng);
+  std::printf("surviving 1-bits: P %.0f%%, Q %.0f%%\n",
+              100 * attack::surviving_fraction(p_img, dp),
+              100 * attack::surviving_fraction(q_img, dq));
+  scan::ColdBootReconstructor rec(s.key().public_key());
+  const auto rebuilt = rec.reconstruct(dp, dq);
+  if (rebuilt && rebuilt->validate()) {
+    std::printf("branch-and-prune rebuilt the key (frontier %zu candidates)\n",
+                rec.last_frontier());
+  } else {
+    std::printf("reconstruction failed at this decay rate (threshold ~0.3)\n");
+  }
+
+  std::printf("\nmoral: one disclosed (even degraded) prime fragment = total "
+              "compromise.\nthe integrated defense leaves at most one page to find; "
+              "run ssh_attack_demo\nto see it withstand the same exploits.\n");
+  return 0;
+}

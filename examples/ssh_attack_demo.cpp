@@ -1,0 +1,87 @@
+// The paper's §2 OpenSSH attack, end to end, before and after the defense.
+//
+// Boots a simulated 64 MB machine running an OpenSSH server, drives SSH
+// connections at it, then runs BOTH disclosure exploits and greps the
+// captures for the host key — first on a stock system, then with the
+// integrated library-kernel defense.
+//
+//   ./ssh_attack_demo [--connections N] [--directories N] [--mem-mb N]
+#include <cstdio>
+
+#include "attack/leaks.hpp"
+#include "core/scenario.hpp"
+#include "servers/ssh_server.hpp"
+#include "util/flags.hpp"
+
+using namespace keyguard;
+
+namespace {
+
+void run_case(core::ProtectionLevel level, int connections, int directories,
+              std::size_t mem_bytes) {
+  core::ScenarioConfig cfg;
+  cfg.level = level;
+  cfg.mem_bytes = mem_bytes;
+  cfg.seed = 20070625;
+  core::Scenario s(cfg);
+  if (level == core::ProtectionLevel::kNone) {
+    s.precache_key_file(core::Scenario::kSshKeyPath);
+  }
+
+  std::printf("--- protection: %s ---\n",
+              std::string(core::protection_name(level)).c_str());
+  servers::SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  if (!server.start()) {
+    std::printf("server failed to start\n");
+    return;
+  }
+  std::printf("sshd up (pid %u); driving %d connections...\n", server.master_pid(),
+              connections);
+  for (int i = 0; i < connections; ++i) server.handle_connection(16 << 10);
+
+  // In-memory census, the scanmemory view.
+  const auto census = scan::KeyScanner::census(s.scanner().scan_kernel(s.kernel()));
+  std::printf("scanmemory: %zu key copies in allocated memory, %zu in unallocated\n",
+              census.allocated, census.unallocated);
+
+  // Attack 1: ext2 directory leak (unallocated memory only).
+  attack::Ext2DirectoryLeak ext2(s.kernel());
+  ext2.create_directories(static_cast<std::size_t>(directories));
+  const auto ext2_copies = s.scanner().count_copies(ext2.capture());
+  std::printf("ext2 leak   : %d directories -> %.1f MB disclosed -> %zu key copies %s\n",
+              directories,
+              static_cast<double>(ext2.capture().size()) / (1 << 20), ext2_copies,
+              ext2_copies > 0 ? "(KEY COMPROMISED)" : "(nothing)");
+  ext2.release();
+
+  // Attack 2: n_tty dump (~50% of RAM at a random offset).
+  attack::NttyLeak ntty(s.kernel());
+  auto rng = s.make_rng();
+  const auto dump = ntty.dump(rng);
+  const auto ntty_copies = s.scanner().count_copies(dump);
+  std::printf("n_tty leak  : %.1f MB dumped -> %zu key copies %s\n",
+              static_cast<double>(dump.size()) / (1 << 20), ntty_copies,
+              ntty_copies > 0 ? "(KEY COMPROMISED)" : "(nothing)");
+
+  server.stop();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int connections = static_cast<int>(flags.get_int("connections", 40));
+  const int directories = static_cast<int>(flags.get_int("directories", 2000));
+  const std::size_t mem = static_cast<std::size_t>(flags.get_int("mem-mb", 64)) << 20;
+
+  std::printf("OpenSSH memory-disclosure attack demo (DSN'07 reproduction)\n");
+  std::printf("============================================================\n\n");
+  run_case(core::ProtectionLevel::kNone, connections, directories, mem);
+  run_case(core::ProtectionLevel::kIntegrated, connections, directories, mem);
+  std::printf(
+      "Takeaway: the stock system leaks the host key through both bugs; the\n"
+      "integrated library-kernel defense leaves a single mlocked page that the\n"
+      "ext2 leak can never see and the n_tty dump only hits by page-lottery.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// The paper's §3.2 measurement study as an interactive tool: runs the
+// 29-tick workload script against a chosen server and protection level and
+// renders the two views of Figures 5/6 — key locations in physical memory
+// over time ('x' allocated, '+' unallocated) and the per-tick copy counts.
+//
+//   ./timeline_study [--server ssh|apache] [--level none|application|
+//                     library|kernel|integrated] [--mem-mb N]
+#include <cstdio>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "servers/timeline.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace keyguard;
+
+namespace {
+
+core::ProtectionLevel parse_level(const std::string& name) {
+  for (const auto level : core::kAllProtectionLevels) {
+    if (core::protection_name(level) == name) return level;
+  }
+  std::fprintf(stderr, "unknown level '%s', using none\n", name.c_str());
+  return core::ProtectionLevel::kNone;
+}
+
+void render(const std::vector<servers::TimelineSample>& samples, std::size_t mem_bytes) {
+  // Location map: rows = 32 physical-memory buckets, columns = ticks.
+  constexpr int kRows = 32;
+  std::printf("\nKey locations in physical memory over time ('x' allocated, '+' free):\n");
+  std::printf("%-8s", "phys");
+  for (const auto& s : samples) std::printf("%2d", s.tick % 100);
+  std::printf("\n");
+  for (int row = kRows - 1; row >= 0; --row) {
+    const std::size_t lo = mem_bytes / kRows * static_cast<std::size_t>(row);
+    const std::size_t hi = lo + mem_bytes / kRows;
+    std::printf("%3zuMB   ", hi >> 20);
+    for (const auto& s : samples) {
+      char c = ' ';
+      for (const auto& m : s.matches) {
+        if (m.phys_offset >= lo && m.phys_offset < hi) {
+          if (m.allocated()) {
+            c = 'x';
+            break;  // allocated wins the cell
+          }
+          c = '+';
+        }
+      }
+      std::printf(" %c", c);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nCopies of the private key in memory per tick:\n");
+  util::Table table({"tick", "allocated", "unallocated", "total", "bar"});
+  std::size_t max_total = 1;
+  for (const auto& s : samples) max_total = std::max(max_total, s.census.total());
+  for (const auto& s : samples) {
+    table.add_row({std::to_string(s.tick), std::to_string(s.census.allocated),
+                   std::to_string(s.census.unallocated),
+                   std::to_string(s.census.total()),
+                   util::bar(static_cast<double>(s.census.total()),
+                             static_cast<double>(max_total), 30)});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string which = flags.get("server", "ssh");
+  const auto level = parse_level(flags.get("level", "none"));
+  const std::size_t mem = static_cast<std::size_t>(flags.get_int("mem-mb", 64)) << 20;
+
+  core::ScenarioConfig cfg;
+  cfg.level = level;
+  cfg.mem_bytes = mem;
+  cfg.seed = 322007;
+  core::Scenario s(cfg);
+
+  std::printf("Timeline study: %s server, %s protection, %zu MB RAM\n", which.c_str(),
+              std::string(core::protection_name(level)).c_str(), mem >> 20);
+  std::printf("Schedule: start t=2, 8 conns t=6, 16 t=10, 8 t=14, 0 t=18, stop t=22\n");
+
+  std::vector<servers::TimelineSample> samples;
+  if (which == "apache") {
+    if (level == core::ProtectionLevel::kNone) {
+      s.precache_key_file(core::Scenario::kApacheKeyPath);
+    }
+    auto config = s.apache_config();
+    config.start_servers = 4;
+    servers::ApacheServer server(s.kernel(), config, s.make_rng());
+    servers::ApacheAdapter adapter(server, /*requests_per_slot=*/3);
+    servers::TimelineDriver driver(s.kernel(), adapter, s.scanner());
+    samples = driver.run();
+  } else {
+    if (level == core::ProtectionLevel::kNone) {
+      s.precache_key_file(core::Scenario::kSshKeyPath);
+    }
+    servers::SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+    servers::SshAdapter adapter(server, /*transfers_per_slot=*/3,
+                                /*transfer_bytes=*/32 << 10);
+    servers::TimelineDriver driver(s.kernel(), adapter, s.scanner());
+    samples = driver.run();
+  }
+  render(samples, mem);
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "attack/cold_boot.hpp"
+
+namespace keyguard::attack {
+
+std::vector<std::byte> decay_image(std::span<const std::byte> image,
+                                   double decay_rate, util::Rng& rng) {
+  std::vector<std::byte> out(image.begin(), image.end());
+  for (auto& b : out) {
+    auto v = std::to_integer<unsigned>(b);
+    if (v == 0) continue;
+    for (int bit = 0; bit < 8; ++bit) {
+      if ((v & (1u << bit)) != 0 && rng.next_double() < decay_rate) {
+        v &= ~(1u << bit);
+      }
+    }
+    b = static_cast<std::byte>(v);
+  }
+  return out;
+}
+
+double surviving_fraction(std::span<const std::byte> original,
+                          std::span<const std::byte> decayed) {
+  std::size_t ones = 0, kept = 0;
+  const std::size_t n = std::min(original.size(), decayed.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto o = std::to_integer<unsigned>(original[i]);
+    const auto d = std::to_integer<unsigned>(decayed[i]);
+    for (int bit = 0; bit < 8; ++bit) {
+      if ((o & (1u << bit)) != 0) {
+        ++ones;
+        if ((d & (1u << bit)) != 0) ++kept;
+      }
+    }
+  }
+  return ones == 0 ? 1.0 : static_cast<double>(kept) / static_cast<double>(ones);
+}
+
+}  // namespace keyguard::attack

@@ -1,0 +1,30 @@
+// Memory-remanence (cold-boot style) degradation.
+//
+// The paper closes by arguing that software cannot stop an attacker who
+// sees a large fraction of memory; the cold-boot line of work (Halderman
+// et al. '08, Heninger & Shacham '09) sharpened that: even *degraded*
+// memory images — bits decaying toward ground state after power loss —
+// still yield the key. This module models the standard unidirectional
+// decay channel: each 1-bit independently flips to 0 with probability
+// `decay_rate` (ground state zero), so surviving 1-bits are reliable.
+// scan::ColdBootReconstructor then rebuilds the key from such images.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace keyguard::attack {
+
+/// Returns a copy of `image` with every 1-bit independently flipped to 0
+/// with probability `decay_rate` (0 = perfect capture, 1 = all zeros).
+std::vector<std::byte> decay_image(std::span<const std::byte> image,
+                                   double decay_rate, util::Rng& rng);
+
+/// Fraction of 1-bits of `original` still set in `decayed` (diagnostics).
+double surviving_fraction(std::span<const std::byte> original,
+                          std::span<const std::byte> decayed);
+
+}  // namespace keyguard::attack

@@ -1,0 +1,138 @@
+// The two memory-disclosure exploits the paper assesses (§2).
+//
+// Ext2DirectoryLeak — CVE-style ext2 make_empty bug [Lafon & Francoise
+// 2005]: every directory created on an ext2 filesystem (the attackers used
+// a 16 MB USB stick) allocates a block buffer from kernel memory and
+// initialises only the first 24 bytes ("." and ".." entries); the
+// remaining <= 4072 bytes of whatever the freed page previously held reach
+// the attacker when the block is written out. No root required.
+//
+// NttyLeak — the n_tty.c signed-type bug [Guninski 2005]: a single exploit
+// run dumps one contiguous region of physical memory of random location
+// and random size, about 50% of RAM on average. No root required.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::attack {
+
+class Ext2DirectoryLeak {
+ public:
+  /// Bytes disclosed per directory (4096-byte block minus the 24
+  /// initialised bytes).
+  static constexpr std::size_t kLeakBytesPerDirectory = 4072;
+
+  explicit Ext2DirectoryLeak(sim::Kernel& kernel) : kernel_(kernel) {}
+  ~Ext2DirectoryLeak() { release(); }
+
+  Ext2DirectoryLeak(const Ext2DirectoryLeak&) = delete;
+  Ext2DirectoryLeak& operator=(const Ext2DirectoryLeak&) = delete;
+
+  /// mkdir on the attacker's stick: grab one uninitialised kernel buffer
+  /// page, copy its last 4072 bytes into the capture, then overwrite the
+  /// header the way make_empty did. Returns false when memory is exhausted.
+  bool create_directory();
+
+  /// Creates up to n directories; returns how many succeeded.
+  std::size_t create_directories(std::size_t n);
+
+  /// Everything disclosed so far (what the attacker greps offline).
+  std::span<const std::byte> capture() const noexcept { return capture_; }
+
+  std::size_t directories_created() const noexcept { return frames_.size(); }
+
+  /// umount: the buffer pages go back to the kernel.
+  void release();
+
+ private:
+  sim::Kernel& kernel_;
+  std::vector<sim::FrameNumber> frames_;
+  std::vector<std::byte> capture_;
+};
+
+struct NttyLeakConfig {
+  /// Fraction of physical memory disclosed per run: ~N(mean, stddev),
+  /// clamped. The paper reports "about 50% on average", varying with the
+  /// terminal running the exploit.
+  double mean_fraction = 0.50;
+  double stddev_fraction = 0.08;
+  double min_fraction = 0.30;
+  double max_fraction = 0.70;
+};
+
+class NttyLeak {
+ public:
+  explicit NttyLeak(const sim::Kernel& kernel, NttyLeakConfig cfg = {})
+      : kernel_(kernel), cfg_(cfg) {}
+
+  struct Region {
+    std::size_t offset = 0;
+    std::size_t length = 0;
+  };
+
+  /// Random placement for one exploit run.
+  Region choose_region(util::Rng& rng) const;
+
+  /// One exploit run: dump the chosen contiguous region.
+  std::vector<std::byte> dump(util::Rng& rng) const;
+
+  const NttyLeakConfig& config() const noexcept { return cfg_; }
+
+ private:
+  const sim::Kernel& kernel_;
+  NttyLeakConfig cfg_;
+};
+
+/// Offline swap-disk theft.
+///
+/// Swap partitions persist across reboots and are written in plaintext on
+/// stock kernels; an attacker who images the disk (or reads /dev/ swap
+/// with local access) recovers every page ever evicted and not yet
+/// overwritten. This is the attack the paper's mlock() call forecloses,
+/// and the one Provos'00 swap encryption addresses.
+class SwapDiskLeak {
+ public:
+  explicit SwapDiskLeak(const sim::Kernel& kernel) : kernel_(kernel) {}
+
+  /// The raw device image (empty when no swap is configured).
+  std::vector<std::byte> image() const {
+    const auto* dev = kernel_.swap();
+    if (dev == nullptr) return {};
+    const auto raw = dev->raw();
+    return {raw.begin(), raw.end()};
+  }
+
+ private:
+  const sim::Kernel& kernel_;
+};
+
+/// Shared trial bookkeeping for the attack sweeps: average copies found
+/// and success rate (fraction of trials recovering >= 1 copy), as the
+/// paper reports over 15 or 20 attacks.
+class TrialStats {
+ public:
+  void record(std::size_t copies_found) {
+    ++trials_;
+    copies_sum_ += copies_found;
+    successes_ += copies_found > 0 ? 1 : 0;
+  }
+  std::size_t trials() const noexcept { return trials_; }
+  double avg_copies() const noexcept {
+    return trials_ == 0 ? 0.0 : static_cast<double>(copies_sum_) / static_cast<double>(trials_);
+  }
+  double success_rate() const noexcept {
+    return trials_ == 0 ? 0.0 : static_cast<double>(successes_) / static_cast<double>(trials_);
+  }
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t copies_sum_ = 0;
+  std::size_t successes_ = 0;
+};
+
+}  // namespace keyguard::attack

@@ -1,0 +1,106 @@
+#include "bignum/montgomery.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace keyguard::bn {
+namespace {
+
+using u128 = unsigned __int128;
+
+// Inverse of an odd x modulo 2^64 by Newton iteration (5 steps double the
+// correct bits from 5 to 64+).
+Limb inv64(Limb x) {
+  Limb inv = x;  // correct to 3 bits for odd x
+  for (int i = 0; i < 5; ++i) inv *= 2 - x * inv;
+  return inv;
+}
+
+}  // namespace
+
+MontgomeryContext::MontgomeryContext(const Bignum& n) : n_(n) {
+  assert(n.is_odd() && n > Bignum(Limb{1}));
+  n_limbs_ = n.limb_count();
+  n0_inv_ = ~inv64(n.low_limb()) + 1;  // negate mod 2^64
+  // R^2 mod n with R = 2^(64 * n_limbs).
+  const Bignum r = Bignum(Limb{1}) << (64 * n_limbs_);
+  rr_ = (r * r) % n_;
+}
+
+Bignum MontgomeryContext::reduce(std::vector<Limb> t) const {
+  // REDC over a product t of at most 2*n_limbs limbs.
+  t.resize(2 * n_limbs_ + 1, 0);
+  const auto n_limbs = n_.limbs();
+  for (std::size_t i = 0; i < n_limbs_; ++i) {
+    const Limb m = t[i] * n0_inv_;
+    Limb carry = 0;
+    for (std::size_t j = 0; j < n_limbs_; ++j) {
+      const u128 cur = static_cast<u128>(m) * n_limbs[j] + t[i + j] + carry;
+      t[i + j] = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> 64);
+    }
+    // Propagate the carry through the upper limbs.
+    std::size_t k = i + n_limbs_;
+    while (carry != 0) {
+      const Limb s = t[k] + carry;
+      carry = s < carry ? 1 : 0;
+      t[k] = s;
+      ++k;
+    }
+  }
+  // Result is t / R = t[n_limbs_ .. 2*n_limbs_], possibly >= n: subtract once.
+  std::vector<Limb> res(t.begin() + static_cast<std::ptrdiff_t>(n_limbs_),
+                        t.begin() + static_cast<std::ptrdiff_t>(2 * n_limbs_ + 1));
+  Bignum r = Bignum::from_bytes_le({});  // zero
+  {
+    // Build the Bignum directly from limbs via byte round-trip avoidance:
+    // reuse from_bytes_le on the raw limb bytes.
+    std::vector<std::byte> bytes;
+    bytes.reserve(res.size() * 8);
+    for (const Limb limb : res) {
+      for (int b = 0; b < 8; ++b) bytes.push_back(static_cast<std::byte>(limb >> (8 * b)));
+    }
+    r = Bignum::from_bytes_le(bytes);
+  }
+  if (r >= n_) r = r - n_;
+  return r;
+}
+
+Bignum MontgomeryContext::mul(const Bignum& a, const Bignum& b) const {
+  const Bignum prod = a * b;
+  std::vector<Limb> t(prod.limbs().begin(), prod.limbs().end());
+  return reduce(std::move(t));
+}
+
+Bignum MontgomeryContext::to_mont(const Bignum& a) const { return mul(a % n_, rr_); }
+
+Bignum MontgomeryContext::from_mont(const Bignum& a) const {
+  std::vector<Limb> t(a.limbs().begin(), a.limbs().end());
+  return reduce(std::move(t));
+}
+
+Bignum MontgomeryContext::exp(const Bignum& a, const Bignum& e) const {
+  if (e.is_zero()) return Bignum(Limb{1}) % n_;
+  constexpr std::size_t kWindow = 4;
+  const Bignum am = to_mont(a);
+  // Precompute am^0 .. am^15 in Montgomery form.
+  std::array<Bignum, 1 << kWindow> table;
+  table[0] = to_mont(Bignum(Limb{1}));
+  for (std::size_t i = 1; i < table.size(); ++i) table[i] = mul(table[i - 1], am);
+
+  const std::size_t bits = e.bit_length();
+  const std::size_t windows = (bits + kWindow - 1) / kWindow;
+  Bignum acc = table[0];  // 1 in Montgomery form
+  for (std::size_t w = windows; w-- > 0;) {
+    for (std::size_t s = 0; s < kWindow; ++s) acc = mul(acc, acc);
+    unsigned idx = 0;
+    for (std::size_t b = 0; b < kWindow; ++b) {
+      const std::size_t bit_pos = w * kWindow + (kWindow - 1 - b);
+      idx = (idx << 1) | (e.bit(bit_pos) ? 1u : 0u);
+    }
+    if (idx != 0) acc = mul(acc, table[idx]);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace keyguard::bn

@@ -1,0 +1,52 @@
+// Montgomery modular arithmetic for odd moduli.
+//
+// This is the analogue of OpenSSL's BN_MONT_CTX — and that analogy is
+// load-bearing for the reproduction: in OpenSSL 0.9.7, RSA private
+// operations with RSA_FLAG_CACHE_PRIVATE set cache Montgomery contexts for
+// P and Q inside the RSA structure. BN_MONT_CTX_set copies the modulus, so
+// each cached context holds *another copy of the prime* in heap memory.
+// That copying is one of the key-flooding mechanisms the paper measures,
+// and disabling it is half of the RSA_memory_align defense. The simulated
+// SSL library (src/sslsim) therefore mirrors this class's contents into
+// simulated process memory.
+#pragma once
+
+#include "bignum/bignum.hpp"
+
+namespace keyguard::bn {
+
+/// Precomputed state for repeated multiplication modulo an odd modulus n.
+class MontgomeryContext {
+ public:
+  /// Requires n odd and n > 1.
+  explicit MontgomeryContext(const Bignum& n);
+
+  const Bignum& modulus() const noexcept { return n_; }
+
+  /// R^2 mod n — together with the modulus this is what OpenSSL stores in a
+  /// BN_MONT_CTX (and thus what leaks as an extra copy of P/Q).
+  const Bignum& rr() const noexcept { return rr_; }
+
+  /// Converts into Montgomery form: a*R mod n.
+  Bignum to_mont(const Bignum& a) const;
+
+  /// Converts out of Montgomery form: a*R^{-1} mod n.
+  Bignum from_mont(const Bignum& a) const;
+
+  /// Montgomery product: a*b*R^{-1} mod n (operands in Montgomery form).
+  Bignum mul(const Bignum& a, const Bignum& b) const;
+
+  /// a^e mod n via fixed 4-bit-window Montgomery exponentiation.
+  /// Operands in ordinary (non-Montgomery) form.
+  Bignum exp(const Bignum& a, const Bignum& e) const;
+
+ private:
+  Bignum reduce(std::vector<Limb> t) const;  // CIOS-style REDC
+
+  Bignum n_;
+  Bignum rr_;       // R^2 mod n, R = 2^(64 * limbs(n))
+  Limb n0_inv_;     // -n^{-1} mod 2^64
+  std::size_t n_limbs_;
+};
+
+}  // namespace keyguard::bn

@@ -1,0 +1,105 @@
+#include "bignum/prime.hpp"
+
+#include <array>
+#include <cassert>
+
+#include "bignum/montgomery.hpp"
+
+namespace keyguard::bn {
+namespace {
+
+// Small primes for cheap trial division before Miller–Rabin.
+constexpr std::array<Limb, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+Bignum random_bits(util::Rng& rng, std::size_t bits) {
+  if (bits == 0) return Bignum{};
+  std::vector<std::byte> bytes((bits + 7) / 8);
+  rng.fill_bytes(bytes);
+  // Clear excess high bits, then force the top bit.
+  const std::size_t top_bits = bits % 8 == 0 ? 8 : bits % 8;
+  auto hi = std::to_integer<unsigned>(bytes[0]);
+  hi &= (1u << top_bits) - 1;
+  hi |= 1u << (top_bits - 1);
+  bytes[0] = static_cast<std::byte>(hi);
+  return Bignum::from_bytes_be(bytes);
+}
+
+Bignum random_below(util::Rng& rng, const Bignum& bound) {
+  assert(!bound.is_zero());
+  const std::size_t bits = bound.bit_length();
+  std::vector<std::byte> bytes((bits + 7) / 8);
+  const std::size_t top_bits = bits % 8 == 0 ? 8 : bits % 8;
+  // Rejection sampling: draw `bits`-bit values until one is below bound.
+  for (;;) {
+    rng.fill_bytes(bytes);
+    auto hi = std::to_integer<unsigned>(bytes[0]);
+    hi &= (1u << top_bits) - 1;
+    bytes[0] = static_cast<std::byte>(hi);
+    Bignum candidate = Bignum::from_bytes_be(bytes);
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool is_probable_prime(const Bignum& n, util::Rng& rng, int rounds) {
+  const Bignum one(Limb{1});
+  const Bignum two(Limb{2});
+  if (n < two) return false;
+  for (const Limb p : kSmallPrimes) {
+    const Bignum bp(p);
+    if (n == bp) return true;
+    if (n.mod_limb(p) == 0) return false;
+  }
+  // n - 1 = d * 2^r with d odd.
+  const Bignum n_minus_1 = n - one;
+  std::size_t r = 0;
+  Bignum d = n_minus_1;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++r;
+  }
+  const MontgomeryContext ctx(n);
+  for (int round = 0; round < rounds; ++round) {
+    // Base in [2, n-2].
+    const Bignum a = random_below(rng, n - Bignum(Limb{3})) + two;
+    Bignum x = ctx.exp(a, d);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 1; i < r; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+      if (x.is_one()) break;  // nontrivial sqrt of 1 -> composite
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+Bignum random_prime(util::Rng& rng, std::size_t bits, const Bignum& coprime_to) {
+  assert(bits >= 16);
+  const Bignum one(Limb{1});
+  for (;;) {
+    Bignum candidate = random_bits(rng, bits);
+    // Force odd and set the second-highest bit so P*Q has 2*bits bits.
+    if (candidate.is_even()) candidate = candidate.add_limb(1);
+    if (!candidate.bit(bits - 2)) {
+      candidate = candidate + (Bignum(Limb{1}) << (bits - 2));
+    }
+    if (candidate.bit_length() != bits) continue;
+    if (!is_probable_prime(candidate, rng, 16)) continue;
+    if (!coprime_to.is_zero()) {
+      if (!Bignum::gcd(candidate - one, coprime_to).is_one()) continue;
+    }
+    return candidate;
+  }
+}
+
+}  // namespace keyguard::bn

@@ -1,0 +1,28 @@
+// Probabilistic primality testing and random prime generation.
+//
+// Used by RSA key generation (Section 2 of the paper: |P| = |Q| = 512 for
+// a 1024-bit modulus). Generation is deterministic given the caller's Rng,
+// so every experiment uses the same key bits run-to-run.
+#pragma once
+
+#include "bignum/bignum.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::bn {
+
+/// Uniform value with exactly `bits` significant bits (top bit set).
+Bignum random_bits(util::Rng& rng, std::size_t bits);
+
+/// Uniform value in [0, bound).
+Bignum random_below(util::Rng& rng, const Bignum& bound);
+
+/// Miller–Rabin with `rounds` random bases (default gives error < 4^-32).
+bool is_probable_prime(const Bignum& n, util::Rng& rng, int rounds = 32);
+
+/// Random prime with exactly `bits` bits (top two bits set so that the
+/// product of two such primes has exactly 2*bits bits, as RSA requires).
+/// Optionally requires gcd(p - 1, e) == 1 when `coprime_to` is non-zero.
+Bignum random_prime(util::Rng& rng, std::size_t bits,
+                    const Bignum& coprime_to = Bignum{});
+
+}  // namespace keyguard::bn

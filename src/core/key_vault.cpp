@@ -1,0 +1,46 @@
+#include "core/key_vault.hpp"
+
+#include <algorithm>
+
+#include "core/secure_zero.hpp"
+
+namespace keyguard::secure {
+
+KeyId KeyVault::store(std::span<const std::byte> material) {
+  SecureBuffer buf(material.size());
+  std::copy(material.begin(), material.end(), buf.data().begin());
+  const KeyId id = next_id_++;
+  keys_.emplace(id, std::move(buf));
+  return id;
+}
+
+KeyId KeyVault::store_and_scrub(std::span<std::byte> material) {
+  const KeyId id = store(material);
+  secure_zero(material);
+  return id;
+}
+
+std::optional<std::span<const std::byte>> KeyVault::view(KeyId id) const {
+  const auto it = keys_.find(id);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second.data();
+}
+
+bool KeyVault::with_key(KeyId id,
+                        const std::function<void(std::span<const std::byte>)>& fn) const {
+  const auto it = keys_.find(id);
+  if (it == keys_.end()) return false;
+  fn(it->second.data());
+  return true;
+}
+
+void KeyVault::erase(KeyId id) { keys_.erase(id); }
+
+void KeyVault::clear() { keys_.clear(); }
+
+bool KeyVault::locked(KeyId id) const {
+  const auto it = keys_.find(id);
+  return it != keys_.end() && it->second.locked();
+}
+
+}  // namespace keyguard::secure

@@ -1,0 +1,68 @@
+// Single-copy key custody for real processes.
+//
+// KeyVault operationalises the paper's two rules: (i) a key exists in
+// allocated memory exactly once, (ii) nothing it controls ever reaches
+// unallocated memory uncleared. Each stored key occupies its own
+// SecureBuffer (page-aligned, mlocked, zero-on-destroy); access is by
+// read-only view, so fork()ed children keep sharing the same physical
+// pages via copy-on-write — the property the paper exploits to protect
+// OpenSSH and Apache.
+//
+// `store_and_scrub` is the RSA_memory_align move: copy the material into
+// the vault, then zero the caller's (heap) copy in place, leaving the
+// vault's page as the only instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+
+#include "core/secure_buffer.hpp"
+
+namespace keyguard::secure {
+
+using KeyId = std::uint64_t;
+
+class KeyVault {
+ public:
+  KeyVault() = default;
+  KeyVault(const KeyVault&) = delete;
+  KeyVault& operator=(const KeyVault&) = delete;
+
+  /// Copies `material` into a fresh SecureBuffer; caller still owns (and
+  /// should scrub) the source.
+  KeyId store(std::span<const std::byte> material);
+
+  /// Copies, then zeroes the source in place (secure_zero) — after this
+  /// call the vault holds the only copy.
+  KeyId store_and_scrub(std::span<std::byte> material);
+
+  /// Read-only view of the key. Does NOT copy. Returns nullopt for an
+  /// unknown/erased id. The view is invalidated by erase().
+  std::optional<std::span<const std::byte>> view(KeyId id) const;
+
+  /// Scoped access: runs `fn` with the key bytes, never exposing a copy.
+  /// Returns false for an unknown id.
+  bool with_key(KeyId id, const std::function<void(std::span<const std::byte>)>& fn) const;
+
+  /// Scrubs and releases the key.
+  void erase(KeyId id);
+
+  /// Scrubs and releases everything (call before exec/exit on paranoid
+  /// paths; the destructor does this too).
+  void clear();
+
+  std::size_t size() const noexcept { return keys_.size(); }
+  bool contains(KeyId id) const noexcept { return keys_.contains(id); }
+
+  /// True when the key's pages are mlocked (see SecureBuffer::locked).
+  bool locked(KeyId id) const;
+
+ private:
+  std::map<KeyId, SecureBuffer> keys_;
+  KeyId next_id_ = 1;
+};
+
+}  // namespace keyguard::secure

@@ -1,0 +1,68 @@
+#include "core/protection.hpp"
+
+namespace keyguard::core {
+
+std::string_view protection_name(ProtectionLevel level) {
+  switch (level) {
+    case ProtectionLevel::kNone: return "none";
+    case ProtectionLevel::kApplication: return "application";
+    case ProtectionLevel::kLibrary: return "library";
+    case ProtectionLevel::kKernel: return "kernel";
+    case ProtectionLevel::kIntegrated: return "integrated";
+  }
+  return "?";
+}
+
+ProtectionProfile make_profile(ProtectionLevel level, std::size_t mem_bytes) {
+  ProtectionProfile p;
+  p.level = level;
+  p.kernel.mem_bytes = mem_bytes;
+  switch (level) {
+    case ProtectionLevel::kNone:
+      break;
+    case ProtectionLevel::kApplication:
+      // The app calls RSA_memory_align itself and "ensures the key is not
+      // explicitly copied by the application or any involved libraries"
+      // (paper §4), which in OpenSSL terms is the clear-free discipline.
+      p.align_at_load = true;
+      p.ssl.clear_temporaries = true;
+      p.ssh_no_reexec = true;  // the -r requirement
+      break;
+    case ProtectionLevel::kLibrary:
+      p.ssl.auto_align = true;
+      p.ssl.clear_temporaries = true;
+      p.ssh_no_reexec = true;
+      break;
+    case ProtectionLevel::kKernel:
+      p.kernel.zero_on_free = true;
+      break;
+    case ProtectionLevel::kIntegrated:
+      p.ssl.auto_align = true;
+      p.ssl.clear_temporaries = true;
+      p.ssl.open_keys_nocache = true;
+      p.kernel.zero_on_free = true;
+      p.kernel.o_nocache_supported = true;
+      p.ssh_no_reexec = true;
+      break;
+  }
+  return p;
+}
+
+servers::SshConfig ssh_config(const ProtectionProfile& profile, std::string key_path) {
+  servers::SshConfig cfg;
+  cfg.key_path = std::move(key_path);
+  cfg.ssl = profile.ssl;
+  cfg.align_at_load = profile.align_at_load;
+  cfg.no_reexec = profile.ssh_no_reexec;
+  return cfg;
+}
+
+servers::ApacheConfig apache_config(const ProtectionProfile& profile, std::string key_path) {
+  servers::ApacheConfig cfg;
+  cfg.key_path = std::move(key_path);
+  cfg.ssl = profile.ssl;
+  cfg.align_at_load = profile.align_at_load;
+  return cfg;
+}
+
+}  // namespace keyguard::core

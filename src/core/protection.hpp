@@ -1,0 +1,62 @@
+// The paper's §4 countermeasure taxonomy, as deployable configuration.
+//
+// Each ProtectionLevel maps to the exact patch set the paper evaluates:
+//
+//   kNone        — stock kernel, stock OpenSSL, stock server.
+//   kApplication — the server calls RSA_memory_align() right after loading
+//                  its key (authfile.c / mod_ssl patches) and follows the
+//                  "no key copies" discipline; OpenSSH must run with -r.
+//   kLibrary     — OpenSSL's d2i_PrivateKey() aligns automatically, with
+//                  BN_clear_free discipline for key-bearing temporaries;
+//                  every linking application is covered.
+//   kKernel      — pages are cleared when freed (free_hot_cold_page /
+//                  zap_pte_range patches); unallocated memory never holds
+//                  keys, but allocated-memory duplication is untouched.
+//   kIntegrated  — library + kernel + O_NOCACHE: exactly one copy of the
+//                  key (the aligned, mlocked page) in all of physical
+//                  memory. The paper's recommended configuration.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "servers/apache_server.hpp"
+#include "servers/ssh_server.hpp"
+#include "sim/kernel.hpp"
+#include "sslsim/ssl_library.hpp"
+
+namespace keyguard::core {
+
+enum class ProtectionLevel {
+  kNone,
+  kApplication,
+  kLibrary,
+  kKernel,
+  kIntegrated,
+};
+
+inline constexpr std::array<ProtectionLevel, 5> kAllProtectionLevels = {
+    ProtectionLevel::kNone, ProtectionLevel::kApplication, ProtectionLevel::kLibrary,
+    ProtectionLevel::kKernel, ProtectionLevel::kIntegrated};
+
+std::string_view protection_name(ProtectionLevel level);
+
+/// The full patch set for one level.
+struct ProtectionProfile {
+  ProtectionLevel level = ProtectionLevel::kNone;
+  sim::KernelConfig kernel;   // zero_on_free / o_nocache_supported
+  sslsim::SslConfig ssl;      // auto_align / clear_temporaries / O_NOCACHE use
+  bool align_at_load = false; // application-level RSA_memory_align call
+  bool ssh_no_reexec = false; // sshd -r (required by the app-level fix)
+};
+
+/// Builds the profile for a level over `mem_bytes` of simulated RAM.
+ProtectionProfile make_profile(ProtectionLevel level, std::size_t mem_bytes);
+
+/// Server configurations carrying the profile's measures.
+servers::SshConfig ssh_config(const ProtectionProfile& profile,
+                              std::string key_path = "/etc/ssh/ssh_host_rsa_key");
+servers::ApacheConfig apache_config(const ProtectionProfile& profile,
+                                    std::string key_path = "/etc/apache2/ssl/server.key");
+
+}  // namespace keyguard::core

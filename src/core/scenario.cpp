@@ -1,0 +1,26 @@
+#include "core/scenario.hpp"
+
+#include "util/bytes.hpp"
+
+namespace keyguard::core {
+
+Scenario::Scenario(ScenarioConfig cfg)
+    : cfg_(cfg),
+      profile_(make_profile(cfg.level, cfg.mem_bytes)),
+      key_([&] {
+        util::Rng key_rng(cfg.seed * 0x9e3779b97f4a7c15ULL + 0x5DEECE66DULL);
+        return crypto::generate_rsa_key(key_rng, cfg.key_bits);
+      }()),
+      pem_(crypto::pem_encode_private_key(key_)),
+      kernel_(std::make_unique<sim::Kernel>(profile_.kernel, cfg.seed)),
+      scanner_(key_),
+      seed_rng_(cfg.seed ^ 0xabcdef0123456789ULL) {
+  kernel_->vfs().write_file(kSshKeyPath, util::to_bytes(pem_));
+  kernel_->vfs().write_file(kApacheKeyPath, util::to_bytes(pem_));
+}
+
+void Scenario::precache_key_file(const std::string& path) {
+  kernel_->page_cache().populate(path, util::as_bytes(pem_));
+}
+
+}  // namespace keyguard::core

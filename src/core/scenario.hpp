@@ -1,0 +1,62 @@
+// One ready-to-run experiment machine: kernel + RSA key on disk + scanner,
+// configured for a protection level. Benches, examples and integration
+// tests all start from here.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/protection.hpp"
+#include "crypto/pem.hpp"
+#include "scan/key_scanner.hpp"
+
+namespace keyguard::core {
+
+struct ScenarioConfig {
+  ProtectionLevel level = ProtectionLevel::kNone;
+  std::size_t mem_bytes = 64ull << 20;
+  std::size_t key_bits = 1024;  // the paper's |P| = |Q| = 512
+  std::uint64_t seed = 1;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+
+  sim::Kernel& kernel() noexcept { return *kernel_; }
+  const crypto::RsaPrivateKey& key() const noexcept { return key_; }
+  const std::string& pem() const noexcept { return pem_; }
+  const ProtectionProfile& profile() const noexcept { return profile_; }
+  const scan::KeyScanner& scanner() const noexcept { return scanner_; }
+  const ScenarioConfig& config() const noexcept { return cfg_; }
+
+  /// Fresh deterministic stream for workload decisions, derived from the
+  /// scenario seed.
+  util::Rng make_rng() { return seed_rng_.split(); }
+
+  servers::SshConfig ssh_config() const { return core::ssh_config(profile_, kSshKeyPath); }
+  servers::ApacheConfig apache_config() const {
+    return core::apache_config(profile_, kApacheKeyPath);
+  }
+
+  /// Models the paper's t=0 observation: the filesystem (Reiser) had
+  /// already pulled the key file into the page cache before the server
+  /// even started. The protected configurations instead "store the
+  /// PEM-encoded file on an ext2 file system" to avoid that, so call this
+  /// only for baseline runs.
+  void precache_key_file(const std::string& path);
+
+  static constexpr const char* kSshKeyPath = "/etc/ssh/ssh_host_rsa_key";
+  static constexpr const char* kApacheKeyPath = "/etc/apache2/ssl/server.key";
+
+ private:
+  ScenarioConfig cfg_;
+  ProtectionProfile profile_;
+  crypto::RsaPrivateKey key_;
+  std::string pem_;
+  std::unique_ptr<sim::Kernel> kernel_;
+  scan::KeyScanner scanner_;
+  util::Rng seed_rng_;
+};
+
+}  // namespace keyguard::core

@@ -1,0 +1,51 @@
+// STL allocator that scrubs memory on deallocation.
+//
+// Containers of secrets (session keys, passphrases, decrypted blobs) leak
+// through reallocation: vector growth and string SSO copies leave old
+// bytes behind. SecureAllocator guarantees that every block it returns to
+// the system is zeroed first — the library-level "clear on free"
+// discipline from the paper, packaged for std containers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/secure_zero.hpp"
+
+namespace keyguard::secure {
+
+template <typename T>
+class SecureAllocator {
+ public:
+  using value_type = T;
+
+  SecureAllocator() noexcept = default;
+  template <typename U>
+  SecureAllocator(const SecureAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    secure_zero(p, n * sizeof(T));
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const SecureAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Byte vector that scrubs on destruction/reallocation.
+using SecureBytes = std::vector<std::byte, SecureAllocator<std::byte>>;
+
+/// String that scrubs on destruction/reallocation. Note: short strings may
+/// live in the SSO buffer on the stack, which this cannot scrub — prefer
+/// SecureBytes for key material.
+using SecureString =
+    std::basic_string<char, std::char_traits<char>, SecureAllocator<char>>;
+
+}  // namespace keyguard::secure

@@ -1,0 +1,102 @@
+#include "core/secure_buffer.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "core/secure_zero.hpp"
+
+namespace keyguard::secure {
+namespace {
+
+constexpr std::byte kCanaryByte{0xC5};
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_to_pages(std::size_t n) {
+  const std::size_t ps = page_size();
+  return (n + ps - 1) / ps * ps;
+}
+
+}  // namespace
+
+SecureBuffer::SecureBuffer(std::size_t size) : size_(size) {
+  // Page-rounded backing; the tail past `size` is canary space.
+  alloc_size_ = round_to_pages(size == 0 ? 1 : size);
+  base_ = static_cast<std::byte*>(
+      ::operator new(alloc_size_, std::align_val_t{page_size()}));
+  begin_ = base_;
+  secure_zero(base_, alloc_size_);
+  for (std::size_t i = size_; i < alloc_size_; ++i) base_[i] = kCanaryByte;
+
+  // Pin against swap (the paper: memory that is swapped out is not
+  // promptly cleared, and swap persists across reboots).
+  locked_ = ::mlock(base_, alloc_size_) == 0;
+#ifdef MADV_DONTDUMP
+  // Keep the key out of core dumps as well.
+  ::madvise(base_, alloc_size_, MADV_DONTDUMP);
+#endif
+}
+
+SecureBuffer::~SecureBuffer() { release(); }
+
+SecureBuffer::SecureBuffer(SecureBuffer&& other) noexcept
+    : base_(other.base_),
+      begin_(other.begin_),
+      size_(other.size_),
+      alloc_size_(other.alloc_size_),
+      locked_(other.locked_) {
+  other.base_ = nullptr;
+  other.begin_ = nullptr;
+  other.size_ = 0;
+  other.alloc_size_ = 0;
+  other.locked_ = false;
+}
+
+SecureBuffer& SecureBuffer::operator=(SecureBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    base_ = other.base_;
+    begin_ = other.begin_;
+    size_ = other.size_;
+    alloc_size_ = other.alloc_size_;
+    locked_ = other.locked_;
+    other.base_ = nullptr;
+    other.begin_ = nullptr;
+    other.size_ = 0;
+    other.alloc_size_ = 0;
+    other.locked_ = false;
+  }
+  return *this;
+}
+
+bool SecureBuffer::canary_intact() const noexcept {
+  if (base_ == nullptr) return true;
+  for (std::size_t i = size_; i < alloc_size_; ++i) {
+    if (base_[i] != kCanaryByte) return false;
+  }
+  return true;
+}
+
+void SecureBuffer::scrub() noexcept {
+  if (base_ != nullptr) secure_zero(begin_, size_);
+}
+
+void SecureBuffer::release() noexcept {
+  if (base_ == nullptr) return;
+  secure_zero(base_, alloc_size_);
+  if (locked_) ::munlock(base_, alloc_size_);
+  ::operator delete(base_, std::align_val_t{page_size()});
+  base_ = nullptr;
+  begin_ = nullptr;
+  size_ = 0;
+  alloc_size_ = 0;
+  locked_ = false;
+}
+
+}  // namespace keyguard::secure

@@ -1,0 +1,57 @@
+// Page-aligned, mlock'd, zero-on-destroy key storage for real processes.
+//
+// This is RSA_memory_align() as a reusable host-side primitive: one
+// page-aligned region (posix_memalign in the paper, aligned operator new
+// here), pinned against swap with mlock(), guarded by canaries, and
+// scrubbed with secure_zero before release. Keep a key in exactly one
+// SecureBuffer, never copy it out, and fork freely: as long as nobody
+// writes to the pages, copy-on-write keeps the key physically single.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace keyguard::secure {
+
+class SecureBuffer {
+ public:
+  /// Allocates `size` usable bytes (page-aligned start, page-granular
+  /// backing, canaries outside the usable range). Attempts mlock; when the
+  /// RLIMIT_MEMLOCK budget is exhausted the buffer still works but
+  /// locked() reports false.
+  explicit SecureBuffer(std::size_t size);
+
+  /// Verifies canaries (abort-free: result readable via canary_intact
+  /// beforehand), scrubs every byte, munlocks, releases.
+  ~SecureBuffer();
+
+  SecureBuffer(const SecureBuffer&) = delete;
+  SecureBuffer& operator=(const SecureBuffer&) = delete;
+  SecureBuffer(SecureBuffer&& other) noexcept;
+  SecureBuffer& operator=(SecureBuffer&& other) noexcept;
+
+  std::span<std::byte> data() noexcept { return {begin_, size_}; }
+  std::span<const std::byte> data() const noexcept { return {begin_, size_}; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// True when mlock() succeeded (pages pinned out of swap).
+  bool locked() const noexcept { return locked_; }
+
+  /// True while the guard bytes after the usable range are unclobbered.
+  bool canary_intact() const noexcept;
+
+  /// Explicit early scrub (the buffer stays usable, contents zeroed).
+  void scrub() noexcept;
+
+ private:
+  void release() noexcept;
+
+  std::byte* base_ = nullptr;   // page-aligned allocation start
+  std::byte* begin_ = nullptr;  // usable range start (== base_)
+  std::size_t size_ = 0;        // usable bytes
+  std::size_t alloc_size_ = 0;  // page-rounded backing size
+  bool locked_ = false;
+};
+
+}  // namespace keyguard::secure

@@ -1,0 +1,78 @@
+#include "core/secure_rsa.hpp"
+
+#include <cstring>
+
+
+namespace keyguard::secure {
+
+using bn::Bignum;
+
+namespace {
+
+std::vector<std::byte> le_bytes(const Bignum& v) { return v.to_bytes_le(); }
+
+}  // namespace
+
+SecureRsaKey SecureRsaKey::from_key(const crypto::RsaPrivateKey& key) {
+  const std::vector<std::byte> parts[8] = {
+      le_bytes(key.n),    le_bytes(key.e),    le_bytes(key.d),
+      le_bytes(key.p),    le_bytes(key.q),    le_bytes(key.dmp1),
+      le_bytes(key.dmq1), le_bytes(key.iqmp)};
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+
+  SecureRsaKey out;
+  out.buf_ = SecureBuffer(total);
+  auto dst = out.buf_.data();
+  std::size_t cursor = 0;
+  std::size_t offsets[8];
+  std::size_t lengths[8];
+  for (int i = 0; i < 8; ++i) {
+    offsets[i] = cursor;
+    lengths[i] = parts[i].size();
+    std::memcpy(dst.data() + cursor, parts[i].data(), parts[i].size());
+    cursor += parts[i].size();
+  }
+  out.layout_ = {offsets[0], offsets[1], offsets[2], offsets[3], offsets[4],
+                 offsets[5], offsets[6], offsets[7], lengths[0], lengths[1],
+                 lengths[2], lengths[3], lengths[4], lengths[5], lengths[6],
+                 lengths[7]};
+  return out;
+}
+
+SecureRsaKey SecureRsaKey::from_key_scrubbing(crypto::RsaPrivateKey& key) {
+  SecureRsaKey out = from_key(key);
+  // Destroy the caller's plain copies of everything secret.
+  key.scrub_private_parts();
+  return out;
+}
+
+Bignum SecureRsaKey::read(std::size_t offset, std::size_t len) const {
+  return Bignum::from_bytes_le(buf_.data().subspan(offset, len));
+}
+
+crypto::RsaPublicKey SecureRsaKey::public_key() const {
+  return {read(layout_.n, layout_.n_len), read(layout_.e, layout_.e_len)};
+}
+
+Bignum SecureRsaKey::decrypt(const Bignum& c) const {
+  const Bignum p = read(layout_.p, layout_.p_len);
+  const Bignum q = read(layout_.q, layout_.q_len);
+  const Bignum dmp1 = read(layout_.dmp1, layout_.dmp1_len);
+  const Bignum dmq1 = read(layout_.dmq1, layout_.dmq1_len);
+  const Bignum iqmp = read(layout_.iqmp, layout_.iqmp_len);
+
+  const Bignum m1 = Bignum::mod_exp(c % p, dmp1, p);
+  const Bignum m2 = Bignum::mod_exp(c % q, dmq1, q);
+  Bignum diff;
+  if (m1 >= m2) {
+    diff = m1 - m2;
+  } else {
+    diff = p - ((m2 - m1) % p);
+    if (diff == p) diff = Bignum{};
+  }
+  const Bignum h = (iqmp * diff) % p;
+  return m2 + h * q;
+}
+
+}  // namespace keyguard::secure

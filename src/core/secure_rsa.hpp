@@ -1,0 +1,66 @@
+// Host-side RSA private key with single-copy custody.
+//
+// The paper's RSA_memory_align as a complete, usable object: all six CRT
+// parts live in ONE SecureBuffer (page-aligned, mlocked, canaried,
+// zero-on-destroy), laid out exactly like the aligned page the patched
+// OpenSSL builds. Construction scrubs nothing it does not own — use
+// from_key_scrubbing to also destroy the caller's plain copy. Private
+// operations read the limbs straight out of the buffer; no part of the
+// key is ever copied into ordinary heap memory by this class.
+//
+// fork() safety: the buffer is never written after construction, so
+// copy-on-write keeps the key physically single across any number of
+// children — the same guarantee the simulated defense demonstrates.
+#pragma once
+
+#include <optional>
+
+#include "core/secure_buffer.hpp"
+#include "crypto/rsa.hpp"
+
+namespace keyguard::secure {
+
+class SecureRsaKey {
+ public:
+  /// Copies the six private parts (d, p, q, dmp1, dmq1, iqmp) plus n and e
+  /// into one SecureBuffer. The source key is left untouched.
+  static SecureRsaKey from_key(const crypto::RsaPrivateKey& key);
+
+  /// Same, then secure-zeroes every limb of the caller's copy (the
+  /// RSA_memory_align move: afterwards this object holds the only copy).
+  static SecureRsaKey from_key_scrubbing(crypto::RsaPrivateKey& key);
+
+  SecureRsaKey(SecureRsaKey&&) noexcept = default;
+  SecureRsaKey& operator=(SecureRsaKey&&) noexcept = default;
+
+  /// Public half (safe to copy around).
+  crypto::RsaPublicKey public_key() const;
+
+  /// m = c^d mod n via CRT, reading the key material from the secure
+  /// buffer for exactly the duration of the operation.
+  bn::Bignum decrypt(const bn::Bignum& c) const;
+
+  /// Raw signature (identical math to decrypt; see RsaPrivateKey).
+  bn::Bignum sign(const bn::Bignum& m) const { return decrypt(m); }
+
+  /// True when the buffer's pages are pinned against swap.
+  bool locked() const noexcept { return buf_.locked(); }
+  bool canary_intact() const noexcept { return buf_.canary_intact(); }
+  std::size_t footprint_bytes() const noexcept { return buf_.size(); }
+
+ private:
+  SecureRsaKey() : buf_(0) {}
+
+  // Byte offsets of each part inside the buffer.
+  struct Layout {
+    std::size_t n = 0, e = 0, d = 0, p = 0, q = 0, dmp1 = 0, dmq1 = 0, iqmp = 0;
+    std::size_t n_len = 0, e_len = 0, d_len = 0, p_len = 0, q_len = 0, dmp1_len = 0,
+                dmq1_len = 0, iqmp_len = 0;
+  };
+  bn::Bignum read(std::size_t offset, std::size_t len) const;
+
+  SecureBuffer buf_;
+  Layout layout_;
+};
+
+}  // namespace keyguard::secure

@@ -1,0 +1,26 @@
+#include "core/secure_zero.hpp"
+
+namespace keyguard::secure {
+
+void secure_zero(void* p, std::size_t n) noexcept {
+  // Volatile qualification forces every store to be emitted; the barrier
+  // keeps the whole sequence ordered with respect to whatever frees or
+  // reuses the memory afterwards.
+  volatile unsigned char* vp = static_cast<volatile unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) vp[i] = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : : "r"(p) : "memory");
+#endif
+}
+
+bool constant_time_equal(std::span<const std::byte> a,
+                         std::span<const std::byte> b) noexcept {
+  if (a.size() != b.size()) return false;
+  unsigned char acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<unsigned char>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+}  // namespace keyguard::secure

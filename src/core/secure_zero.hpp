@@ -1,0 +1,30 @@
+// Guaranteed zeroization.
+//
+// A plain memset before free() is routinely elided by optimizing compilers
+// (dead-store elimination) — one of the reasons the "clear sensitive data
+// promptly" best practice the paper cites was so rarely effective in
+// shipped binaries. secure_zero() writes through a volatile pointer and
+// ends with a compiler barrier, so the stores cannot be removed. This is
+// the host-side primitive backing everything in keyguard::secure
+// (equivalent in intent to memset_s / explicit_bzero / OPENSSL_cleanse).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace keyguard::secure {
+
+/// Zeroes [p, p+n) with stores the optimizer cannot elide.
+void secure_zero(void* p, std::size_t n) noexcept;
+
+/// Span convenience.
+inline void secure_zero(std::span<std::byte> s) noexcept {
+  secure_zero(s.data(), s.size());
+}
+
+/// Constant-time comparison (no early exit on first mismatch), for
+/// comparing secrets without a timing side channel.
+bool constant_time_equal(std::span<const std::byte> a,
+                         std::span<const std::byte> b) noexcept;
+
+}  // namespace keyguard::secure

@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for key fingerprints, deterministic session-key derivation in the
+// simulated handshakes, and content digests in tests.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace keyguard::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::byte, kDigestSize>;
+
+  Sha256();
+
+  /// Absorbs more input; may be called repeatedly.
+  void update(std::span<const std::byte> data);
+
+  /// Finalizes and returns the digest; the object must not be reused after.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::byte> data);
+
+  /// One-shot over a string.
+  static Digest hash_str(std::string_view s);
+
+ private:
+  void compress(const std::byte* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::byte, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Hex rendering of a digest.
+std::string digest_hex(const Sha256::Digest& d);
+
+}  // namespace keyguard::crypto

@@ -1,0 +1,63 @@
+#include "scan/key_hunter.hpp"
+
+#include <algorithm>
+
+namespace keyguard::scan {
+
+using bn::Bignum;
+
+KeyHunter::KeyHunter(crypto::RsaPublicKey public_key)
+    : pub_(std::move(public_key)), factor_bytes_(pub_.modulus_bits() / 2 / 8) {}
+
+std::vector<KeyHunter::Hit> KeyHunter::hunt(std::span<const std::byte> dump,
+                                            std::size_t stride) const {
+  std::vector<Hit> hits;
+  if (dump.size() < factor_bytes_ || stride == 0) return hits;
+  const std::size_t prime_bits = pub_.modulus_bits() / 2;
+
+  for (std::size_t off = 0; off + factor_bytes_ <= dump.size(); off += stride) {
+    // Cheap filters first: a prime factor is odd (low byte LSB set, since
+    // the image is little-endian) and has its top bit set (exact length).
+    if ((std::to_integer<unsigned>(dump[off]) & 1u) == 0) continue;
+    const auto top = std::to_integer<unsigned>(dump[off + factor_bytes_ - 1]);
+    if ((top & 0x80u) == 0) continue;
+    // RSA primes from standard keygen also have the second bit set (so
+    // P*Q reaches full length); using it quarters the divisions and does
+    // not lose standard-form keys.
+    if ((top & 0x40u) == 0) continue;
+
+    const Bignum candidate = Bignum::from_bytes_le(dump.subspan(off, factor_bytes_));
+    if (candidate.bit_length() != prime_bits) continue;
+    if (candidate.is_zero() || candidate == pub_.n) continue;
+    if ((pub_.n % candidate).is_zero()) {
+      hits.push_back({off, candidate});
+    }
+  }
+  return hits;
+}
+
+std::optional<crypto::RsaPrivateKey> KeyHunter::reconstruct(const Bignum& factor) const {
+  if (factor.is_zero() || !(pub_.n % factor).is_zero()) return std::nullopt;
+  const Bignum one(1);
+  crypto::RsaPrivateKey key;
+  key.n = pub_.n;
+  key.e = pub_.e;
+  key.p = factor;
+  key.q = pub_.n / factor;
+  if (key.p < key.q) std::swap(key.p, key.q);  // conventional p > q
+  const Bignum p1 = key.p - one;
+  const Bignum q1 = key.q - one;
+  const Bignum g = Bignum::gcd(p1, q1);
+  const Bignum lcm = (p1 / g) * q1;
+  const auto d = Bignum::mod_inverse(key.e, lcm);
+  if (!d) return std::nullopt;
+  key.d = *d;
+  key.dmp1 = key.d % p1;
+  key.dmq1 = key.d % q1;
+  const auto iqmp = Bignum::mod_inverse(key.q, key.p);
+  if (!iqmp) return std::nullopt;
+  key.iqmp = *iqmp;
+  return key;
+}
+
+}  // namespace keyguard::scan

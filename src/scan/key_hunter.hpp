@@ -1,0 +1,54 @@
+// Key recovery with PUBLIC knowledge only.
+//
+// The paper's scanner knows the private key (it is a measurement tool). A
+// real attacker does not — but does know the server's PUBLIC key (it is
+// handed out in every handshake), and that is enough: any 512-bit window
+// of a memory dump that divides N exactly IS the prime P (or Q), and from
+// one prime the whole CRT private key reconstructs in milliseconds. This
+// turns every "copies found" number in the evaluation into an actual key
+// compromise, closing the loop on the paper's threat model ("disclosure of
+// any of them immediately leads to the compromise of the private key").
+//
+// The hunt slides a window of |N|/2 bytes over the dump at BN_ULONG (8
+// byte) alignment — the alignment malloc gives OpenSSL's limb arrays — and
+// trial-divides N by each candidate that passes cheap filters (odd, exact
+// bit length).
+#pragma once
+
+#include <vector>
+
+#include "crypto/rsa.hpp"
+
+namespace keyguard::scan {
+
+class KeyHunter {
+ public:
+  explicit KeyHunter(crypto::RsaPublicKey public_key);
+
+  struct Hit {
+    std::size_t offset = 0;  ///< where in the dump the factor lay
+    bn::Bignum factor;       ///< P or Q
+  };
+
+  /// Scans `dump` for prime factors of N. `stride` is the candidate
+  /// alignment in bytes (8 matches BN_ULONG arrays; 1 finds unaligned
+  /// copies at 8x the cost).
+  std::vector<Hit> hunt(std::span<const std::byte> dump, std::size_t stride = 8) const;
+
+  /// True when the dump compromises the key.
+  bool compromises(std::span<const std::byte> dump, std::size_t stride = 8) const {
+    return !hunt(dump, stride).empty();
+  }
+
+  /// Rebuilds the full CRT private key from one recovered factor.
+  /// Returns nullopt if `factor` does not actually divide N.
+  std::optional<crypto::RsaPrivateKey> reconstruct(const bn::Bignum& factor) const;
+
+  const crypto::RsaPublicKey& public_key() const noexcept { return pub_; }
+
+ private:
+  crypto::RsaPublicKey pub_;
+  std::size_t factor_bytes_;  // |N|/2 in bytes
+};
+
+}  // namespace keyguard::scan

@@ -1,0 +1,158 @@
+#include "scan/key_scanner.hpp"
+
+#include <algorithm>
+
+#include "crypto/pem.hpp"
+#include "sslsim/ssl_library.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::scan {
+
+namespace {
+
+std::string describe_match(const sim::Kernel& kernel, const MemoryMatch& m) {
+  switch (m.state) {
+    case sim::FrameState::kFree:
+      return "unallocated residue";
+    case sim::FrameState::kPageCache:
+      return "page cache";
+    case sim::FrameState::kKernel:
+      return "kernel buffer";
+    case sim::FrameState::kUserAnon:
+      break;
+  }
+  // Resolve through the first owning process's address space.
+  for (const auto pid : m.owners) {
+    const auto* proc = kernel.find_process(pid);
+    if (proc == nullptr) continue;
+    const auto vpage = kernel.virt_of_frame(*proc, m.frame);
+    if (!vpage) continue;
+    const auto desc =
+        kernel.describe_address(*proc, *vpage + m.phys_offset % sim::kPageSize);
+    if (desc) return *desc;
+  }
+  return "user memory";
+}
+
+}  // namespace
+
+KeyPatterns KeyPatterns::from_key(const crypto::RsaPrivateKey& key) {
+  KeyPatterns out;
+  out.patterns.push_back({"d", sslsim::SslLibrary::limb_image(key.d)});
+  out.patterns.push_back({"P", sslsim::SslLibrary::limb_image(key.p)});
+  out.patterns.push_back({"Q", sslsim::SslLibrary::limb_image(key.q)});
+  out.patterns.push_back({"PEM", util::to_bytes(crypto::pem_encode_private_key(key))});
+  return out;
+}
+
+std::vector<MemoryMatch> KeyScanner::scan_kernel(const sim::Kernel& kernel) const {
+  std::vector<MemoryMatch> matches;
+  const auto memory = kernel.memory().all();
+  for (const auto& pattern : patterns_.patterns) {
+    if (pattern.bytes.empty()) continue;
+    for (const std::size_t offset : util::find_all(memory, pattern.bytes)) {
+      MemoryMatch m;
+      m.phys_offset = offset;
+      m.part = pattern.name;
+      m.frame = static_cast<sim::FrameNumber>(offset / sim::kPageSize);
+      m.state = kernel.allocator().state(m.frame);
+      m.owners = kernel.frame_owners(m.frame);
+      m.provenance = describe_match(kernel, m);
+      matches.push_back(std::move(m));
+    }
+  }
+  // Physical-address order, like the LKM's linear walk.
+  std::sort(matches.begin(), matches.end(),
+            [](const MemoryMatch& a, const MemoryMatch& b) {
+              return a.phys_offset < b.phys_offset;
+            });
+  return matches;
+}
+
+std::vector<CaptureMatch> KeyScanner::scan_capture(
+    std::span<const std::byte> capture) const {
+  std::vector<CaptureMatch> matches;
+  for (const auto& pattern : patterns_.patterns) {
+    if (pattern.bytes.empty()) continue;
+    for (const std::size_t offset : util::find_all(capture, pattern.bytes)) {
+      matches.push_back({offset, pattern.name});
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const CaptureMatch& a, const CaptureMatch& b) {
+              return a.offset < b.offset;
+            });
+  return matches;
+}
+
+std::vector<PartialMatch> KeyScanner::scan_capture_prefix(
+    std::span<const std::byte> capture, std::size_t min_bytes) const {
+  std::vector<PartialMatch> matches;
+  for (const auto& pattern : patterns_.patterns) {
+    if (pattern.bytes.size() < min_bytes) continue;
+    const auto prefix = std::span<const std::byte>(pattern.bytes).first(min_bytes);
+    for (const std::size_t offset : util::find_all(capture, prefix)) {
+      // Extend the match as far as the pattern keeps agreeing.
+      std::size_t len = min_bytes;
+      while (len < pattern.bytes.size() && offset + len < capture.size() &&
+             capture[offset + len] == pattern.bytes[len]) {
+        ++len;
+      }
+      matches.push_back(
+          {offset, pattern.name, len, len == pattern.bytes.size()});
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const PartialMatch& a, const PartialMatch& b) {
+              return a.offset < b.offset;
+            });
+  return matches;
+}
+
+std::vector<ProcessMatch> KeyScanner::scan_process(const sim::Kernel& kernel,
+                                                   const sim::Process& process) const {
+  // Reassemble the resident image the way a core dump would: contiguous
+  // virtual runs of resident pages, scanned run by run so patterns that
+  // span adjacent virtual pages are found even when their frames are
+  // physically scattered.
+  std::vector<ProcessMatch> matches;
+  const auto& pt = process.page_table();
+  auto it = pt.begin();
+  std::vector<std::byte> run;
+  while (it != pt.end()) {
+    run.clear();
+    const sim::VirtAddr start = it->first;
+    sim::VirtAddr expected = start;
+    while (it != pt.end() && it->first == expected && !it->second.swapped) {
+      const auto page = kernel.memory().page(it->second.frame);
+      run.insert(run.end(), page.begin(), page.end());
+      expected += sim::kPageSize;
+      ++it;
+    }
+    if (it != pt.end() && it->first == expected) ++it;  // swapped page: skip
+    for (const auto& pattern : patterns_.patterns) {
+      for (const std::size_t off : util::find_all(run, pattern.bytes)) {
+        matches.push_back({start + off, pattern.name});
+      }
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const ProcessMatch& a, const ProcessMatch& b) {
+              return a.vaddr < b.vaddr;
+            });
+  return matches;
+}
+
+Census KeyScanner::census(const std::vector<MemoryMatch>& matches) {
+  Census c;
+  for (const auto& m : matches) {
+    if (m.allocated()) {
+      ++c.allocated;
+    } else {
+      ++c.unallocated;
+    }
+  }
+  return c;
+}
+
+}  // namespace keyguard::scan

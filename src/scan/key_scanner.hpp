@@ -1,0 +1,125 @@
+// Reproduction of the paper's `scanmemory` loadable kernel module.
+//
+// scanmemory walked physical memory linearly looking for copies of the
+// private key — the CRT parts d, P, Q as BN_ULONG (little-endian limb)
+// arrays, plus the PEM-encoded key file text — and, for every hit, used
+// the 2.6 reverse mapping to report which processes own the page and
+// whether the frame is allocated at all. This class does the same over a
+// sim::Kernel, and can also scan raw attack captures (the bytes the ext2
+// or n_tty exploits disclosed).
+//
+// Like the LKM (first machine word compared, then the tail), the scan uses
+// a first-byte filter (memchr) before the full compare; complexity is
+// O(memory size), matching the paper's "about 5 seconds for 256 MB".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.hpp"
+#include "sim/kernel.hpp"
+
+namespace keyguard::scan {
+
+/// The byte patterns whose disclosure compromises the key (paper §2:
+/// "we call any appearance of any of them a copy of the private key").
+struct KeyPatterns {
+  struct Pattern {
+    std::string name;              ///< "d", "P", "Q", "PEM"
+    std::vector<std::byte> bytes;  ///< exact needle
+  };
+  std::vector<Pattern> patterns;
+
+  /// Builds the four needles from a key: limb images of d, P, Q and the
+  /// PEM text of the whole key.
+  static KeyPatterns from_key(const crypto::RsaPrivateKey& key);
+};
+
+/// A hit in simulated physical memory.
+struct MemoryMatch {
+  std::size_t phys_offset = 0;   ///< byte address in physical memory
+  std::string part;              ///< which pattern matched
+  sim::FrameNumber frame = 0;    ///< frame containing the first byte
+  sim::FrameState state{};       ///< allocated class at scan time
+  std::vector<sim::Pid> owners;  ///< live processes mapping the frame
+  /// What this copy IS — "RSA bignum p (live)", "BN_MONT_CTX modulus copy
+  /// (freed)", "rsa_aligned mapping [mlocked]", "page cache", "unallocated
+  /// residue" — the paper's §3 explanation of why copies flood memory.
+  std::string provenance;
+
+  bool allocated() const noexcept { return state != sim::FrameState::kFree; }
+};
+
+/// A hit inside an attack capture buffer.
+struct CaptureMatch {
+  std::size_t offset = 0;
+  std::string part;
+};
+
+/// A prefix match (the LKM's partial-match path: first word equal, then as
+/// many following words as compare equal, reported when >= MIN words).
+/// Partial matches arise when a key image straddles two physically
+/// non-adjacent pages — the scan sees only the first fragment.
+struct PartialMatch {
+  std::size_t offset = 0;
+  std::string part;
+  std::size_t matched_bytes = 0;
+  bool full = false;
+};
+
+/// A hit inside one process's virtual address space (core-dump view).
+struct ProcessMatch {
+  sim::VirtAddr vaddr = 0;
+  std::string part;
+};
+
+/// Allocated/unallocated split of a scan (the paper's light/dark bars).
+struct Census {
+  std::size_t allocated = 0;
+  std::size_t unallocated = 0;
+  std::size_t total() const noexcept { return allocated + unallocated; }
+};
+
+class KeyScanner {
+ public:
+  explicit KeyScanner(KeyPatterns patterns) : patterns_(std::move(patterns)) {}
+
+  /// Builds the scanner for a key directly.
+  explicit KeyScanner(const crypto::RsaPrivateKey& key)
+      : KeyScanner(KeyPatterns::from_key(key)) {}
+
+  /// Full physical-memory scan with frame classification and reverse-map
+  /// owner attribution (scanmemory's procfile_read).
+  std::vector<MemoryMatch> scan_kernel(const sim::Kernel& kernel) const;
+
+  /// Scan of a disclosed byte buffer (what the attacker greps on the USB
+  /// stick / dump file).
+  std::vector<CaptureMatch> scan_capture(std::span<const std::byte> capture) const;
+
+  /// Number of distinct key copies in a capture (== matches; the paper
+  /// counts every appearance).
+  std::size_t count_copies(std::span<const std::byte> capture) const {
+    return scan_capture(capture).size();
+  }
+
+  /// Prefix matching like the LKM: report every location where at least
+  /// `min_bytes` of a pattern's prefix appears (the appendix code used
+  /// MIN = 5 32-bit words = 20 bytes). Full matches are flagged.
+  std::vector<PartialMatch> scan_capture_prefix(std::span<const std::byte> capture,
+                                                std::size_t min_bytes = 20) const;
+
+  /// Scans one process's resident virtual address space — what a core dump
+  /// or /proc/<pid>/mem disclosure of that process would reveal.
+  std::vector<ProcessMatch> scan_process(const sim::Kernel& kernel,
+                                         const sim::Process& process) const;
+
+  static Census census(const std::vector<MemoryMatch>& matches);
+
+  const KeyPatterns& patterns() const noexcept { return patterns_; }
+
+ private:
+  KeyPatterns patterns_;
+};
+
+}  // namespace keyguard::scan

@@ -1,0 +1,112 @@
+#include "servers/apache_server.hpp"
+
+#include <algorithm>
+
+#include "crypto/pem.hpp"
+
+namespace keyguard::servers {
+
+using bn::Bignum;
+
+ApacheServer::ApacheServer(sim::Kernel& kernel, ApacheConfig cfg, util::Rng rng)
+    : kernel_(kernel), cfg_(std::move(cfg)), rng_(rng), ssl_(kernel, cfg_.ssl) {}
+
+bool ApacheServer::start() {
+  if (master_ != nullptr) return true;
+  sim::Process& master = kernel_.spawn("apache2");
+  auto key = ssl_.load_private_key(master, cfg_.key_path);
+  if (!key) {
+    kernel_.exit_process(master);
+    return false;
+  }
+  if (cfg_.align_at_load && !ssl_.rsa_memory_align(master, *key)) {
+    kernel_.exit_process(master);
+    return false;
+  }
+  master_ = &master;
+  master_key_ = *key;
+  public_key_ = ssl_.read_key(master, *key).public_key();
+  for (int i = 0; i < cfg_.start_servers; ++i) spawn_worker();
+  return true;
+}
+
+void ApacheServer::stop() {
+  if (master_ == nullptr) return;
+  while (!workers_.empty()) reap_worker();
+  // Graceful shutdown: mod_ssl frees the server key (RSA_free clears the
+  // live BIGNUMs / aligned page). Workers are reaped first so the scrub
+  // cannot be diverted onto a COW copy.
+  ssl_.rsa_free(*master_, master_key_);
+  kernel_.exit_process(*master_);
+  master_ = nullptr;
+}
+
+sim::Pid ApacheServer::master_pid() const { return master_ ? master_->pid() : 0; }
+
+bool ApacheServer::spawn_worker() {
+  if (master_ == nullptr ||
+      workers_.size() >= static_cast<std::size_t>(cfg_.max_workers)) {
+    return false;
+  }
+  sim::Process& w = kernel_.fork(*master_, "apache2[worker]");
+  workers_.push_back(Worker{w.pid(), master_key_});
+  return true;
+}
+
+void ApacheServer::reap_worker() {
+  if (workers_.empty()) return;
+  // Reap the oldest worker (its heap — Montgomery caches of P and Q
+  // included — returns to the free pool uncleared on a stock kernel).
+  Worker victim = workers_.front();
+  workers_.pop_front();
+  if (auto* p = kernel_.find_process(victim.pid)) kernel_.exit_process(*p);
+  if (next_worker_ > 0) --next_worker_;
+}
+
+void ApacheServer::set_concurrency(int concurrency) {
+  if (master_ == nullptr) return;
+  const int want = std::clamp(concurrency + cfg_.spare_workers, cfg_.start_servers,
+                              cfg_.max_workers);
+  while (static_cast<int>(workers_.size()) < want) {
+    if (!spawn_worker()) break;
+  }
+  while (static_cast<int>(workers_.size()) > want) reap_worker();
+}
+
+bool ApacheServer::handle_request() {
+  if (master_ == nullptr || workers_.empty()) return false;
+  Worker& worker = workers_[next_worker_ % workers_.size()];
+  next_worker_ = (next_worker_ + 1) % workers_.size();
+  auto* proc = kernel_.find_process(worker.pid);
+  if (proc == nullptr || !proc->alive()) return false;
+
+  // Client side (remote machine, host math only).
+  std::vector<std::byte> secret(48);  // TLS premaster-secret size
+  rng_.fill_bytes(secret);
+  auto ciphertext = crypto::pad_encrypt(rng_, public_key_, secret);
+  if (!ciphertext) return false;
+
+  // Server side: CRT private op in the worker. First op per worker builds
+  // the cached Montgomery contexts (copies of P and Q) in ITS heap.
+  const Bignum plain = ssl_.rsa_private_op(*proc, worker.key, *ciphertext);
+  const auto block = plain.to_bytes_be(public_key_.modulus_bytes());
+  const std::vector<std::byte> tail(block.end() - static_cast<std::ptrdiff_t>(secret.size()),
+                                    block.end());
+  if (tail != secret) return false;
+
+  // Response body churns through a worker heap buffer.
+  if (cfg_.response_bytes > 0) {
+    const sim::VirtAddr buf =
+        kernel_.heap_alloc(*proc, cfg_.response_bytes, "HTTP response buffer");
+    if (buf != 0) {
+      std::vector<std::byte> body(cfg_.response_bytes);
+      rng_.fill_bytes(body);
+      kernel_.mem_write(*proc, buf, body);
+      kernel_.heap_free(*proc, buf);
+    }
+  }
+  ++handshakes_;
+  return true;
+}
+
+}  // namespace keyguard::servers

@@ -1,0 +1,92 @@
+// Simulated Apache 2.0 HTTP server with mod_ssl, prefork MPM.
+//
+// The paper's second case study. Behaviours that matter:
+//
+//   * The master parses the private key at configuration time
+//     (ssl_server_import_key), then pre-forks a pool of workers that all
+//     inherit the key pages copy-on-write.
+//   * Workers are LONG-LIVED and each handles many HTTPS connections. On a
+//     worker's first private op, OpenSSL (RSA_FLAG_CACHE_PRIVATE) builds
+//     Montgomery contexts for P and Q in the worker's heap — the write
+//     breaks COW, so every worker acquires its own physical copies of the
+//     primes. This is why the paper sees the copy count grow with load.
+//   * The prefork MPM grows the pool under load and reaps idle workers
+//     when load drops; reaped workers dump their heaps (Montgomery copies
+//     included) into unallocated memory — the paper's observation that
+//     stopping traffic INCREASES unallocated copies.
+//
+// The mod_ssl application-level patch is `align_at_load`; the library and
+// integrated levels arrive via SslConfig.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sslsim/ssl_library.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::servers {
+
+struct ApacheConfig {
+  std::string key_path = "/etc/apache2/ssl/server.key";
+  sslsim::SslConfig ssl;
+  /// mod_ssl patch: RSA_memory_align in ssl_server_import_key.
+  bool align_at_load = false;
+  /// Prefork StartServers.
+  int start_servers = 8;
+  /// Prefork MaxClients.
+  int max_workers = 64;
+  /// Spare workers kept above current concurrency (MinSpareServers).
+  int spare_workers = 2;
+  /// Response body churned through the worker heap per request.
+  std::size_t response_bytes = 16ull << 10;
+};
+
+class ApacheServer {
+ public:
+  ApacheServer(sim::Kernel& kernel, ApacheConfig cfg, util::Rng rng);
+
+  /// Starts the master ("apache2"), loads the key, pre-forks StartServers
+  /// workers. Returns false when the key cannot be loaded.
+  bool start();
+
+  /// Stops all workers and the master.
+  void stop();
+
+  bool running() const noexcept { return master_ != nullptr; }
+  sim::Pid master_pid() const;
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+  std::uint64_t total_handshakes() const noexcept { return handshakes_; }
+
+  /// Prefork pool management: grow toward `concurrency + spare`, reap down
+  /// when load drops (reaped workers exit, dumping their heaps).
+  void set_concurrency(int concurrency);
+
+  /// One HTTPS request: full SSL handshake (CRT private op) in the next
+  /// worker round-robin, then response-buffer churn. Returns false when
+  /// down or the handshake failed.
+  bool handle_request();
+
+ private:
+  struct Worker {
+    sim::Pid pid = 0;
+    sslsim::SimRsaKey key;  // worker-private flags/caches over shared pages
+  };
+
+  bool spawn_worker();
+  void reap_worker();
+
+  sim::Kernel& kernel_;
+  ApacheConfig cfg_;
+  util::Rng rng_;
+  sslsim::SslLibrary ssl_;
+  sim::Process* master_ = nullptr;
+  sslsim::SimRsaKey master_key_;
+  crypto::RsaPublicKey public_key_;
+  std::deque<Worker> workers_;
+  std::size_t next_worker_ = 0;
+  std::uint64_t handshakes_ = 0;
+};
+
+}  // namespace keyguard::servers

@@ -1,0 +1,65 @@
+#include "servers/timeline.hpp"
+
+namespace keyguard::servers {
+
+void SshAdapter::stop() {
+  for (const ConnectionId id : open_) server_.close_connection(id);
+  open_.clear();
+  server_.stop();
+  concurrency_ = 0;
+}
+
+void SshAdapter::set_concurrency(int n) {
+  concurrency_ = n;
+  while (static_cast<int>(open_.size()) > n) {
+    server_.close_connection(open_.back());
+    open_.pop_back();
+  }
+  while (static_cast<int>(open_.size()) < n) {
+    const auto id = server_.open_connection();
+    if (!id) break;
+    open_.push_back(*id);
+  }
+}
+
+void SshAdapter::tick_work() {
+  // Each concurrent slot completes several transfers during a tick; every
+  // transfer is a NEW scp invocation, i.e. a fresh ssh connection (fork +
+  // handshake + exit). At tick end the slot holds one live connection.
+  for (auto& slot : open_) {
+    for (int t = 0; t < transfers_per_slot_ - 1; ++t) {
+      server_.close_connection(slot);
+      const auto id = server_.open_connection();
+      if (!id) return;
+      slot = *id;
+      server_.transfer(slot, transfer_bytes_);
+    }
+    server_.transfer(slot, transfer_bytes_);
+  }
+}
+
+std::vector<TimelineSample> TimelineDriver::run() {
+  std::vector<TimelineSample> samples;
+  samples.reserve(static_cast<std::size_t>(schedule_.end) + 1);
+  for (int tick = 0; tick <= schedule_.end; ++tick) {
+    if (tick == schedule_.start_server) adapter_.start();
+    if (tick == schedule_.start_traffic) adapter_.set_concurrency(schedule_.base_concurrency);
+    if (tick == schedule_.more_traffic) adapter_.set_concurrency(schedule_.high_concurrency);
+    if (tick == schedule_.less_traffic) adapter_.set_concurrency(schedule_.base_concurrency);
+    if (tick == schedule_.stop_traffic) adapter_.set_concurrency(0);
+    if (tick == schedule_.stop_server) adapter_.stop();
+
+    if (tick >= schedule_.start_traffic && tick < schedule_.stop_traffic) {
+      adapter_.tick_work();
+    }
+
+    TimelineSample sample;
+    sample.tick = tick;
+    sample.matches = scanner_.scan_kernel(kernel_);
+    sample.census = scan::KeyScanner::census(sample.matches);
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace keyguard::servers

@@ -1,0 +1,125 @@
+// The paper's timeline experiment (§3.2, §5.3, §6.3).
+//
+// A Perl script drove both case studies through the same 29-tick schedule
+// (1 tick = 2 minutes) while the scanmemory LKM sampled physical memory at
+// every tick:
+//
+//   t=0  machine idle (key file possibly already in the page cache)
+//   t=2  server starts
+//   t=6  client 1: 8 concurrent transfers (~4 s each, i.e. constant churn)
+//   t=10 client 2: +8 concurrent (16 total)
+//   t=14 client 1 stops (back to 8)
+//   t=18 all traffic stops
+//   t=22 server stops
+//   t=29 experiment ends
+//
+// TimelineDriver reproduces that schedule against either server through
+// the ServerAdapter interface and returns one scan sample per tick — the
+// exact series behind Figures 5, 6, 9-16 and 21-28.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "scan/key_scanner.hpp"
+#include "servers/apache_server.hpp"
+#include "servers/ssh_server.hpp"
+
+namespace keyguard::servers {
+
+/// What the driver needs from a server under test.
+class ServerAdapter {
+ public:
+  virtual ~ServerAdapter() = default;
+  virtual void start() = 0;
+  virtual void stop() = 0;
+  /// Target number of concurrent connections.
+  virtual void set_concurrency(int n) = 0;
+  /// One tick's worth of traffic at the current concurrency.
+  virtual void tick_work() = 0;
+};
+
+/// Keeps `concurrency` ssh connections open; each tick every slot performs
+/// several scp transfers, closing and reopening its connection (scp starts
+/// a fresh ssh connection per file).
+class SshAdapter : public ServerAdapter {
+ public:
+  SshAdapter(SshServer& server, int transfers_per_slot, std::size_t transfer_bytes)
+      : server_(server),
+        transfers_per_slot_(transfers_per_slot),
+        transfer_bytes_(transfer_bytes) {}
+
+  void start() override { server_.start(); }
+  void stop() override;
+  void set_concurrency(int n) override;
+  void tick_work() override;
+
+ private:
+  SshServer& server_;
+  int transfers_per_slot_;
+  std::size_t transfer_bytes_;
+  std::vector<ConnectionId> open_;
+  int concurrency_ = 0;
+};
+
+/// Prefork pool follows the concurrency; each tick issues several requests
+/// per concurrent client.
+class ApacheAdapter : public ServerAdapter {
+ public:
+  ApacheAdapter(ApacheServer& server, int requests_per_slot)
+      : server_(server), requests_per_slot_(requests_per_slot) {}
+
+  void start() override { server_.start(); }
+  void stop() override { server_.stop(); }
+  void set_concurrency(int n) override {
+    concurrency_ = n;
+    server_.set_concurrency(n);
+  }
+  void tick_work() override {
+    for (int i = 0; i < concurrency_ * requests_per_slot_; ++i) server_.handle_request();
+  }
+
+ private:
+  ApacheServer& server_;
+  int requests_per_slot_;
+  int concurrency_ = 0;
+};
+
+/// The event schedule (defaults = the paper's).
+struct TimelineSchedule {
+  int start_server = 2;
+  int start_traffic = 6;
+  int more_traffic = 10;
+  int less_traffic = 14;
+  int stop_traffic = 18;
+  int stop_server = 22;
+  int end = 29;
+  int base_concurrency = 8;
+  int high_concurrency = 16;
+};
+
+/// One scan per tick.
+struct TimelineSample {
+  int tick = 0;
+  std::vector<scan::MemoryMatch> matches;
+  scan::Census census;
+};
+
+class TimelineDriver {
+ public:
+  TimelineDriver(sim::Kernel& kernel, ServerAdapter& adapter,
+                 const scan::KeyScanner& scanner, TimelineSchedule schedule = {})
+      : kernel_(kernel), adapter_(adapter), scanner_(scanner), schedule_(schedule) {}
+
+  /// Runs the whole schedule and returns end-of-tick samples for
+  /// t = 0 .. schedule.end inclusive.
+  std::vector<TimelineSample> run();
+
+ private:
+  sim::Kernel& kernel_;
+  ServerAdapter& adapter_;
+  const scan::KeyScanner& scanner_;
+  TimelineSchedule schedule_;
+};
+
+}  // namespace keyguard::servers

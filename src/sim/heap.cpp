@@ -1,0 +1,105 @@
+#include "sim/heap.hpp"
+
+#include <cassert>
+
+#include "sim/physmem.hpp"
+
+namespace keyguard::sim {
+namespace {
+
+constexpr std::size_t kAlign = 16;
+
+std::size_t round_up(std::size_t v, std::size_t to) { return (v + to - 1) / to * to; }
+
+}  // namespace
+
+HeapAllocator::HeapAllocator(VirtAddr base, std::size_t capacity)
+    : base_(base), capacity_(capacity), high_water_(base) {}
+
+std::optional<VirtAddr> HeapAllocator::alloc(std::size_t size, std::size_t& grown_bytes,
+                                             std::string label) {
+  grown_bytes = 0;
+  const std::size_t need = round_up(size == 0 ? 1 : size, kAlign);
+
+  // First fit over the address-ordered free chunks.
+  for (auto it = chunks_.begin(); it != chunks_.end(); ++it) {
+    if (!it->second.free || it->second.size < need) continue;
+    const VirtAddr addr = it->first;
+    const std::size_t leftover = it->second.size - need;
+    it->second.free = false;
+    it->second.size = need;
+    it->second.label = std::move(label);
+    if (leftover >= kAlign) {
+      chunks_.emplace(addr + need, Chunk{leftover, true, {}});
+    } else {
+      it->second.size += leftover;  // absorb the sliver
+    }
+    live_bytes_ += it->second.size;
+    ++live_chunks_;
+    return addr;
+  }
+
+  // Extend the heap at the top.
+  const VirtAddr end = chunks_.empty() ? base_ : chunks_.rbegin()->first + chunks_.rbegin()->second.size;
+  if (end + need > base_ + capacity_) return std::nullopt;
+  chunks_.emplace(end, Chunk{need, false, std::move(label)});
+  const VirtAddr new_top = end + need;
+  if (new_top > high_water_) {
+    // Report growth in whole pages so the kernel can map them.
+    const VirtAddr old_pages_end = base_ + round_up(high_water_ - base_, kPageSize);
+    const VirtAddr new_pages_end = base_ + round_up(new_top - base_, kPageSize);
+    grown_bytes = new_pages_end - old_pages_end;
+    high_water_ = new_top;
+  }
+  live_bytes_ += need;
+  ++live_chunks_;
+  return end;
+}
+
+void HeapAllocator::free(VirtAddr addr) {
+  auto it = chunks_.find(addr);
+  assert(it != chunks_.end() && !it->second.free && "invalid free");
+  if (it == chunks_.end() || it->second.free) return;
+  it->second.free = true;
+  live_bytes_ -= it->second.size;
+  --live_chunks_;
+  // Coalesce with the next chunk.
+  auto next = std::next(it);
+  if (next != chunks_.end() && next->second.free &&
+      it->first + it->second.size == next->first) {
+    it->second.size += next->second.size;
+    chunks_.erase(next);
+  }
+  // Coalesce with the previous chunk.
+  if (it != chunks_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.free && prev->first + prev->second.size == it->first) {
+      prev->second.size += it->second.size;
+      chunks_.erase(it);
+    }
+  }
+}
+
+std::size_t HeapAllocator::chunk_size(VirtAddr addr) const {
+  const auto it = chunks_.find(addr);
+  assert(it != chunks_.end());
+  return it == chunks_.end() ? 0 : it->second.size;
+}
+
+bool HeapAllocator::is_live_chunk(VirtAddr addr) const {
+  const auto it = chunks_.find(addr);
+  return it != chunks_.end() && !it->second.free;
+}
+
+std::optional<std::string> HeapAllocator::describe(VirtAddr addr) const {
+  auto it = chunks_.upper_bound(addr);
+  if (it == chunks_.begin()) return std::nullopt;
+  --it;
+  if (addr >= it->first + it->second.size) return std::nullopt;
+  const std::string& label = it->second.label;
+  std::string out = label.empty() ? std::string("heap") : label;
+  out += it->second.free ? " (freed)" : " (live)";
+  return out;
+}
+
+}  // namespace keyguard::sim

@@ -1,0 +1,85 @@
+// Per-process heap allocator (the malloc of the simulated libc).
+//
+// A first-fit, address-ordered free-list allocator with coalescing over a
+// brk-style heap region. Two behaviours matter for the reproduction:
+//
+//  * free() does NOT touch the chunk's bytes. Freed-but-unscrubbed key
+//    material therefore stays visible inside *allocated* pages — the
+//    paper's (less obvious) observation that allocated memory is full of
+//    key copies too.
+//  * freed chunks are reused first-fit, so residues are gradually
+//    overwritten by later allocations, exactly the churn the paper's
+//    timeline plots show.
+//
+// clear_free() is BN_clear_free: zero first (via the owning kernel, so the
+// bytes in simulated physical memory are actually cleared), then free.
+// The defenses enable it for every key-bearing temporary.
+//
+// Chunk metadata is kept out-of-band (host-side map) for simplicity;
+// in-band headers would add noise bytes but change nothing the scanner or
+// the attacks measure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace keyguard::sim {
+
+/// Virtual address inside a simulated process.
+using VirtAddr = std::uint64_t;
+
+class HeapAllocator {
+ public:
+  /// Manages [base, base + capacity). Pages are mapped on demand by the
+  /// kernel as the high-water mark grows.
+  HeapAllocator(VirtAddr base, std::size_t capacity);
+
+  /// First-fit allocation (16-byte granularity). Returns nullopt when the
+  /// heap region is exhausted. `grown` reports how many bytes past the old
+  /// high-water mark the heap now extends (the kernel maps those pages).
+  /// `label` names the allocation for provenance reporting ("mont:p", ...)
+  /// and survives free() — freed chunks remember what they last held,
+  /// which is exactly what the paper's §3 analysis needed to explain why
+  /// allocated memory is full of key copies.
+  std::optional<VirtAddr> alloc(std::size_t size, std::size_t& grown_bytes,
+                                std::string label = {});
+
+  /// Description of the chunk covering `addr`: "label (live)" or
+  /// "label (freed)"; nullopt when no chunk covers the address.
+  std::optional<std::string> describe(VirtAddr addr) const;
+
+  /// Marks the chunk free and coalesces neighbours. Contents untouched.
+  void free(VirtAddr addr);
+
+  /// Size originally requested for the chunk at `addr` (rounded up).
+  std::size_t chunk_size(VirtAddr addr) const;
+
+  /// True if `addr` is the start of a live chunk.
+  bool is_live_chunk(VirtAddr addr) const;
+
+  VirtAddr base() const noexcept { return base_; }
+  /// One past the highest byte ever handed out (page-map watermark).
+  VirtAddr high_water() const noexcept { return high_water_; }
+
+  std::size_t live_bytes() const noexcept { return live_bytes_; }
+  std::size_t live_chunks() const noexcept { return live_chunks_; }
+
+ private:
+  struct Chunk {
+    std::size_t size;
+    bool free;
+    std::string label;
+  };
+
+  VirtAddr base_;
+  std::size_t capacity_;
+  VirtAddr high_water_;
+  std::size_t live_bytes_ = 0;
+  std::size_t live_chunks_ = 0;
+  // Address-ordered chunk map covering [base_, end of last chunk).
+  std::map<VirtAddr, Chunk> chunks_;
+};
+
+}  // namespace keyguard::sim

@@ -1,0 +1,43 @@
+#include "sim/physmem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace keyguard::sim {
+
+const char* frame_state_name(FrameState s) noexcept {
+  switch (s) {
+    case FrameState::kFree: return "free";
+    case FrameState::kUserAnon: return "user";
+    case FrameState::kPageCache: return "pagecache";
+    case FrameState::kKernel: return "kernel";
+  }
+  return "?";
+}
+
+PhysicalMemory::PhysicalMemory(std::size_t bytes)
+    : bytes_(std::max<std::size_t>(bytes / kPageSize, 1) * kPageSize, std::byte{0}) {}
+
+std::span<std::byte> PhysicalMemory::page(FrameNumber frame) noexcept {
+  assert(frame < page_count());
+  return {bytes_.data() + static_cast<std::size_t>(frame) * kPageSize, kPageSize};
+}
+
+std::span<const std::byte> PhysicalMemory::page(FrameNumber frame) const noexcept {
+  assert(frame < page_count());
+  return {bytes_.data() + static_cast<std::size_t>(frame) * kPageSize, kPageSize};
+}
+
+std::span<const std::byte> PhysicalMemory::range(std::size_t offset,
+                                                 std::size_t len) const noexcept {
+  if (offset >= bytes_.size()) return {};
+  return {bytes_.data() + offset, std::min(len, bytes_.size() - offset)};
+}
+
+void PhysicalMemory::clear_page(FrameNumber frame) noexcept {
+  auto p = page(frame);
+  std::memset(p.data(), 0, p.size());
+}
+
+}  // namespace keyguard::sim

@@ -1,0 +1,63 @@
+// Simulated physical memory.
+//
+// The reproduction's stand-in for the paper's 256 MB testbed RAM: a flat
+// byte array divided into 4 KB frames. All simulated processes, the page
+// cache, and kernel buffers live in here, so a linear scan of this array is
+// exactly what the paper's scanmemory LKM performed, and the two disclosure
+// attacks read byte ranges straight out of it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace keyguard::sim {
+
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Physical frame number (frame * kPageSize = physical byte address).
+using FrameNumber = std::uint32_t;
+
+/// Who currently owns a frame. The scanner classifies matches with this:
+/// Free frames are the paper's "unallocated memory", everything else is
+/// "allocated memory" (user heap, page cache, or kernel buffers).
+enum class FrameState : std::uint8_t {
+  kFree,       // on the allocator's free lists
+  kUserAnon,   // mapped into one or more process address spaces
+  kPageCache,  // caches file contents (the PEM key file lives here)
+  kKernel,     // kernel buffer (e.g. the ext2 directory blocks the leak uses)
+};
+
+/// Human-readable state name for reports.
+const char* frame_state_name(FrameState s) noexcept;
+
+class PhysicalMemory {
+ public:
+  /// Rounds `bytes` down to whole pages; at least one page.
+  explicit PhysicalMemory(std::size_t bytes);
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  std::size_t size_bytes() const noexcept { return bytes_.size(); }
+  std::size_t page_count() const noexcept { return bytes_.size() / kPageSize; }
+
+  /// Mutable view of one frame.
+  std::span<std::byte> page(FrameNumber frame) noexcept;
+  std::span<const std::byte> page(FrameNumber frame) const noexcept;
+
+  /// The whole physical address space (what the scanner walks).
+  std::span<const std::byte> all() const noexcept { return bytes_; }
+
+  /// Byte range [offset, offset+len); clamped to the end of memory.
+  std::span<const std::byte> range(std::size_t offset, std::size_t len) const noexcept;
+
+  /// Zero-fills one frame (clear_highpage in the paper's patches).
+  void clear_page(FrameNumber frame) noexcept;
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace keyguard::sim

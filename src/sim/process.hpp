@@ -1,0 +1,70 @@
+// Simulated process: page table, VMAs, and heap state.
+//
+// Processes are created and mutated exclusively through the Kernel (fork,
+// exec, exit, mmap, heap_*), mirroring the syscall boundary; this header
+// only defines the bookkeeping the kernel maintains per process.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/heap.hpp"
+#include "sim/physmem.hpp"
+
+namespace keyguard::sim {
+
+using Pid = std::uint32_t;
+
+/// Virtual address space layout (identical for all processes).
+inline constexpr VirtAddr kHeapBase = 0x1000'0000;
+inline constexpr std::size_t kHeapCapacity = 64ull << 20;  // 64 MB brk span
+inline constexpr VirtAddr kMmapBase = 0x4000'0000;
+
+/// Page-table entry.
+struct Pte {
+  FrameNumber frame = 0;
+  bool cow = false;      // shared after fork; write triggers a copy
+  bool mlocked = false;  // excluded from swap (mlock)
+  bool swapped = false;  // resident on the swap device, not in RAM
+  std::uint32_t swap_slot = 0;  // valid when swapped
+};
+
+/// A mapped region, for bookkeeping and reporting (heap, anon mmaps).
+struct Vma {
+  VirtAddr start = 0;
+  std::size_t length = 0;  // bytes, page-multiple
+  bool mlocked = false;
+  std::string label;       // "heap", "keypage", ...
+};
+
+class Process {
+ public:
+  Process(Pid pid, std::string name)
+      : pid_(pid), name_(std::move(name)), heap_(kHeapBase, kHeapCapacity) {}
+
+  Pid pid() const noexcept { return pid_; }
+  const std::string& name() const noexcept { return name_; }
+  bool alive() const noexcept { return alive_; }
+
+  const std::map<VirtAddr, Pte>& page_table() const noexcept { return pages_; }
+  const std::vector<Vma>& vmas() const noexcept { return vmas_; }
+  const HeapAllocator& heap() const noexcept { return heap_; }
+
+  /// Number of resident pages (for tests/reports).
+  std::size_t resident_pages() const noexcept { return pages_.size(); }
+
+ private:
+  friend class Kernel;
+
+  Pid pid_;
+  std::string name_;
+  bool alive_ = true;
+  std::map<VirtAddr, Pte> pages_;  // keyed by page-aligned virtual address
+  std::vector<Vma> vmas_;
+  HeapAllocator heap_;
+  VirtAddr next_mmap_ = kMmapBase;
+};
+
+}  // namespace keyguard::sim

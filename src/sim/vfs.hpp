@@ -1,0 +1,84 @@
+// In-memory filesystem and page cache.
+//
+// The Vfs stores file contents host-side (the "disk"). The PageCache is
+// the interesting part: reading a file pulls its pages into simulated
+// physical memory frames (FrameState::kPageCache) where they stay until
+// evicted — which is why the paper finds the PEM-encoded key file in
+// memory from the moment the filesystem touches it, and why the integrated
+// defense adds O_NOCACHE to evict (and clear) those frames right after the
+// key is read.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/page_alloc.hpp"
+#include "sim/physmem.hpp"
+
+namespace keyguard::sim {
+
+/// Open flags (subset; values match the spirit, not the ABI).
+inline constexpr int kOpenReadOnly = 0;
+/// The paper's new flag: drop (and clear) the page-cache entry immediately
+/// after the read completes.
+inline constexpr int kOpenNoCache = 0x0200'0000;  // O_NOCACHE 02000000 (octal in the patch)
+
+class Vfs {
+ public:
+  void write_file(const std::string& path, std::vector<std::byte> content);
+  const std::vector<std::byte>* file(const std::string& path) const;
+  bool exists(const std::string& path) const;
+  std::vector<std::string> list() const;
+
+ private:
+  std::map<std::string, std::vector<std::byte>> files_;
+};
+
+class PageCache {
+ public:
+  explicit PageCache(PhysicalMemory& mem, PageAllocator& alloc)
+      : mem_(mem), alloc_(alloc) {}
+
+  /// Ensures `content` is resident in page-cache frames for `path`.
+  /// Idempotent. Returns false when physical memory is exhausted.
+  bool populate(const std::string& path, std::span<const std::byte> content);
+
+  /// Reads the cached bytes back out (tests; the kernel's read path).
+  std::vector<std::byte> read_cached(const std::string& path) const;
+
+  bool cached(const std::string& path) const { return entries_.contains(path); }
+
+  /// Removes the entry. `clear_pages` zeroes the frames before freeing —
+  /// the paper's O_NOCACHE patch does remove_from_page_cache +
+  /// clear_highpage + free, so the defense passes true.
+  void evict(const std::string& path, bool clear_pages);
+
+  /// Evicts everything (memory pressure / unmount), without clearing.
+  void drop_all();
+
+  /// Evicts the least-recently-populated entry (reclaim under memory
+  /// pressure). Stock kernels do NOT clear evicted pages — the freed
+  /// frames keep the file contents, which is how cached secrets reach
+  /// unallocated memory even without any process dying. Returns the
+  /// evicted path, or nullopt when the cache is empty.
+  std::optional<std::string> evict_oldest(bool clear_pages);
+
+  /// Frames backing a path (empty when not cached).
+  std::vector<FrameNumber> frames(const std::string& path) const;
+
+  std::size_t cached_files() const noexcept { return entries_.size(); }
+  std::size_t cached_pages() const noexcept { return cached_pages_; }
+
+ private:
+  PhysicalMemory& mem_;
+  PageAllocator& alloc_;
+  std::map<std::string, std::vector<FrameNumber>> entries_;
+  std::map<std::string, std::size_t> sizes_;
+  std::vector<std::string> order_;  // population order (LRU approximation)
+  std::size_t cached_pages_ = 0;
+};
+
+}  // namespace keyguard::sim

@@ -1,0 +1,60 @@
+#include "util/bytes.hpp"
+
+#include <cstring>
+
+namespace keyguard::util {
+
+std::size_t find_first(std::span<const std::byte> haystack,
+                       std::span<const std::byte> needle, std::size_t from) {
+  if (needle.empty() || haystack.size() < needle.size()) return npos;
+  const auto* base = reinterpret_cast<const unsigned char*>(haystack.data());
+  const auto* pat = reinterpret_cast<const unsigned char*>(needle.data());
+  const std::size_t limit = haystack.size() - needle.size();
+  std::size_t pos = from;
+  while (pos <= limit) {
+    const void* hit = std::memchr(base + pos, pat[0], limit - pos + 1);
+    if (hit == nullptr) return npos;
+    pos = static_cast<std::size_t>(static_cast<const unsigned char*>(hit) - base);
+    if (std::memcmp(base + pos, pat, needle.size()) == 0) return pos;
+    ++pos;
+  }
+  return npos;
+}
+
+std::vector<std::size_t> find_all(std::span<const std::byte> haystack,
+                                  std::span<const std::byte> needle) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = find_first(haystack, needle, pos)) != npos) {
+    hits.push_back(pos);
+    ++pos;
+  }
+  return hits;
+}
+
+std::span<const std::byte> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::vector<std::byte> to_bytes(std::string_view s) {
+  const auto view = as_bytes(s);
+  return {view.begin(), view.end()};
+}
+
+bool all_zero(std::span<const std::byte> data) {
+  for (std::byte b : data) {
+    if (b != std::byte{0}) return false;
+  }
+  return true;
+}
+
+std::uint64_t fnv1a(std::span<const std::byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    h ^= std::to_integer<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace keyguard::util

@@ -1,0 +1,37 @@
+// Byte-span helpers shared by the scanner and the attack captures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace keyguard::util {
+
+/// Finds every occurrence of `needle` in `haystack` (possibly overlapping)
+/// and returns the starting offsets in ascending order. Linear scan with a
+/// memchr-accelerated first-byte filter — the same strategy as the paper's
+/// scanmemory LKM (compare first word, then the rest).
+std::vector<std::size_t> find_all(std::span<const std::byte> haystack,
+                                  std::span<const std::byte> needle);
+
+/// First occurrence at or after `from`; returns npos when absent.
+std::size_t find_first(std::span<const std::byte> haystack,
+                       std::span<const std::byte> needle,
+                       std::size_t from = 0);
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/// Views a string as bytes without copying.
+std::span<const std::byte> as_bytes(std::string_view s);
+
+/// Copies a string into a byte vector.
+std::vector<std::byte> to_bytes(std::string_view s);
+
+/// True when every byte of the span is zero.
+bool all_zero(std::span<const std::byte> data);
+
+/// FNV-1a 64-bit hash; used for cheap content fingerprints in tests.
+std::uint64_t fnv1a(std::span<const std::byte> data);
+
+}  // namespace keyguard::util

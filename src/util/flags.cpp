@@ -1,0 +1,70 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <charconv>
+
+namespace keyguard::util {
+namespace {
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  std::int64_t v = 0;
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      values_.emplace(std::string(arg), argv[++i]);
+    } else {
+      values_.emplace(std::string(arg), "1");
+    }
+  }
+}
+
+std::string Flags::get(std::string_view name, std::string_view def) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : std::string(def);
+}
+
+std::int64_t Flags::get_int(std::string_view name, std::int64_t def,
+                            std::string_view env) const {
+  if (const auto it = values_.find(name); it != values_.end()) {
+    if (const auto v = parse_int(it->second)) return *v;
+  }
+  if (!env.empty()) return env_int(env, def);
+  return def;
+}
+
+bool Flags::get_bool(std::string_view name, std::string_view env) const {
+  if (values_.contains(name)) return true;
+  return !env.empty() && env_truthy(env);
+}
+
+bool Flags::has(std::string_view name) const { return values_.contains(name); }
+
+bool env_truthy(std::string_view name) {
+  const char* v = std::getenv(std::string(name).c_str());
+  if (v == nullptr) return false;
+  const std::string_view s = v;
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+std::int64_t env_int(std::string_view name, std::int64_t def) {
+  const char* v = std::getenv(std::string(name).c_str());
+  if (v == nullptr) return def;
+  const auto parsed = parse_int(v);
+  return parsed.value_or(def);
+}
+
+}  // namespace keyguard::util

@@ -1,0 +1,45 @@
+// Minimal flag parsing for the bench and example binaries.
+//
+// Benches must run argument-free (the harness iterates build/bench/*), so
+// every knob has a default and can also be overridden by an environment
+// variable — e.g. KEYGUARD_BENCH_FULL=1 switches sweeps to paper scale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace keyguard::util {
+
+/// Parses "--name=value" / "--name value" / bare "--flag" arguments.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// String flag value, or `def` when absent.
+  std::string get(std::string_view name, std::string_view def = "") const;
+
+  /// Integer flag (also reads environment variable `env` when the flag is
+  /// absent), or `def` when neither is set or parse fails.
+  std::int64_t get_int(std::string_view name, std::int64_t def,
+                       std::string_view env = "") const;
+
+  /// Bare boolean flag presence, or truthy env var ("1", "true", "yes").
+  bool get_bool(std::string_view name, std::string_view env = "") const;
+
+  /// True when any unknown positional argument was seen.
+  bool has(std::string_view name) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+/// True when the named environment variable is set to a truthy value.
+bool env_truthy(std::string_view name);
+
+/// Integer from environment, or `def`.
+std::int64_t env_int(std::string_view name, std::int64_t def);
+
+}  // namespace keyguard::util

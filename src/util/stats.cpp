@@ -1,0 +1,4 @@
+#include "util/stats.hpp"
+
+// Header-only today; the translation unit anchors the library target and
+// keeps a home for future non-inline statistics code.

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <iomanip>
+
+namespace keyguard::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 != row.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::render_tsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 != row.size()) out << '\t';
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string bar(double value, double max_value, std::size_t width) {
+  if (max_value <= 0.0) return {};
+  const double frac = std::clamp(value / max_value, 0.0, 1.0);
+  const auto n = static_cast<std::size_t>(frac * static_cast<double>(width) + 0.5);
+  return std::string(n, '#');
+}
+
+}  // namespace keyguard::util

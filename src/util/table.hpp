@@ -1,0 +1,43 @@
+// ASCII table / series rendering for the benchmark harnesses.
+//
+// Every bench prints (a) machine-readable tab-separated rows mirroring the
+// series the paper plots, and (b) a human-readable aligned table. This
+// module provides the shared formatting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace keyguard::util {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; its size must equal the header's.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header rule and 2-space gutters.
+  std::string render() const;
+
+  /// Renders as tab-separated values (header first).
+  std::string render_tsv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 2).
+std::string fmt(double v, int precision = 2);
+
+/// Renders a simple horizontal bar ('#' per unit, scaled so the largest
+/// value takes `width` characters); for bar-chart figures like Fig 8.
+std::string bar(double value, double max_value, std::size_t width = 40);
+
+}  // namespace keyguard::util

@@ -1,0 +1,202 @@
+#include "bignum/bignum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace keyguard::bn {
+namespace {
+
+TEST(Bignum, ZeroProperties) {
+  const Bignum z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_one());
+  EXPECT_TRUE(z.is_even());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.limb_count(), 0u);
+  EXPECT_EQ(z.to_decimal(), "0");
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_TRUE(z.to_bytes_be().empty());
+}
+
+TEST(Bignum, SmallConstruction) {
+  const Bignum v(42);
+  EXPECT_FALSE(v.is_zero());
+  EXPECT_TRUE(v.is_even());
+  EXPECT_EQ(v.bit_length(), 6u);
+  EXPECT_EQ(v.to_decimal(), "42");
+  EXPECT_EQ(v.to_hex(), "2a");
+}
+
+TEST(Bignum, FromDecimal) {
+  const auto v = Bignum::from_decimal("340282366920938463463374607431768211456");  // 2^128
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->bit_length(), 129u);
+  EXPECT_EQ(v->to_decimal(), "340282366920938463463374607431768211456");
+  EXPECT_EQ(v->to_hex(), "100000000000000000000000000000000");
+}
+
+TEST(Bignum, FromDecimalRejectsGarbage) {
+  EXPECT_FALSE(Bignum::from_decimal("").has_value());
+  EXPECT_FALSE(Bignum::from_decimal("12a").has_value());
+  EXPECT_FALSE(Bignum::from_decimal("-5").has_value());
+}
+
+TEST(Bignum, FromHexRoundTrip) {
+  const auto v = Bignum::from_hex("deadbeefcafebabe0123456789abcdef");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->to_hex(), "deadbeefcafebabe0123456789abcdef");
+}
+
+TEST(Bignum, FromHexRejectsGarbage) {
+  EXPECT_FALSE(Bignum::from_hex("").has_value());
+  EXPECT_FALSE(Bignum::from_hex("0x12").has_value());
+  EXPECT_FALSE(Bignum::from_hex("g").has_value());
+}
+
+TEST(Bignum, Comparisons) {
+  const Bignum a(5), b(7);
+  const Bignum big = *Bignum::from_hex("ffffffffffffffffff");
+  EXPECT_LT(a, b);
+  EXPECT_GT(big, b);
+  EXPECT_EQ(a, Bignum(5));
+  EXPECT_NE(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GE(big, big);
+}
+
+TEST(Bignum, AdditionWithCarryChains) {
+  const Bignum max64 = *Bignum::from_hex("ffffffffffffffff");
+  const Bignum one(1);
+  EXPECT_EQ((max64 + one).to_hex(), "10000000000000000");
+  // Multi-limb carry propagation.
+  const Bignum allf = *Bignum::from_hex("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ((allf + one).to_hex(), "100000000000000000000000000000000");
+}
+
+TEST(Bignum, SubtractionWithBorrowChains) {
+  const Bignum big = *Bignum::from_hex("100000000000000000000000000000000");
+  const Bignum one(1);
+  EXPECT_EQ((big - one).to_hex(), "ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ((big - big).to_decimal(), "0");
+}
+
+TEST(Bignum, MultiplicationKnownValues) {
+  const Bignum a = *Bignum::from_decimal("123456789012345678901234567890");
+  const Bignum b = *Bignum::from_decimal("987654321098765432109876543210");
+  EXPECT_EQ((a * b).to_decimal(),
+            "121932631137021795226185032733622923332237463801111263526900");
+  EXPECT_EQ((a * Bignum{}).to_decimal(), "0");
+  EXPECT_EQ((a * Bignum(1)), a);
+}
+
+TEST(Bignum, Shifts) {
+  const Bignum v(1);
+  EXPECT_EQ((v << 0), v);
+  EXPECT_EQ((v << 64).to_hex(), "10000000000000000");
+  EXPECT_EQ((v << 127).to_hex(), "80000000000000000000000000000000");
+  EXPECT_EQ(((v << 127) >> 127), v);
+  EXPECT_EQ((v >> 1).to_decimal(), "0");
+  const Bignum pattern = *Bignum::from_hex("123456789abcdef0123456789abcdef");
+  EXPECT_EQ(((pattern << 37) >> 37), pattern);
+}
+
+TEST(Bignum, ShiftRightBeyondWidthIsZero) {
+  const Bignum v = *Bignum::from_hex("ffffffff");
+  EXPECT_TRUE((v >> 200).is_zero());
+}
+
+TEST(Bignum, BitAccess) {
+  const Bignum v = *Bignum::from_hex("8000000000000001");
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_FALSE(v.bit(10000));
+}
+
+TEST(Bignum, ByteRoundTripBigEndian) {
+  const Bignum v = *Bignum::from_hex("0102030405060708090a0b0c0d0e0f");
+  const auto bytes = v.to_bytes_be();
+  EXPECT_EQ(bytes.size(), 15u);
+  EXPECT_EQ(Bignum::from_bytes_be(bytes), v);
+}
+
+TEST(Bignum, ByteRoundTripLittleEndian) {
+  const Bignum v = *Bignum::from_hex("112233445566778899aabb");
+  EXPECT_EQ(Bignum::from_bytes_le(v.to_bytes_le()), v);
+}
+
+TEST(Bignum, FromBytesBeIgnoresLeadingZeros) {
+  std::vector<std::byte> bytes{std::byte{0}, std::byte{0}, std::byte{5}};
+  EXPECT_EQ(Bignum::from_bytes_be(bytes), Bignum(5));
+}
+
+TEST(Bignum, ToBytesBeMinLenPads) {
+  const Bignum v(0x1234);
+  const auto bytes = v.to_bytes_be(8);
+  ASSERT_EQ(bytes.size(), 8u);
+  EXPECT_EQ(std::to_integer<int>(bytes[0]), 0);
+  EXPECT_EQ(std::to_integer<int>(bytes[6]), 0x12);
+  EXPECT_EQ(std::to_integer<int>(bytes[7]), 0x34);
+}
+
+TEST(Bignum, MulLimbAndModLimb) {
+  const Bignum v = *Bignum::from_decimal("123456789123456789123456789");
+  EXPECT_EQ(v.mul_limb(1000).to_decimal(), "123456789123456789123456789000");
+  EXPECT_EQ(v.mul_limb(0).to_decimal(), "0");
+}
+
+TEST(Bignum, ModLimbMatchesDecimal) {
+  // 123456789123456789123456789 mod 97 computed independently: iterate digits.
+  const std::string dec = "123456789123456789123456789";
+  unsigned long long r = 0;
+  for (char c : dec) r = (r * 10 + static_cast<unsigned>(c - '0')) % 97;
+  const Bignum v = *Bignum::from_decimal(dec);
+  EXPECT_EQ(v.mod_limb(97), r);
+}
+
+TEST(Bignum, Gcd) {
+  EXPECT_EQ(Bignum::gcd(Bignum(12), Bignum(18)).to_decimal(), "6");
+  EXPECT_EQ(Bignum::gcd(Bignum(17), Bignum(13)).to_decimal(), "1");
+  EXPECT_EQ(Bignum::gcd(Bignum{}, Bignum(5)).to_decimal(), "5");
+  EXPECT_EQ(Bignum::gcd(Bignum(5), Bignum{}).to_decimal(), "5");
+}
+
+TEST(Bignum, ModInverse) {
+  const auto inv = Bignum::mod_inverse(Bignum(3), Bignum(11));
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(inv->to_decimal(), "4");  // 3*4 = 12 = 1 mod 11
+  EXPECT_FALSE(Bignum::mod_inverse(Bignum(4), Bignum(8)).has_value());
+  EXPECT_FALSE(Bignum::mod_inverse(Bignum(3), Bignum(1)).has_value());
+}
+
+TEST(Bignum, ModExpSmall) {
+  EXPECT_EQ(Bignum::mod_exp(Bignum(2), Bignum(10), Bignum(1000)).to_decimal(), "24");
+  EXPECT_EQ(Bignum::mod_exp(Bignum(5), Bignum{}, Bignum(7)).to_decimal(), "1");
+  EXPECT_EQ(Bignum::mod_exp(Bignum(7), Bignum(13), Bignum(11)).to_decimal(),
+            "2");  // 7^13 mod 11
+}
+
+TEST(Bignum, ModExpEvenModulus) {
+  // Even modulus exercises the non-Montgomery path.
+  EXPECT_EQ(Bignum::mod_exp(Bignum(3), Bignum(5), Bignum(100)).to_decimal(), "43");
+}
+
+TEST(Bignum, DecimalRoundTripLarge) {
+  const std::string dec =
+      "999999999999999999999999999999999999999999999999999999999999";
+  const auto v = Bignum::from_decimal(dec);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->to_decimal(), dec);
+}
+
+TEST(Bignum, LimbsAreNormalized) {
+  const Bignum v = *Bignum::from_hex("10000000000000000");  // 2^64
+  EXPECT_EQ(v.limb_count(), 2u);
+  const Bignum w = (v - v);
+  EXPECT_EQ(w.limb_count(), 0u);
+}
+
+}  // namespace
+}  // namespace keyguard::bn

@@ -1,0 +1,115 @@
+// Division is the easiest bignum routine to get subtly wrong (Knuth D's
+// qhat correction paths fire rarely), so it gets a dedicated suite with
+// adversarial divisors plus randomized reconstruction checks.
+#include "bignum/bignum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bignum/prime.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::bn {
+namespace {
+
+void check_divmod(const Bignum& a, const Bignum& b) {
+  const auto [q, r] = Bignum::divmod(a, b);
+  EXPECT_LT(r, b) << "a=" << a.to_hex() << " b=" << b.to_hex();
+  EXPECT_EQ(q * b + r, a) << "a=" << a.to_hex() << " b=" << b.to_hex();
+}
+
+TEST(DivMod, SmallKnownValues) {
+  const auto [q, r] = Bignum::divmod(Bignum(17), Bignum(5));
+  EXPECT_EQ(q.to_decimal(), "3");
+  EXPECT_EQ(r.to_decimal(), "2");
+}
+
+TEST(DivMod, DividendSmallerThanDivisor) {
+  const auto [q, r] = Bignum::divmod(Bignum(3), Bignum(10));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r, Bignum(3));
+}
+
+TEST(DivMod, ExactDivision) {
+  const Bignum a = *Bignum::from_decimal("1000000000000000000000000");
+  const Bignum b = *Bignum::from_decimal("1000000000000");
+  const auto [q, r] = Bignum::divmod(a, b);
+  EXPECT_EQ(q.to_decimal(), "1000000000000");
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(DivMod, SingleLimbDivisorFastPath) {
+  const Bignum a = *Bignum::from_decimal("123456789012345678901234567890123456789");
+  check_divmod(a, Bignum(7));
+  check_divmod(a, Bignum(1));
+  check_divmod(a, *Bignum::from_hex("ffffffffffffffff"));
+}
+
+TEST(DivMod, DivisorTopLimbHighBitSet) {
+  // Already normalized (shift == 0) path.
+  const Bignum b = *Bignum::from_hex("8000000000000000000000000000000b");
+  const Bignum a = b * b + *Bignum::from_hex("1234");
+  check_divmod(a, b);
+}
+
+TEST(DivMod, DivisorNeedsMaxNormalizationShift) {
+  // Top limb == 1: shift == 63 path.
+  const Bignum b = *Bignum::from_hex("10000000000000000000000000000001");
+  const Bignum a = b.mul_limb(0xfedcba9876543210ULL) + Bignum(99);
+  check_divmod(a, b);
+}
+
+TEST(DivMod, QhatCorrectionTrigger) {
+  // Classic Knuth D stress: dividend limbs all ones, divisor crafted so the
+  // initial qhat over-estimates.
+  const Bignum a = *Bignum::from_hex(
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  const Bignum b = *Bignum::from_hex("ffffffffffffffff0000000000000001");
+  check_divmod(a, b);
+}
+
+TEST(DivMod, RandomizedReconstruction) {
+  util::Rng rng(1234);
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t abits = 1 + rng.next_below(768);
+    const std::size_t bbits = 1 + rng.next_below(512);
+    const Bignum a = random_bits(rng, abits);
+    const Bignum b = random_bits(rng, bbits);
+    if (b.is_zero()) continue;
+    check_divmod(a, b);
+  }
+}
+
+TEST(DivMod, RandomizedNearMultiples) {
+  // a = q*b + r with tiny r stresses the correction branches.
+  util::Rng rng(4321);
+  for (int i = 0; i < 100; ++i) {
+    const Bignum b = random_bits(rng, 128 + rng.next_below(256));
+    const Bignum q = random_bits(rng, 64 + rng.next_below(128));
+    for (const std::uint64_t delta : {0ULL, 1ULL, 2ULL}) {
+      const Bignum a = q * b + Bignum(delta);
+      const auto [qq, rr] = Bignum::divmod(a, b);
+      EXPECT_EQ(qq, q);
+      EXPECT_EQ(rr, Bignum(delta));
+    }
+  }
+}
+
+TEST(DivMod, ModuloMatchesDivmod) {
+  util::Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a = random_bits(rng, 300);
+    const Bignum b = random_bits(rng, 150);
+    EXPECT_EQ(a % b, Bignum::divmod(a, b).remainder);
+    EXPECT_EQ(a / b, Bignum::divmod(a, b).quotient);
+  }
+}
+
+TEST(DivMod, DividendEqualsDivisor) {
+  const Bignum v = *Bignum::from_hex("123456789abcdef0123456789abcdef");
+  const auto [q, r] = Bignum::divmod(v, v);
+  EXPECT_TRUE(q.is_one());
+  EXPECT_TRUE(r.is_zero());
+}
+
+}  // namespace
+}  // namespace keyguard::bn

@@ -1,0 +1,99 @@
+// Edge cases not covered by the algebraic property sweeps.
+#include <gtest/gtest.h>
+
+#include "bignum/montgomery.hpp"
+#include "bignum/prime.hpp"
+
+namespace keyguard::bn {
+namespace {
+
+TEST(BignumEdge, ModExpBaseZero) {
+  EXPECT_TRUE(Bignum::mod_exp(Bignum{}, Bignum(5), Bignum(7)).is_zero());
+  // 0^0 == 1 by the usual convention.
+  EXPECT_TRUE(Bignum::mod_exp(Bignum{}, Bignum{}, Bignum(7)).is_one());
+}
+
+TEST(BignumEdge, ModExpExponentLargerThanModulus) {
+  // 3^(2^130) mod 1000003 via Fermat: order divides 1000002.
+  const Bignum m(1000003);  // prime
+  const Bignum e = Bignum(1) << 130;
+  const Bignum direct = Bignum::mod_exp(Bignum(3), e, m);
+  // Reference: reduce the exponent mod (m-1).
+  const Bignum e_red = e % (m - Bignum(1));
+  EXPECT_EQ(direct, Bignum::mod_exp(Bignum(3), e_red, m));
+}
+
+TEST(BignumEdge, ModExpModulusTwo) {
+  // Even modulus path, smallest legal modulus.
+  EXPECT_TRUE(Bignum::mod_exp(Bignum(5), Bignum(3), Bignum(2)).is_one());
+  EXPECT_TRUE(Bignum::mod_exp(Bignum(4), Bignum(3), Bignum(2)).is_zero());
+}
+
+TEST(BignumEdge, MontgomeryExpEverythingSmall) {
+  const MontgomeryContext ctx(Bignum(3));
+  EXPECT_EQ(ctx.exp(Bignum(2), Bignum(2)), Bignum(1));  // 4 mod 3
+  EXPECT_EQ(ctx.exp(Bignum(2), Bignum(1)), Bignum(2));
+}
+
+TEST(BignumEdge, SubtractToZeroNormalizes) {
+  const Bignum a = *Bignum::from_hex("ffffffffffffffffffffffffffffffff");
+  const Bignum z = a - a;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.limb_count(), 0u);
+  EXPECT_EQ(z + a, a);
+}
+
+TEST(BignumEdge, MulLimbMaxValues) {
+  const Bignum max64 = *Bignum::from_hex("ffffffffffffffff");
+  const Bignum r = max64.mul_limb(~0ULL);
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  const Bignum expect = (Bignum(1) << 128) - (Bignum(1) << 65) + Bignum(1);
+  EXPECT_EQ(r, expect);
+}
+
+TEST(BignumEdge, DivmodQuotientOneBoundary) {
+  // a slightly above b: quotient exactly 1.
+  util::Rng rng(5);
+  const Bignum b = random_bits(rng, 200);
+  const Bignum a = b + Bignum(17);
+  const auto [q, r] = Bignum::divmod(a, b);
+  EXPECT_TRUE(q.is_one());
+  EXPECT_EQ(r, Bignum(17));
+}
+
+TEST(BignumEdge, FromBytesAllZeros) {
+  std::vector<std::byte> zeros(40, std::byte{0});
+  EXPECT_TRUE(Bignum::from_bytes_be(zeros).is_zero());
+  EXPECT_TRUE(Bignum::from_bytes_le(zeros).is_zero());
+}
+
+TEST(BignumEdge, ShiftLeftOfZeroStaysZero) {
+  EXPECT_TRUE((Bignum{} << 1000).is_zero());
+}
+
+TEST(BignumEdge, ScrubThenReuse) {
+  Bignum v = *Bignum::from_decimal("123456789012345678901234567890");
+  v.scrub();
+  EXPECT_TRUE(v.is_zero());
+  // The object is still a perfectly good zero: arithmetic works.
+  v = v + Bignum(5);
+  EXPECT_EQ(v.to_decimal(), "5");
+}
+
+TEST(BignumEdge, GcdOfEqualValues) {
+  const Bignum a = *Bignum::from_hex("abcdef123456789");
+  EXPECT_EQ(Bignum::gcd(a, a), a);
+}
+
+TEST(BignumEdge, ModInverseOfOne) {
+  const auto inv = Bignum::mod_inverse(Bignum(1), Bignum(97));
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(inv->is_one());
+}
+
+TEST(BignumEdge, ModInverseModuloZeroRejected) {
+  EXPECT_FALSE(Bignum::mod_inverse(Bignum(3), Bignum{}).has_value());
+}
+
+}  // namespace
+}  // namespace keyguard::bn

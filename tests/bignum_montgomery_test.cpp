@@ -1,0 +1,89 @@
+#include "bignum/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bignum/prime.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::bn {
+namespace {
+
+TEST(Montgomery, ToFromMontRoundTrip) {
+  util::Rng rng(5);
+  const Bignum n = random_bits(rng, 256).add_limb(1);  // odd? force below
+  const Bignum modulus = n.is_odd() ? n : n.add_limb(1);
+  const MontgomeryContext ctx(modulus);
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a = random_below(rng, modulus);
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(a)), a);
+  }
+}
+
+TEST(Montgomery, MulMatchesPlainModularProduct) {
+  util::Rng rng(6);
+  Bignum modulus = random_bits(rng, 384);
+  if (modulus.is_even()) modulus = modulus.add_limb(1);
+  const MontgomeryContext ctx(modulus);
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a = random_below(rng, modulus);
+    const Bignum b = random_below(rng, modulus);
+    const Bignum got = ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+    EXPECT_EQ(got, (a * b) % modulus);
+  }
+}
+
+TEST(Montgomery, ExpMatchesGenericModExp) {
+  util::Rng rng(7);
+  for (const std::size_t bits : {65u, 128u, 255u, 512u}) {
+    Bignum modulus = random_bits(rng, bits);
+    if (modulus.is_even()) modulus = modulus.add_limb(1);
+    const MontgomeryContext ctx(modulus);
+    for (int i = 0; i < 10; ++i) {
+      const Bignum base = random_below(rng, modulus);
+      const Bignum e = random_bits(rng, 48);
+      // Reference: square-and-multiply with divmod reduction.
+      Bignum ref(1);
+      for (std::size_t bit = e.bit_length(); bit-- > 0;) {
+        ref = (ref * ref) % modulus;
+        if (e.bit(bit)) ref = (ref * base) % modulus;
+      }
+      EXPECT_EQ(ctx.exp(base, e), ref) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Montgomery, ExpZeroExponentIsOne) {
+  const MontgomeryContext ctx(Bignum(101));
+  EXPECT_TRUE(ctx.exp(Bignum(7), Bignum{}).is_one());
+}
+
+TEST(Montgomery, ExpHandlesBaseLargerThanModulus) {
+  const MontgomeryContext ctx(Bignum(101));
+  EXPECT_EQ(ctx.exp(Bignum(1000), Bignum(3)), Bignum(1000 % 101 * (1000 % 101) % 101 * (1000 % 101) % 101));
+}
+
+TEST(Montgomery, SingleLimbModulus) {
+  const MontgomeryContext ctx(Bignum(0xfffffffbULL));  // prime near 2^32
+  util::Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = Bignum(rng.next_below(0xfffffffbULL));
+    const Bignum b = Bignum(rng.next_below(0xfffffffbULL));
+    const Bignum got = ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+    EXPECT_EQ(got, (a * b) % Bignum(0xfffffffbULL));
+  }
+}
+
+TEST(Montgomery, RrIsRSquaredModN) {
+  const Bignum n(1000003);
+  const MontgomeryContext ctx(n);
+  const Bignum r = Bignum(1) << 64;
+  EXPECT_EQ(ctx.rr(), (r * r) % n);
+}
+
+TEST(Montgomery, ModulusAccessor) {
+  const Bignum n(999983);
+  EXPECT_EQ(MontgomeryContext(n).modulus(), n);
+}
+
+}  // namespace
+}  // namespace keyguard::bn

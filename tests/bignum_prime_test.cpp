@@ -1,0 +1,107 @@
+#include "bignum/prime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace keyguard::bn {
+namespace {
+
+TEST(Prime, KnownSmallPrimes) {
+  util::Rng rng(1);
+  for (const Limb p : {2ULL, 3ULL, 5ULL, 7ULL, 97ULL, 251ULL, 257ULL, 65537ULL}) {
+    EXPECT_TRUE(is_probable_prime(Bignum(p), rng)) << p;
+  }
+}
+
+TEST(Prime, KnownComposites) {
+  util::Rng rng(2);
+  for (const Limb c : {1ULL, 4ULL, 9ULL, 15ULL, 91ULL, 561ULL /* Carmichael */,
+                       1105ULL, 6601ULL, 65536ULL}) {
+    EXPECT_FALSE(is_probable_prime(Bignum(c), rng)) << c;
+  }
+}
+
+TEST(Prime, ZeroAndOneAreNotPrime) {
+  util::Rng rng(3);
+  EXPECT_FALSE(is_probable_prime(Bignum{}, rng));
+  EXPECT_FALSE(is_probable_prime(Bignum(1), rng));
+}
+
+TEST(Prime, LargeKnownPrime) {
+  util::Rng rng(4);
+  // 2^89 - 1 is a Mersenne prime.
+  const Bignum m89 = (Bignum(1) << 89) - Bignum(1);
+  EXPECT_TRUE(is_probable_prime(m89, rng));
+  // 2^67 - 1 is famously composite (193707721 * 761838257287).
+  const Bignum m67 = (Bignum(1) << 67) - Bignum(1);
+  EXPECT_FALSE(is_probable_prime(m67, rng));
+}
+
+TEST(Prime, ProductOfTwoPrimesIsComposite) {
+  util::Rng rng(5);
+  const Bignum p = random_prime(rng, 64);
+  const Bignum q = random_prime(rng, 64);
+  EXPECT_FALSE(is_probable_prime(p * q, rng));
+}
+
+TEST(Prime, RandomPrimeHasExactBitLength) {
+  util::Rng rng(6);
+  for (const std::size_t bits : {64u, 128u, 257u}) {
+    const Bignum p = random_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(Prime, RandomPrimeTopTwoBitsSet) {
+  // Required so products of two such primes have exactly 2*bits bits.
+  util::Rng rng(7);
+  const std::size_t bits = 96;
+  const Bignum p = random_prime(rng, bits);
+  EXPECT_TRUE(p.bit(bits - 1));
+  EXPECT_TRUE(p.bit(bits - 2));
+}
+
+TEST(Prime, CoprimalityConstraintHonored) {
+  util::Rng rng(8);
+  const Bignum e(65537);
+  const Bignum p = random_prime(rng, 80, e);
+  EXPECT_TRUE(Bignum::gcd(p - Bignum(1), e).is_one());
+}
+
+TEST(Prime, DeterministicForSeed) {
+  util::Rng a(99), b(99);
+  EXPECT_EQ(random_prime(a, 80), random_prime(b, 80));
+}
+
+TEST(RandomBits, ExactWidthTopBitSet) {
+  util::Rng rng(9);
+  for (const std::size_t bits : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 200u}) {
+    const Bignum v = random_bits(rng, bits);
+    EXPECT_EQ(v.bit_length(), bits) << bits;
+  }
+}
+
+TEST(RandomBelow, AlwaysBelowBound) {
+  util::Rng rng(10);
+  const Bignum bound = *Bignum::from_hex("123456789abcdef");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(random_below(rng, bound), bound);
+  }
+}
+
+TEST(RandomBelow, CoversLowAndHighRegions) {
+  util::Rng rng(11);
+  const Bignum bound(1000);
+  bool low = false, high = false;
+  for (int i = 0; i < 500; ++i) {
+    const Bignum v = random_below(rng, bound);
+    if (v < Bignum(100)) low = true;
+    if (v > Bignum(900)) high = true;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+}  // namespace
+}  // namespace keyguard::bn

@@ -1,0 +1,150 @@
+// Parameterised algebraic property sweeps over random operands of varying
+// widths — the invariants any bignum implementation must satisfy.
+#include "bignum/bignum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bignum/prime.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::bn {
+namespace {
+
+class BignumProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  util::Rng rng_{GetParam() * 7919 + 17};
+  Bignum rand(std::size_t bits) { return random_bits(rng_, bits); }
+};
+
+TEST_P(BignumProperty, AdditionCommutes) {
+  const Bignum a = rand(GetParam());
+  const Bignum b = rand(GetParam() / 2 + 1);
+  EXPECT_EQ(a + b, b + a);
+}
+
+TEST_P(BignumProperty, AdditionAssociates) {
+  const Bignum a = rand(GetParam());
+  const Bignum b = rand(GetParam());
+  const Bignum c = rand(GetParam() / 3 + 1);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+}
+
+TEST_P(BignumProperty, AddThenSubtractIsIdentity) {
+  const Bignum a = rand(GetParam());
+  const Bignum b = rand(GetParam());
+  EXPECT_EQ((a + b) - b, a);
+}
+
+TEST_P(BignumProperty, MultiplicationCommutes) {
+  const Bignum a = rand(GetParam());
+  const Bignum b = rand(GetParam() / 2 + 1);
+  EXPECT_EQ(a * b, b * a);
+}
+
+TEST_P(BignumProperty, MultiplicationDistributes) {
+  const Bignum a = rand(GetParam());
+  const Bignum b = rand(GetParam());
+  const Bignum c = rand(GetParam());
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+}
+
+TEST_P(BignumProperty, KaratsubaMatchesSchoolbookViaSquares) {
+  // (a+b)^2 == a^2 + 2ab + b^2 crosses the Karatsuba threshold both ways.
+  const Bignum a = rand(GetParam());
+  const Bignum b = rand(GetParam());
+  const Bignum lhs = (a + b) * (a + b);
+  const Bignum rhs = a * a + a * b + a * b + b * b;
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_P(BignumProperty, ModularReductionBound) {
+  const Bignum a = rand(GetParam());
+  const Bignum m = rand(GetParam() / 2 + 2);
+  if (m.is_zero()) return;
+  EXPECT_LT(a % m, m);
+}
+
+TEST_P(BignumProperty, ModularMultiplicationHomomorphic) {
+  const Bignum a = rand(GetParam());
+  const Bignum b = rand(GetParam());
+  const Bignum m = rand(GetParam() / 2 + 2);
+  if (m.is_zero()) return;
+  EXPECT_EQ((a * b) % m, (((a % m) * (b % m)) % m));
+}
+
+TEST_P(BignumProperty, ShiftLeftIsMulByPowerOfTwo) {
+  const Bignum a = rand(GetParam());
+  const std::size_t s = rng_.next_below(130);
+  Bignum pow(1);
+  EXPECT_EQ(a << s, a * (pow << s));
+}
+
+TEST_P(BignumProperty, ShiftRoundTrip) {
+  const Bignum a = rand(GetParam());
+  const std::size_t s = rng_.next_below(200);
+  EXPECT_EQ((a << s) >> s, a);
+}
+
+TEST_P(BignumProperty, BitLengthConsistentWithShift) {
+  const Bignum a = rand(GetParam());
+  EXPECT_EQ((a << 5).bit_length(), a.bit_length() + 5);
+}
+
+TEST_P(BignumProperty, ByteSerializationRoundTrips) {
+  const Bignum a = rand(GetParam());
+  EXPECT_EQ(Bignum::from_bytes_be(a.to_bytes_be()), a);
+  EXPECT_EQ(Bignum::from_bytes_le(a.to_bytes_le()), a);
+}
+
+TEST_P(BignumProperty, DecimalHexRoundTrips) {
+  const Bignum a = rand(GetParam());
+  EXPECT_EQ(Bignum::from_decimal(a.to_decimal()), a);
+  EXPECT_EQ(Bignum::from_hex(a.to_hex()), a);
+}
+
+TEST_P(BignumProperty, GcdDividesBoth) {
+  const Bignum a = rand(GetParam());
+  const Bignum b = rand(GetParam() / 2 + 1);
+  const Bignum g = Bignum::gcd(a, b);
+  if (g.is_zero()) return;
+  EXPECT_TRUE((a % g).is_zero());
+  EXPECT_TRUE((b % g).is_zero());
+}
+
+TEST_P(BignumProperty, ModInverseIsInverse) {
+  const Bignum m = rand(GetParam()).add_limb(3);
+  Bignum a = rand(GetParam() / 2 + 2);
+  // Ensure coprimality by retrying a few times.
+  for (int i = 0; i < 8 && !Bignum::gcd(a, m).is_one(); ++i) {
+    a = a.add_limb(1);
+  }
+  if (!Bignum::gcd(a, m).is_one()) return;
+  const auto inv = Bignum::mod_inverse(a, m);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(((a * *inv) % m).is_one());
+  EXPECT_LT(*inv, m);
+}
+
+TEST_P(BignumProperty, ModExpMatchesNaive) {
+  const Bignum base = rand(GetParam() / 2 + 1);
+  const Bignum m = rand(64).add_limb(3);
+  const std::uint64_t e = rng_.next_below(200);
+  Bignum naive(1);
+  for (std::uint64_t i = 0; i < e; ++i) naive = (naive * base) % m;
+  EXPECT_EQ(Bignum::mod_exp(base, Bignum(e), m), naive);
+}
+
+TEST_P(BignumProperty, FermatLittleTheorem) {
+  // a^(p-1) == 1 mod p for prime p not dividing a.
+  const Bignum p = random_prime(rng_, 64);
+  const Bignum a = rand(GetParam()).add_limb(1);
+  if ((a % p).is_zero()) return;
+  EXPECT_TRUE(Bignum::mod_exp(a, p - Bignum(1), p).is_one());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BignumProperty,
+                         ::testing::Values(8, 33, 64, 100, 192, 256, 511, 777,
+                                           1024, 1600, 2048));
+
+}  // namespace
+}  // namespace keyguard::bn

@@ -1,0 +1,171 @@
+// The reproduction's contract tests: for every protection level, the copy
+// census after a realistic workload must match what the paper's §5.3/§6.3
+// figures show.
+#include "core/protection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "servers/apache_server.hpp"
+#include "servers/ssh_server.hpp"
+
+namespace keyguard::core {
+namespace {
+
+ScenarioConfig cfg(ProtectionLevel level) {
+  ScenarioConfig c;
+  c.level = level;
+  c.mem_bytes = 16ull << 20;
+  c.key_bits = 512;
+  c.seed = 99;
+  return c;
+}
+
+scan::Census run_ssh_workload(Scenario& s, int connections) {
+  servers::SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  EXPECT_TRUE(server.start());
+  for (int i = 0; i < connections; ++i) server.handle_connection(8 << 10);
+  return scan::KeyScanner::census(s.scanner().scan_kernel(s.kernel()));
+}
+
+scan::Census run_apache_workload(Scenario& s, int requests) {
+  servers::ApacheServer server(s.kernel(), s.apache_config(), s.make_rng());
+  EXPECT_TRUE(server.start());
+  server.set_concurrency(8);
+  for (int i = 0; i < requests; ++i) server.handle_request();
+  return scan::KeyScanner::census(s.scanner().scan_kernel(s.kernel()));
+}
+
+TEST(ProtectionNames, AllDistinct) {
+  EXPECT_EQ(protection_name(ProtectionLevel::kNone), "none");
+  EXPECT_EQ(protection_name(ProtectionLevel::kApplication), "application");
+  EXPECT_EQ(protection_name(ProtectionLevel::kLibrary), "library");
+  EXPECT_EQ(protection_name(ProtectionLevel::kKernel), "kernel");
+  EXPECT_EQ(protection_name(ProtectionLevel::kIntegrated), "integrated");
+}
+
+TEST(ProtectionProfiles, FlagsMatchPaperTaxonomy) {
+  const auto none = make_profile(ProtectionLevel::kNone, 1 << 20);
+  EXPECT_FALSE(none.kernel.zero_on_free);
+  EXPECT_FALSE(none.ssl.auto_align);
+  EXPECT_FALSE(none.align_at_load);
+
+  const auto app = make_profile(ProtectionLevel::kApplication, 1 << 20);
+  EXPECT_TRUE(app.align_at_load);
+  EXPECT_TRUE(app.ssh_no_reexec);
+  EXPECT_FALSE(app.ssl.auto_align);
+  EXPECT_FALSE(app.kernel.zero_on_free);
+
+  const auto lib = make_profile(ProtectionLevel::kLibrary, 1 << 20);
+  EXPECT_TRUE(lib.ssl.auto_align);
+  EXPECT_FALSE(lib.align_at_load);
+  EXPECT_FALSE(lib.kernel.zero_on_free);
+
+  const auto kern = make_profile(ProtectionLevel::kKernel, 1 << 20);
+  EXPECT_TRUE(kern.kernel.zero_on_free);
+  EXPECT_FALSE(kern.ssl.auto_align);
+  EXPECT_FALSE(kern.ssh_no_reexec);
+
+  const auto integrated = make_profile(ProtectionLevel::kIntegrated, 1 << 20);
+  EXPECT_TRUE(integrated.kernel.zero_on_free);
+  EXPECT_TRUE(integrated.kernel.o_nocache_supported);
+  EXPECT_TRUE(integrated.ssl.auto_align);
+  EXPECT_TRUE(integrated.ssl.open_keys_nocache);
+}
+
+// -- SSH censuses (Figures 5, 9-16) -----------------------------------------
+
+TEST(SshCensus, BaselineFloodsBothPools) {
+  Scenario s(cfg(ProtectionLevel::kNone));
+  const auto census = run_ssh_workload(s, 12);
+  EXPECT_GT(census.allocated, 3u);
+  EXPECT_GT(census.unallocated, 0u);
+}
+
+TEST(SshCensus, ApplicationLevelNoUnallocatedSmallConstant) {
+  Scenario s(cfg(ProtectionLevel::kApplication));
+  const auto census = run_ssh_workload(s, 12);
+  EXPECT_EQ(census.unallocated, 0u);
+  // d, P, Q on the aligned page + the PEM page-cache entry.
+  EXPECT_LE(census.allocated, 4u);
+  EXPECT_GE(census.allocated, 3u);
+}
+
+TEST(SshCensus, LibraryLevelMatchesApplicationLevel) {
+  Scenario s(cfg(ProtectionLevel::kLibrary));
+  const auto census = run_ssh_workload(s, 12);
+  EXPECT_EQ(census.unallocated, 0u);
+  EXPECT_LE(census.allocated, 4u);
+}
+
+TEST(SshCensus, KernelLevelEliminatesUnallocatedOnly) {
+  Scenario s(cfg(ProtectionLevel::kKernel));
+  const auto census = run_ssh_workload(s, 12);
+  EXPECT_EQ(census.unallocated, 0u);
+  // Duplication in allocated memory is NOT addressed (paper Fig 14).
+  EXPECT_GT(census.allocated, 4u);
+}
+
+TEST(SshCensus, IntegratedLeavesExactlyTheAlignedPage) {
+  Scenario s(cfg(ProtectionLevel::kIntegrated));
+  const auto census = run_ssh_workload(s, 12);
+  EXPECT_EQ(census.unallocated, 0u);
+  EXPECT_EQ(census.allocated, 3u);  // d, P, Q on one page; no PEM anywhere
+}
+
+// -- Apache censuses (Figures 6, 21-28) --------------------------------------
+
+TEST(ApacheCensus, BaselineFloodsWithWorkerCount) {
+  Scenario s(cfg(ProtectionLevel::kNone));
+  const auto census = run_apache_workload(s, 30);
+  EXPECT_GT(census.allocated, 8u);  // master parse + per-worker mont caches
+}
+
+TEST(ApacheCensus, ApplicationLevelSmallConstant) {
+  Scenario s(cfg(ProtectionLevel::kApplication));
+  const auto census = run_apache_workload(s, 30);
+  EXPECT_EQ(census.unallocated, 0u);
+  EXPECT_LE(census.allocated, 4u);
+}
+
+TEST(ApacheCensus, KernelLevelEliminatesUnallocatedOnly) {
+  Scenario s(cfg(ProtectionLevel::kKernel));
+  const auto census = run_apache_workload(s, 30);
+  EXPECT_EQ(census.unallocated, 0u);
+  EXPECT_GT(census.allocated, 4u);
+}
+
+TEST(ApacheCensus, IntegratedLeavesExactlyTheAlignedPage) {
+  Scenario s(cfg(ProtectionLevel::kIntegrated));
+  const auto census = run_apache_workload(s, 30);
+  EXPECT_EQ(census.unallocated, 0u);
+  EXPECT_EQ(census.allocated, 3u);
+}
+
+// -- scenario plumbing --------------------------------------------------------
+
+TEST(Scenario, InstallsKeyFilesAndValidates) {
+  Scenario s(cfg(ProtectionLevel::kNone));
+  EXPECT_TRUE(s.kernel().vfs().exists(Scenario::kSshKeyPath));
+  EXPECT_TRUE(s.kernel().vfs().exists(Scenario::kApacheKeyPath));
+  EXPECT_TRUE(s.key().validate());
+  EXPECT_EQ(s.key().n.bit_length(), 512u);
+}
+
+TEST(Scenario, PrecacheShowsPemBeforeServerStart) {
+  Scenario s(cfg(ProtectionLevel::kNone));
+  s.precache_key_file(Scenario::kSshKeyPath);
+  const auto census = scan::KeyScanner::census(s.scanner().scan_kernel(s.kernel()));
+  EXPECT_EQ(census.allocated, 1u);  // the cached PEM, paper's t=0
+  EXPECT_EQ(census.unallocated, 0u);
+}
+
+TEST(Scenario, DeterministicAcrossConstructions) {
+  Scenario a(cfg(ProtectionLevel::kNone));
+  Scenario b(cfg(ProtectionLevel::kNone));
+  EXPECT_EQ(a.key().n, b.key().n);
+  EXPECT_EQ(a.pem(), b.pem());
+}
+
+}  // namespace
+}  // namespace keyguard::core

@@ -1,0 +1,61 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace keyguard::crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(Sha256::hash_str("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(Sha256::hash_str("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(Sha256::hash_str(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(util::as_bytes(chunk));
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) h.update({reinterpret_cast<const std::byte*>(&c), 1});
+  EXPECT_EQ(h.finish(), Sha256::hash_str(msg));
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 55, 56, 57, 63, 64, 65 bytes straddle the padding edge cases.
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(util::as_bytes(msg));
+    const auto d1 = a.finish();
+    // Split at an arbitrary point.
+    Sha256 b;
+    b.update(util::as_bytes(std::string_view(msg).substr(0, len / 3)));
+    b.update(util::as_bytes(std::string_view(msg).substr(len / 3)));
+    EXPECT_EQ(d1, b.finish()) << len;
+  }
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::hash_str("a"), Sha256::hash_str("b"));
+}
+
+}  // namespace
+}  // namespace keyguard::crypto

@@ -1,0 +1,180 @@
+#include "scan/key_scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/pem.hpp"
+#include "sslsim/ssl_library.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::scan {
+namespace {
+
+using sslsim::SslLibrary;
+
+const crypto::RsaPrivateKey& test_key() {
+  static const crypto::RsaPrivateKey k = [] {
+    util::Rng rng(31337);
+    return crypto::generate_rsa_key(rng, 512);
+  }();
+  return k;
+}
+
+sim::KernelConfig small_config() {
+  sim::KernelConfig cfg;
+  cfg.mem_bytes = 8ull << 20;
+  return cfg;
+}
+
+TEST(KeyPatterns, BuildsFourNeedles) {
+  const auto pats = KeyPatterns::from_key(test_key());
+  ASSERT_EQ(pats.patterns.size(), 4u);
+  EXPECT_EQ(pats.patterns[0].name, "d");
+  EXPECT_EQ(pats.patterns[1].name, "P");
+  EXPECT_EQ(pats.patterns[2].name, "Q");
+  EXPECT_EQ(pats.patterns[3].name, "PEM");
+  EXPECT_EQ(pats.patterns[0].bytes.size(), test_key().d.limb_count() * 8);
+  EXPECT_EQ(pats.patterns[1].bytes.size(), 32u);  // 256-bit prime
+}
+
+TEST(KeyScanner, EmptyMemoryYieldsNoMatches) {
+  sim::Kernel k(small_config());
+  KeyScanner scanner(test_key());
+  EXPECT_TRUE(scanner.scan_kernel(k).empty());
+}
+
+TEST(KeyScanner, FindsPlantedKeyInProcessMemory) {
+  sim::Kernel k(small_config());
+  auto& p = k.spawn("victim");
+  const sim::VirtAddr addr = k.heap_alloc(p, 64);
+  k.mem_write(p, addr, SslLibrary::limb_image(test_key().p));
+  KeyScanner scanner(test_key());
+  const auto matches = scanner.scan_kernel(k);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].part, "P");
+  EXPECT_EQ(matches[0].state, sim::FrameState::kUserAnon);
+  ASSERT_EQ(matches[0].owners.size(), 1u);
+  EXPECT_EQ(matches[0].owners[0], p.pid());
+  EXPECT_TRUE(matches[0].allocated());
+}
+
+TEST(KeyScanner, ClassifiesUnallocatedResidue) {
+  sim::Kernel k(small_config());
+  auto& p = k.spawn("victim");
+  const sim::VirtAddr addr = k.heap_alloc(p, 64);
+  k.mem_write(p, addr, SslLibrary::limb_image(test_key().q));
+  k.exit_process(p);
+  KeyScanner scanner(test_key());
+  const auto matches = scanner.scan_kernel(k);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].part, "Q");
+  EXPECT_EQ(matches[0].state, sim::FrameState::kFree);
+  EXPECT_TRUE(matches[0].owners.empty());
+  EXPECT_FALSE(matches[0].allocated());
+}
+
+TEST(KeyScanner, FindsPemInPageCache) {
+  sim::Kernel k(small_config());
+  const std::string pem = crypto::pem_encode_private_key(test_key());
+  k.vfs().write_file("/key.pem", util::to_bytes(pem));
+  auto& p = k.spawn("reader");
+  k.read_file(p, "/key.pem");
+  KeyScanner scanner(test_key());
+  const auto matches = scanner.scan_kernel(k);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].part, "PEM");
+  EXPECT_EQ(matches[0].state, sim::FrameState::kPageCache);
+}
+
+TEST(KeyScanner, ReportsAllCowDuplicates) {
+  sim::Kernel k(small_config());
+  auto& parent = k.spawn("parent");
+  const sim::VirtAddr a = k.mmap_anon(parent, sim::kPageSize, false);
+  k.mem_write(parent, a, SslLibrary::limb_image(test_key().p));
+  auto& child = k.fork(parent, "child");
+  const std::byte one{1};
+  k.mem_write(child, a + 3000, {&one, 1});  // break COW far from the key bytes
+  KeyScanner scanner(test_key());
+  const auto matches = scanner.scan_kernel(k);
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(KeyScanner, MatchesSortedByPhysicalAddress) {
+  sim::Kernel k(small_config());
+  auto& p = k.spawn("victim");
+  for (int i = 0; i < 4; ++i) {
+    const sim::VirtAddr addr = k.heap_alloc(p, sim::kPageSize);
+    k.mem_write(p, addr, SslLibrary::limb_image(test_key().p));
+  }
+  KeyScanner scanner(test_key());
+  const auto matches = scanner.scan_kernel(k);
+  ASSERT_EQ(matches.size(), 4u);
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LT(matches[i - 1].phys_offset, matches[i].phys_offset);
+  }
+}
+
+TEST(KeyScanner, CensusSplitsAllocatedAndFree) {
+  sim::Kernel k(small_config());
+  auto& stays = k.spawn("stays");
+  auto& dies = k.spawn("dies");
+  k.mem_write(stays, k.heap_alloc(stays, 64), SslLibrary::limb_image(test_key().p));
+  k.mem_write(dies, k.heap_alloc(dies, 64), SslLibrary::limb_image(test_key().p));
+  k.exit_process(dies);
+  KeyScanner scanner(test_key());
+  const auto census = KeyScanner::census(scanner.scan_kernel(k));
+  EXPECT_EQ(census.allocated, 1u);
+  EXPECT_EQ(census.unallocated, 1u);
+  EXPECT_EQ(census.total(), 2u);
+}
+
+TEST(KeyScanner, ScanCaptureCountsCopies) {
+  std::vector<std::byte> capture(100000, std::byte{0});
+  const auto p_img = SslLibrary::limb_image(test_key().p);
+  const auto d_img = SslLibrary::limb_image(test_key().d);
+  std::copy(p_img.begin(), p_img.end(), capture.begin() + 100);
+  std::copy(p_img.begin(), p_img.end(), capture.begin() + 50000);
+  std::copy(d_img.begin(), d_img.end(), capture.begin() + 70000);
+  KeyScanner scanner(test_key());
+  const auto matches = scanner.scan_capture(capture);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(scanner.count_copies(capture), 3u);
+  EXPECT_EQ(matches[0].offset, 100u);
+  EXPECT_EQ(matches[0].part, "P");
+  EXPECT_EQ(matches[2].part, "d");
+}
+
+TEST(KeyScanner, CaptureWithNoKeysIsEmpty) {
+  util::Rng rng(2);
+  std::vector<std::byte> capture(1 << 16);
+  rng.fill_bytes(capture);
+  KeyScanner scanner(test_key());
+  EXPECT_EQ(scanner.count_copies(capture), 0u);
+}
+
+TEST(KeyScanner, EndToEndServerLoadScan) {
+  // Integration: load a key through the simulated SSL stack, then scan.
+  sim::Kernel k(small_config());
+  const std::string pem = crypto::pem_encode_private_key(test_key());
+  k.vfs().write_file("/hostkey", util::to_bytes(pem));
+  auto& sshd = k.spawn("sshd");
+  SslLibrary ssl(k, {});
+  auto key = ssl.load_private_key(sshd, "/hostkey");
+  ASSERT_TRUE(key);
+  KeyScanner scanner(test_key());
+  const auto matches = scanner.scan_kernel(k);
+  // At minimum: d, P, Q images in the heap + PEM in page cache + PEM in
+  // the freed parse buffer.
+  const auto census = KeyScanner::census(matches);
+  EXPECT_GE(census.allocated, 5u);
+  EXPECT_EQ(census.unallocated, 0u);
+  // Every allocated user match is attributed to sshd.
+  for (const auto& m : matches) {
+    if (m.state == sim::FrameState::kUserAnon) {
+      ASSERT_EQ(m.owners.size(), 1u);
+      EXPECT_EQ(m.owners[0], sshd.pid());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace keyguard::scan

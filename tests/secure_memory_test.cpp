@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/key_vault.hpp"
+#include "core/secure_allocator.hpp"
+#include "core/secure_buffer.hpp"
+#include "core/secure_zero.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::secure {
+namespace {
+
+TEST(SecureZero, ZeroesEveryByte) {
+  std::vector<std::byte> buf(4096, std::byte{0xAB});
+  secure_zero(buf.data(), buf.size());
+  EXPECT_TRUE(util::all_zero(buf));
+}
+
+TEST(SecureZero, ZeroLengthIsSafe) {
+  secure_zero(nullptr, 0);
+  SUCCEED();
+}
+
+TEST(SecureZero, SpanOverload) {
+  std::vector<std::byte> buf(100, std::byte{1});
+  secure_zero(std::span<std::byte>(buf).subspan(10, 20));
+  EXPECT_EQ(buf[9], std::byte{1});
+  EXPECT_EQ(buf[10], std::byte{0});
+  EXPECT_EQ(buf[29], std::byte{0});
+  EXPECT_EQ(buf[30], std::byte{1});
+}
+
+TEST(ConstantTimeEqual, Basics) {
+  const auto a = util::to_bytes("same-bytes");
+  const auto b = util::to_bytes("same-bytes");
+  const auto c = util::to_bytes("diff-bytes");
+  const auto d = util::to_bytes("short");
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+TEST(SecureBuffer, AllocatesRequestedSizeZeroed) {
+  SecureBuffer buf(1000);
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_FALSE(buf.empty());
+  EXPECT_TRUE(util::all_zero(buf.data()));
+}
+
+TEST(SecureBuffer, PageAligned) {
+  SecureBuffer buf(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data().data()) % 4096, 0u);
+}
+
+TEST(SecureBuffer, WritableAndReadable) {
+  SecureBuffer buf(64);
+  const auto msg = util::to_bytes("key material");
+  std::memcpy(buf.data().data(), msg.data(), msg.size());
+  EXPECT_EQ(std::memcmp(buf.data().data(), msg.data(), msg.size()), 0);
+}
+
+TEST(SecureBuffer, CanaryDetectsOverrun) {
+  SecureBuffer buf(100);
+  EXPECT_TRUE(buf.canary_intact());
+  // Simulate a heap overrun past the usable range.
+  buf.data().data()[100] = std::byte{0x00};
+  EXPECT_FALSE(buf.canary_intact());
+  // Restore so the destructor path is clean.
+  buf.data().data()[100] = std::byte{0xC5};
+  EXPECT_TRUE(buf.canary_intact());
+}
+
+TEST(SecureBuffer, ScrubZeroesContents) {
+  SecureBuffer buf(64);
+  std::memset(buf.data().data(), 0x5A, 64);
+  buf.scrub();
+  EXPECT_TRUE(util::all_zero(buf.data()));
+}
+
+TEST(SecureBuffer, MoveTransfersOwnership) {
+  SecureBuffer a(64);
+  std::memset(a.data().data(), 0x11, 64);
+  const void* ptr = a.data().data();
+  SecureBuffer b(std::move(a));
+  EXPECT_EQ(b.data().data(), ptr);
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_TRUE(a.empty());
+
+  SecureBuffer c(16);
+  c = std::move(b);
+  EXPECT_EQ(c.data().data(), ptr);
+}
+
+TEST(SecureBuffer, DestructorScrubs) {
+  // Observe the backing memory after destruction via the raw pointer.
+  // (Reading freed memory is UB in general; here the test allocates a new
+  // buffer immediately and merely checks our scrub ran before release by
+  // using scrub() + explicit check instead.)
+  SecureBuffer buf(128);
+  std::memset(buf.data().data(), 0x77, 128);
+  buf.scrub();
+  EXPECT_TRUE(util::all_zero(buf.data()));
+}
+
+TEST(SecureBuffer, ZeroSizeWorks) {
+  SecureBuffer buf(0);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_TRUE(buf.canary_intact());
+}
+
+TEST(SecureAllocator, VectorRoundTrip) {
+  SecureBytes v;
+  for (int i = 0; i < 1000; ++i) v.push_back(std::byte{0x42});
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(v[999], std::byte{0x42});
+}
+
+TEST(SecureAllocator, StringRoundTrip) {
+  SecureString s = "a moderately long secret passphrase exceeding SSO";
+  EXPECT_GT(s.size(), 40u);  // long enough to defeat SSO
+  s += " and more";
+  EXPECT_NE(s.find("more"), SecureString::npos);
+}
+
+TEST(SecureAllocator, EqualityForRebinding) {
+  SecureAllocator<std::byte> a;
+  SecureAllocator<int> b;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(KeyVault, StoreAndView) {
+  KeyVault vault;
+  const auto material = util::to_bytes("rsa-private-key-material");
+  const KeyId id = vault.store(material);
+  EXPECT_TRUE(vault.contains(id));
+  EXPECT_EQ(vault.size(), 1u);
+  const auto view = vault.view(id);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(std::equal(view->begin(), view->end(), material.begin()));
+}
+
+TEST(KeyVault, StoreAndScrubWipesSource) {
+  KeyVault vault;
+  auto material = util::to_bytes("wipe-after-store");
+  const KeyId id = vault.store_and_scrub(material);
+  EXPECT_TRUE(util::all_zero(material));  // source gone
+  const auto view = vault.view(id);
+  ASSERT_TRUE(view);
+  EXPECT_EQ((*view)[0], std::byte{'w'});  // vault copy intact
+}
+
+TEST(KeyVault, WithKeyScopedAccess) {
+  KeyVault vault;
+  const KeyId id = vault.store(util::to_bytes("scoped"));
+  bool ran = false;
+  EXPECT_TRUE(vault.with_key(id, [&](std::span<const std::byte> key) {
+    ran = true;
+    EXPECT_EQ(key.size(), 6u);
+  }));
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(vault.with_key(9999, [](auto) {}));
+}
+
+TEST(KeyVault, EraseRemoves) {
+  KeyVault vault;
+  const KeyId id = vault.store(util::to_bytes("gone"));
+  vault.erase(id);
+  EXPECT_FALSE(vault.contains(id));
+  EXPECT_FALSE(vault.view(id).has_value());
+  EXPECT_EQ(vault.size(), 0u);
+}
+
+TEST(KeyVault, ClearRemovesAll) {
+  KeyVault vault;
+  vault.store(util::to_bytes("a"));
+  vault.store(util::to_bytes("b"));
+  vault.clear();
+  EXPECT_EQ(vault.size(), 0u);
+}
+
+TEST(KeyVault, DistinctIdsForDistinctKeys) {
+  KeyVault vault;
+  const KeyId a = vault.store(util::to_bytes("one"));
+  const KeyId b = vault.store(util::to_bytes("two"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vault.view(a)->size(), 3u);
+}
+
+TEST(KeyVault, LockedQueryDoesNotCrash) {
+  KeyVault vault;
+  const KeyId id = vault.store(util::to_bytes("k"));
+  // mlock may fail under RLIMIT_MEMLOCK in containers; either answer is valid.
+  (void)vault.locked(id);
+  EXPECT_FALSE(vault.locked(424242));
+}
+
+}  // namespace
+}  // namespace keyguard::secure

@@ -1,0 +1,100 @@
+#include "core/secure_rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bignum/prime.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::secure {
+namespace {
+
+using bn::Bignum;
+
+const crypto::RsaPrivateKey& test_key() {
+  static const crypto::RsaPrivateKey k = [] {
+    util::Rng rng(909);
+    return crypto::generate_rsa_key(rng, 512);
+  }();
+  return k;
+}
+
+TEST(BignumScrub, DestroysValue) {
+  Bignum v = *Bignum::from_hex("deadbeefcafebabe1234567890abcdef");
+  v.scrub();
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v.limb_count(), 0u);
+}
+
+TEST(BignumScrub, ZeroIsSafe) {
+  Bignum v;
+  v.scrub();
+  EXPECT_TRUE(v.is_zero());
+}
+
+TEST(KeyScrub, PrivatePartsGonePublicRemains) {
+  crypto::RsaPrivateKey key = test_key();
+  key.scrub_private_parts();
+  EXPECT_TRUE(key.d.is_zero());
+  EXPECT_TRUE(key.p.is_zero());
+  EXPECT_TRUE(key.q.is_zero());
+  EXPECT_TRUE(key.iqmp.is_zero());
+  EXPECT_EQ(key.n, test_key().n);
+  EXPECT_EQ(key.e, test_key().e);
+  EXPECT_FALSE(key.validate());
+}
+
+TEST(SecureRsaKey, DecryptMatchesPlainKey) {
+  const auto secure = SecureRsaKey::from_key(test_key());
+  util::Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    const Bignum c = bn::random_below(rng, test_key().n);
+    EXPECT_EQ(secure.decrypt(c), test_key().decrypt_crt(c));
+  }
+}
+
+TEST(SecureRsaKey, SignVerifyRoundTrip) {
+  const auto secure = SecureRsaKey::from_key(test_key());
+  const Bignum m(123456789);
+  const Bignum sig = secure.sign(m);
+  EXPECT_EQ(secure.public_key().encrypt_raw(sig), m);
+}
+
+TEST(SecureRsaKey, PublicKeyMatches) {
+  const auto secure = SecureRsaKey::from_key(test_key());
+  EXPECT_EQ(secure.public_key().n, test_key().n);
+  EXPECT_EQ(secure.public_key().e, test_key().e);
+}
+
+TEST(SecureRsaKey, ScrubbingConstructionDestroysSource) {
+  crypto::RsaPrivateKey plain = test_key();
+  const auto secure = SecureRsaKey::from_key_scrubbing(plain);
+  EXPECT_TRUE(plain.d.is_zero());
+  EXPECT_TRUE(plain.p.is_zero());
+  // The secure copy still works.
+  const Bignum m(42);
+  EXPECT_EQ(secure.public_key().encrypt_raw(secure.sign(m)), m);
+}
+
+TEST(SecureRsaKey, FootprintIsOnePageForTypicalKeys) {
+  const auto secure = SecureRsaKey::from_key(test_key());
+  // 512-bit key: 8 parts, each <= 64 bytes -> well under a page, so the
+  // whole key sits on ONE physical page like the paper's aligned region.
+  EXPECT_LE(secure.footprint_bytes(), 4096u);
+  EXPECT_TRUE(secure.canary_intact());
+}
+
+TEST(SecureRsaKey, MoveKeepsWorking) {
+  auto a = SecureRsaKey::from_key(test_key());
+  const auto b = std::move(a);
+  const Bignum m(7);
+  EXPECT_EQ(b.public_key().encrypt_raw(b.sign(m)), m);
+}
+
+TEST(SecureRsaKey, LockedQueryDoesNotCrash) {
+  const auto secure = SecureRsaKey::from_key(test_key());
+  (void)secure.locked();  // may be false under RLIMIT_MEMLOCK
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace keyguard::secure

@@ -1,0 +1,140 @@
+#include "servers/apache_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "sslsim/ssl_library.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::servers {
+namespace {
+
+using core::ProtectionLevel;
+using core::Scenario;
+using core::ScenarioConfig;
+
+ScenarioConfig cfg(ProtectionLevel level = ProtectionLevel::kNone) {
+  ScenarioConfig c;
+  c.level = level;
+  c.mem_bytes = 16ull << 20;
+  c.key_bits = 512;
+  c.seed = 77;
+  return c;
+}
+
+TEST(ApacheServer, StartPreforksWorkers) {
+  Scenario s(cfg());
+  auto config = s.apache_config();
+  config.start_servers = 4;
+  ApacheServer server(s.kernel(), config, s.make_rng());
+  ASSERT_TRUE(server.start());
+  EXPECT_EQ(server.worker_count(), 4u);
+  EXPECT_EQ(s.kernel().live_process_count(), 5u);  // master + 4
+  server.stop();
+  EXPECT_EQ(s.kernel().live_process_count(), 0u);
+}
+
+TEST(ApacheServer, StartFailsWithoutKey) {
+  Scenario s(cfg());
+  auto config = s.apache_config();
+  config.key_path = "/missing";
+  ApacheServer server(s.kernel(), config, s.make_rng());
+  EXPECT_FALSE(server.start());
+}
+
+TEST(ApacheServer, RequestsRoundRobinAndSucceed) {
+  Scenario s(cfg());
+  auto config = s.apache_config();
+  config.start_servers = 3;
+  ApacheServer server(s.kernel(), config, s.make_rng());
+  ASSERT_TRUE(server.start());
+  for (int i = 0; i < 9; ++i) EXPECT_TRUE(server.handle_request());
+  EXPECT_EQ(server.total_handshakes(), 9u);
+}
+
+TEST(ApacheServer, WorkersBuildPrivateMontgomeryCaches) {
+  // Baseline: first request per worker writes a P copy into ITS heap
+  // (COW break), so copies grow with the number of active workers.
+  Scenario s(cfg(ProtectionLevel::kNone));
+  auto config = s.apache_config();
+  config.start_servers = 4;
+  ApacheServer server(s.kernel(), config, s.make_rng());
+  ASSERT_TRUE(server.start());
+  const auto p_img = sslsim::SslLibrary::limb_image(s.key().p);
+  const auto before = util::find_all(s.kernel().memory().all(), p_img).size();
+  for (int i = 0; i < 4; ++i) server.handle_request();  // one per worker
+  const auto after = util::find_all(s.kernel().memory().all(), p_img).size();
+  // Each worker contributes at least the cached BN_MONT_CTX copy of P; the
+  // cache write also COW-duplicates the heap page holding the parsed key,
+  // so two copies per worker is the realistic outcome.
+  EXPECT_GE(after, before + 4);
+  // Further requests reuse the caches.
+  for (int i = 0; i < 4; ++i) server.handle_request();
+  EXPECT_EQ(util::find_all(s.kernel().memory().all(), p_img).size(), after);
+}
+
+TEST(ApacheServer, AlignedKeyStaysSingleAcrossWorkers) {
+  Scenario s(cfg(ProtectionLevel::kIntegrated));
+  auto config = s.apache_config();
+  config.start_servers = 6;
+  ApacheServer server(s.kernel(), config, s.make_rng());
+  ASSERT_TRUE(server.start());
+  for (int i = 0; i < 12; ++i) EXPECT_TRUE(server.handle_request());
+  const auto p_img = sslsim::SslLibrary::limb_image(s.key().p);
+  EXPECT_EQ(util::find_all(s.kernel().memory().all(), p_img).size(), 1u);
+}
+
+TEST(ApacheServer, SetConcurrencyGrowsAndReapsPool) {
+  Scenario s(cfg());
+  auto config = s.apache_config();
+  config.start_servers = 4;
+  config.spare_workers = 2;
+  config.max_workers = 32;
+  ApacheServer server(s.kernel(), config, s.make_rng());
+  ASSERT_TRUE(server.start());
+  server.set_concurrency(16);
+  EXPECT_EQ(server.worker_count(), 18u);
+  server.set_concurrency(8);
+  EXPECT_EQ(server.worker_count(), 10u);
+  server.set_concurrency(0);
+  EXPECT_EQ(server.worker_count(), 4u);  // floor at StartServers
+}
+
+TEST(ApacheServer, ReapedWorkersDumpCachesIntoFreeMemory) {
+  // The paper's observation (3) in §3.2: dropping load INCREASES the
+  // number of key copies in unallocated memory.
+  Scenario s(cfg(ProtectionLevel::kNone));
+  auto config = s.apache_config();
+  config.start_servers = 2;
+  config.spare_workers = 0;
+  ApacheServer server(s.kernel(), config, s.make_rng());
+  ASSERT_TRUE(server.start());
+  server.set_concurrency(12);
+  for (int i = 0; i < 24; ++i) server.handle_request();  // warm every worker
+  const auto census_before =
+      scan::KeyScanner::census(s.scanner().scan_kernel(s.kernel()));
+  server.set_concurrency(2);  // reap ~10 workers
+  const auto census_after =
+      scan::KeyScanner::census(s.scanner().scan_kernel(s.kernel()));
+  EXPECT_GT(census_after.unallocated, census_before.unallocated);
+}
+
+TEST(ApacheServer, MaxWorkersRespected) {
+  Scenario s(cfg());
+  auto config = s.apache_config();
+  config.start_servers = 2;
+  config.max_workers = 5;
+  ApacheServer server(s.kernel(), config, s.make_rng());
+  ASSERT_TRUE(server.start());
+  server.set_concurrency(50);
+  EXPECT_EQ(server.worker_count(), 5u);
+}
+
+TEST(ApacheServer, RequestFailsWhenDown) {
+  Scenario s(cfg());
+  ApacheServer server(s.kernel(), s.apache_config(), s.make_rng());
+  EXPECT_FALSE(server.handle_request());
+}
+
+}  // namespace
+}  // namespace keyguard::servers

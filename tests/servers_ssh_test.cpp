@@ -1,0 +1,151 @@
+#include "servers/ssh_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "sslsim/ssl_library.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::servers {
+namespace {
+
+using core::ProtectionLevel;
+using core::Scenario;
+using core::ScenarioConfig;
+
+ScenarioConfig cfg(ProtectionLevel level = ProtectionLevel::kNone) {
+  ScenarioConfig c;
+  c.level = level;
+  c.mem_bytes = 16ull << 20;
+  c.key_bits = 512;  // fast for unit tests
+  c.seed = 42;
+  return c;
+}
+
+TEST(SshServer, StartLoadsKeyAndStopTearsDown) {
+  Scenario s(cfg());
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  EXPECT_FALSE(server.running());
+  ASSERT_TRUE(server.start());
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(server.master_pid(), 0u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(SshServer, StartFailsWithoutKeyFile) {
+  Scenario s(cfg());
+  auto config = s.ssh_config();
+  config.key_path = "/missing";
+  SshServer server(s.kernel(), config, s.make_rng());
+  EXPECT_FALSE(server.start());
+}
+
+TEST(SshServer, HandshakeSucceedsAndCountsConnections) {
+  Scenario s(cfg());
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  ASSERT_TRUE(server.start());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(server.handle_connection(8 << 10));
+  }
+  EXPECT_EQ(server.total_handshakes(), 5u);
+  EXPECT_EQ(server.open_connections(), 0u);
+}
+
+TEST(SshServer, OpenConnectionKeepsChildAlive) {
+  Scenario s(cfg());
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  ASSERT_TRUE(server.start());
+  const auto before = s.kernel().live_process_count();
+  const auto id = server.open_connection();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(s.kernel().live_process_count(), before + 1);
+  server.close_connection(*id);
+  EXPECT_EQ(s.kernel().live_process_count(), before);
+}
+
+TEST(SshServer, ReexecChildParsesOwnKeyCopies) {
+  // Stock sshd: every connection re-reads the key, so copies of P grow
+  // with concurrent connections.
+  Scenario s(cfg(ProtectionLevel::kNone));
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  ASSERT_TRUE(server.start());
+  const auto p_img = sslsim::SslLibrary::limb_image(s.key().p);
+  const auto base = util::find_all(s.kernel().memory().all(), p_img).size();
+  const auto c1 = server.open_connection();
+  const auto c2 = server.open_connection();
+  ASSERT_TRUE(c1 && c2);
+  const auto with_conns = util::find_all(s.kernel().memory().all(), p_img).size();
+  EXPECT_GE(with_conns, base + 2);  // at least one fresh P image per child
+}
+
+TEST(SshServer, NoReexecChildrenShareMasterKey) {
+  // sshd -r + aligned key: children never add physical key copies.
+  Scenario s(cfg(ProtectionLevel::kApplication));
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  ASSERT_TRUE(server.start());
+  const auto p_img = sslsim::SslLibrary::limb_image(s.key().p);
+  const auto base = util::find_all(s.kernel().memory().all(), p_img).size();
+  EXPECT_EQ(base, 1u);  // exactly the aligned page
+  std::vector<ConnectionId> ids;
+  for (int i = 0; i < 6; ++i) {
+    const auto id = server.open_connection();
+    ASSERT_TRUE(id);
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(util::find_all(s.kernel().memory().all(), p_img).size(), 1u);
+  for (const auto id : ids) server.close_connection(id);
+  EXPECT_EQ(util::find_all(s.kernel().memory().all(), p_img).size(), 1u);
+}
+
+TEST(SshServer, TransferChurnsChildHeap) {
+  Scenario s(cfg());
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  ASSERT_TRUE(server.start());
+  const auto id = server.open_connection();
+  ASSERT_TRUE(id);
+  const auto allocs_before = s.kernel().allocator().stats().allocs;
+  server.transfer(*id, 256 << 10);
+  EXPECT_GT(s.kernel().allocator().stats().allocs, allocs_before);
+  server.close_connection(*id);
+}
+
+TEST(SshServer, ClosedConnectionsLeaveResidueOnStockKernel) {
+  Scenario s(cfg(ProtectionLevel::kNone));
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  ASSERT_TRUE(server.start());
+  for (int i = 0; i < 10; ++i) server.handle_connection();
+  // Key material sits in unallocated memory now.
+  const auto matches = s.scanner().scan_kernel(s.kernel());
+  const auto census = scan::KeyScanner::census(matches);
+  EXPECT_GT(census.unallocated, 0u);
+}
+
+TEST(SshServer, StopKillsOpenChildren) {
+  Scenario s(cfg());
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  ASSERT_TRUE(server.start());
+  server.open_connection();
+  server.open_connection();
+  server.stop();
+  EXPECT_EQ(s.kernel().live_process_count(), 0u);
+}
+
+TEST(SshServer, OperationsOnUnknownConnectionAreSafe) {
+  Scenario s(cfg());
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  ASSERT_TRUE(server.start());
+  server.transfer(9999, 1024);
+  server.close_connection(9999);
+  SUCCEED();
+}
+
+TEST(SshServer, ConnectionFailsWhenServerDown) {
+  Scenario s(cfg());
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  EXPECT_FALSE(server.open_connection().has_value());
+  EXPECT_FALSE(server.handle_connection());
+}
+
+}  // namespace
+}  // namespace keyguard::servers

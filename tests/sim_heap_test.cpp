@@ -1,0 +1,144 @@
+#include "sim/heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/physmem.hpp"
+#include "sim/process.hpp"
+
+namespace keyguard::sim {
+namespace {
+
+class HeapTest : public ::testing::Test {
+ protected:
+  HeapAllocator heap_{kHeapBase, 1 << 20};
+  std::size_t grown_ = 0;
+};
+
+TEST_F(HeapTest, FirstAllocationAtBase) {
+  const auto a = heap_.alloc(100, grown_);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, kHeapBase);
+  EXPECT_EQ(grown_, kPageSize);  // first page mapped
+  EXPECT_EQ(heap_.chunk_size(*a), 112u);  // rounded to 16
+}
+
+TEST_F(HeapTest, SequentialAllocationsAbut) {
+  const auto a = heap_.alloc(16, grown_);
+  const auto b = heap_.alloc(16, grown_);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*b, *a + 16);
+}
+
+TEST_F(HeapTest, GrowthReportedInPages) {
+  std::size_t total_grown = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(heap_.alloc(1000, grown_));
+    total_grown += grown_;
+  }
+  // 10 * 1008 bytes = 10080 -> 3 pages.
+  EXPECT_EQ(total_grown, 3 * kPageSize);
+}
+
+TEST_F(HeapTest, FreeThenReuseFirstFit) {
+  const auto a = heap_.alloc(64, grown_);
+  const auto b = heap_.alloc(64, grown_);
+  ASSERT_TRUE(a && b);
+  heap_.free(*a);
+  const auto c = heap_.alloc(48, grown_);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(*c, *a);  // reused the hole
+}
+
+TEST_F(HeapTest, SplitLeavesRemainderFree) {
+  const auto a = heap_.alloc(160, grown_);
+  ASSERT_TRUE(a);
+  heap_.free(*a);
+  const auto b = heap_.alloc(32, grown_);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(*b, *a);
+  const auto c = heap_.alloc(96, grown_);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(*c, *a + 32);  // carved from the same hole
+}
+
+TEST_F(HeapTest, CoalescesWithNext) {
+  const auto a = heap_.alloc(32, grown_);
+  const auto b = heap_.alloc(32, grown_);
+  const auto guard = heap_.alloc(32, grown_);
+  ASSERT_TRUE(a && b && guard);
+  heap_.free(*b);
+  heap_.free(*a);  // should merge with b's hole
+  const auto big = heap_.alloc(64, grown_);
+  ASSERT_TRUE(big);
+  EXPECT_EQ(*big, *a);
+}
+
+TEST_F(HeapTest, CoalescesWithPrev) {
+  const auto a = heap_.alloc(32, grown_);
+  const auto b = heap_.alloc(32, grown_);
+  const auto guard = heap_.alloc(32, grown_);
+  ASSERT_TRUE(a && b && guard);
+  heap_.free(*a);
+  heap_.free(*b);  // merges into a's hole
+  const auto big = heap_.alloc(64, grown_);
+  ASSERT_TRUE(big);
+  EXPECT_EQ(*big, *a);
+}
+
+TEST_F(HeapTest, CoalescesBothSides) {
+  const auto a = heap_.alloc(32, grown_);
+  const auto b = heap_.alloc(32, grown_);
+  const auto c = heap_.alloc(32, grown_);
+  const auto guard = heap_.alloc(32, grown_);
+  ASSERT_TRUE(a && b && c && guard);
+  heap_.free(*a);
+  heap_.free(*c);
+  heap_.free(*b);  // bridges both holes
+  const auto big = heap_.alloc(96, grown_);
+  ASSERT_TRUE(big);
+  EXPECT_EQ(*big, *a);
+}
+
+TEST_F(HeapTest, ExhaustionReturnsNullopt) {
+  HeapAllocator tiny(kHeapBase, 64);
+  std::size_t g = 0;
+  EXPECT_TRUE(tiny.alloc(48, g).has_value());
+  EXPECT_FALSE(tiny.alloc(48, g).has_value());
+}
+
+TEST_F(HeapTest, LiveAccounting) {
+  EXPECT_EQ(heap_.live_chunks(), 0u);
+  const auto a = heap_.alloc(100, grown_);
+  EXPECT_EQ(heap_.live_chunks(), 1u);
+  EXPECT_EQ(heap_.live_bytes(), 112u);
+  heap_.free(*a);
+  EXPECT_EQ(heap_.live_chunks(), 0u);
+  EXPECT_EQ(heap_.live_bytes(), 0u);
+}
+
+TEST_F(HeapTest, IsLiveChunk) {
+  const auto a = heap_.alloc(10, grown_);
+  EXPECT_TRUE(heap_.is_live_chunk(*a));
+  heap_.free(*a);
+  EXPECT_FALSE(heap_.is_live_chunk(*a));
+  EXPECT_FALSE(heap_.is_live_chunk(kHeapBase + 999999));
+}
+
+TEST_F(HeapTest, ZeroSizeAllocationGetsMinimumChunk) {
+  const auto a = heap_.alloc(0, grown_);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(heap_.chunk_size(*a), 16u);
+}
+
+TEST_F(HeapTest, HighWaterMonotonic) {
+  const auto before = heap_.high_water();
+  heap_.alloc(100, grown_);
+  const auto after = heap_.high_water();
+  EXPECT_GT(after, before);
+  // Freeing does not shrink the watermark (heap pages stay mapped).
+  heap_.free(kHeapBase);
+  EXPECT_EQ(heap_.high_water(), after);
+}
+
+}  // namespace
+}  // namespace keyguard::sim

@@ -1,0 +1,153 @@
+// Second kernel test wave: realloc semantics, multi-tenant (two servers,
+// two keys, one machine) cross-contamination, and address description.
+#include <gtest/gtest.h>
+
+#include "attack/leaks.hpp"
+#include "core/scenario.hpp"
+#include "servers/apache_server.hpp"
+#include "servers/ssh_server.hpp"
+#include "sim/kernel.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::sim {
+namespace {
+
+KernelConfig small_config() {
+  KernelConfig cfg;
+  cfg.mem_bytes = 8ull << 20;
+  return cfg;
+}
+
+TEST(KernelRealloc, GrowMovesAndPreservesContent) {
+  Kernel k(small_config());
+  auto& p = k.spawn("p");
+  const VirtAddr a = k.heap_alloc(p, 32);
+  const auto msg = util::to_bytes("realloc-me");
+  k.mem_write(p, a, msg);
+  k.heap_alloc(p, 16);  // block in-place growth
+  const VirtAddr b = k.heap_realloc(p, a, 512);
+  ASSERT_NE(b, 0u);
+  EXPECT_NE(b, a);
+  std::vector<std::byte> back(msg.size());
+  k.mem_read(p, b, back);
+  EXPECT_EQ(back, msg);
+}
+
+TEST(KernelRealloc, AbandonedOriginalKeepsSecret) {
+  // The bn_expand2 effect: growth leaves the old bytes behind.
+  Kernel k(small_config());
+  auto& p = k.spawn("p");
+  const VirtAddr a = k.heap_alloc(p, 32);
+  const auto secret = util::to_bytes("OLD-CHUNK-SECRET");
+  k.mem_write(p, a, secret);
+  k.heap_alloc(p, 16);
+  const VirtAddr b = k.heap_realloc(p, a, 1024);
+  ASSERT_NE(b, 0u);
+  // Two copies now: the moved one and the abandoned original.
+  EXPECT_EQ(util::find_all(k.memory().all(), secret).size(), 2u);
+}
+
+TEST(KernelRealloc, ShrinkStaysInPlace) {
+  Kernel k(small_config());
+  auto& p = k.spawn("p");
+  const VirtAddr a = k.heap_alloc(p, 256);
+  EXPECT_EQ(k.heap_realloc(p, a, 64), a);
+}
+
+TEST(KernelRealloc, GrowWithinChunkPaddingStaysInPlace) {
+  Kernel k(small_config());
+  auto& p = k.spawn("p");
+  const VirtAddr a = k.heap_alloc(p, 100);  // rounds to 112
+  EXPECT_EQ(k.heap_realloc(p, a, 112), a);
+}
+
+TEST(DescribeAddress, LabelsRegions) {
+  Kernel k(small_config());
+  auto& p = k.spawn("p");
+  const VirtAddr h = k.heap_alloc(p, 64, "session key");
+  const VirtAddr m = k.mmap_anon(p, kPageSize, true, "keypage");
+  EXPECT_EQ(*k.describe_address(p, h), "session key (live)");
+  k.heap_free(p, h);
+  EXPECT_EQ(*k.describe_address(p, h), "session key (freed)");
+  EXPECT_EQ(*k.describe_address(p, m), "keypage mapping [mlocked]");
+  EXPECT_FALSE(k.describe_address(p, 0xdead0000).has_value());
+}
+
+TEST(MultiTenant, TwoServersTwoKeysNoCrossMatches) {
+  // One machine hosting both sshd and apache with DIFFERENT keys: each
+  // scanner finds only its own key, and an attack capture compromises
+  // both independently.
+  core::ScenarioConfig cfg_a;
+  cfg_a.mem_bytes = 16ull << 20;
+  cfg_a.key_bits = 512;
+  cfg_a.seed = 1111;
+  core::Scenario tenant_a(cfg_a);
+
+  core::ScenarioConfig cfg_b = cfg_a;
+  cfg_b.seed = 2222;
+  core::Scenario tenant_b(cfg_b);
+  ASSERT_NE(tenant_a.key().n, tenant_b.key().n);
+
+  // Host both keys on tenant_a's kernel under different paths.
+  auto& kernel = tenant_a.kernel();
+  kernel.vfs().write_file("/etc/apache2/ssl/server.key",
+                          util::to_bytes(tenant_b.pem()));
+
+  util::Rng rng_a(5), rng_b(6);
+  servers::SshServer ssh(kernel, core::ssh_config(tenant_a.profile()), rng_a);
+  auto apache_cfg = core::apache_config(tenant_b.profile());
+  servers::ApacheServer apache(kernel, apache_cfg, rng_b);
+  ASSERT_TRUE(ssh.start());
+  ASSERT_TRUE(apache.start());
+  for (int i = 0; i < 5; ++i) {
+    ssh.handle_connection(8 << 10);
+    apache.handle_request();
+  }
+
+  const auto matches_a = tenant_a.scanner().scan_kernel(kernel);
+  const auto matches_b = tenant_b.scanner().scan_kernel(kernel);
+  EXPECT_GT(matches_a.size(), 0u);
+  EXPECT_GT(matches_b.size(), 0u);
+
+  // No owner overlap for USER matches: sshd processes never hold apache's
+  // key and vice versa.
+  const Pid ssh_pid = ssh.master_pid();
+  const Pid apache_pid = apache.master_pid();
+  for (const auto& m : matches_b) {
+    for (const Pid pid : m.owners) EXPECT_NE(pid, ssh_pid);
+  }
+  for (const auto& m : matches_a) {
+    for (const Pid pid : m.owners) EXPECT_NE(pid, apache_pid);
+  }
+}
+
+TEST(MultiTenant, AttackCaptureCompromisesBothKeys) {
+  core::ScenarioConfig cfg_a;
+  cfg_a.mem_bytes = 16ull << 20;
+  cfg_a.key_bits = 512;
+  cfg_a.seed = 3333;
+  core::Scenario tenant_a(cfg_a);
+  core::ScenarioConfig cfg_b = cfg_a;
+  cfg_b.seed = 4444;
+  core::Scenario tenant_b(cfg_b);
+
+  auto& kernel = tenant_a.kernel();
+  kernel.vfs().write_file("/etc/apache2/ssl/server.key",
+                          util::to_bytes(tenant_b.pem()));
+  util::Rng rng_a(5), rng_b(6);
+  servers::SshServer ssh(kernel, core::ssh_config(tenant_a.profile()), rng_a);
+  servers::ApacheServer apache(kernel, core::apache_config(tenant_b.profile()), rng_b);
+  ASSERT_TRUE(ssh.start());
+  ASSERT_TRUE(apache.start());
+  for (int i = 0; i < 10; ++i) {
+    ssh.handle_connection(8 << 10);
+    apache.handle_request();
+  }
+  ssh.stop();  // ssh residue joins free memory
+  attack::Ext2DirectoryLeak leak(kernel);
+  leak.create_directories(kernel.allocator().free_count());
+  EXPECT_GT(tenant_a.scanner().count_copies(leak.capture()), 0u);
+}
+
+}  // namespace
+}  // namespace keyguard::sim

@@ -1,0 +1,142 @@
+#include "sim/page_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bytes.hpp"
+
+namespace keyguard::sim {
+namespace {
+
+class PageAllocTest : public ::testing::Test {
+ protected:
+  PageAllocTest() : mem_(kPageSize * 64), alloc_(mem_, {}, util::Rng(7)) {}
+  PhysicalMemory mem_;
+  PageAllocator alloc_;
+};
+
+TEST_F(PageAllocTest, FreshAllocatorHasAllFramesFree) {
+  EXPECT_EQ(alloc_.free_count(), 64u);
+  for (FrameNumber f = 0; f < 64; ++f) EXPECT_TRUE(alloc_.is_free(f));
+}
+
+TEST_F(PageAllocTest, AllocMarksStateAndRefcount) {
+  const auto f = alloc_.alloc(FrameState::kUserAnon);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(alloc_.state(*f), FrameState::kUserAnon);
+  EXPECT_EQ(alloc_.refcount(*f), 1u);
+  EXPECT_EQ(alloc_.free_count(), 63u);
+}
+
+TEST_F(PageAllocTest, ExhaustionReturnsNullopt) {
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(alloc_.alloc(FrameState::kKernel).has_value());
+  }
+  EXPECT_FALSE(alloc_.alloc(FrameState::kKernel).has_value());
+}
+
+TEST_F(PageAllocTest, UserAllocIsZeroed) {
+  // Dirty a frame via a kernel alloc, free it hot, re-alloc as user.
+  const auto f = alloc_.alloc(FrameState::kKernel);
+  ASSERT_TRUE(f);
+  mem_.page(*f)[123] = std::byte{0x5A};
+  alloc_.free(*f, FreeKind::kHot);
+  const auto g = alloc_.alloc(FrameState::kUserAnon);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(*g, *f);  // hot LIFO hands the same frame back
+  EXPECT_TRUE(util::all_zero(mem_.page(*g)));
+}
+
+TEST_F(PageAllocTest, KernelAllocIsNotZeroed) {
+  // The disclosure channel: kernel allocations see stale bytes.
+  const auto f = alloc_.alloc(FrameState::kUserAnon);
+  ASSERT_TRUE(f);
+  mem_.page(*f)[99] = std::byte{0x77};
+  alloc_.free(*f, FreeKind::kHot);
+  const auto g = alloc_.alloc(FrameState::kKernel);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(*g, *f);
+  EXPECT_EQ(mem_.page(*g)[99], std::byte{0x77});
+}
+
+TEST_F(PageAllocTest, ZeroOnFreePolicyClearsAtFree) {
+  alloc_.set_policy(PageAllocPolicy{.zero_on_free = true});
+  const auto f = alloc_.alloc(FrameState::kKernel);
+  ASSERT_TRUE(f);
+  mem_.page(*f)[99] = std::byte{0x77};
+  alloc_.free(*f, FreeKind::kBulk);
+  EXPECT_TRUE(util::all_zero(mem_.page(*f)));
+  EXPECT_EQ(alloc_.stats().pages_zeroed_on_free, 1u);
+}
+
+TEST_F(PageAllocTest, HotFreesAreLifoReused) {
+  const auto a = alloc_.alloc(FrameState::kKernel);
+  const auto b = alloc_.alloc(FrameState::kKernel);
+  ASSERT_TRUE(a && b);
+  alloc_.free(*a, FreeKind::kHot);
+  alloc_.free(*b, FreeKind::kHot);
+  EXPECT_EQ(alloc_.alloc(FrameState::kKernel), b);  // most recent first
+  EXPECT_EQ(alloc_.alloc(FrameState::kKernel), a);
+}
+
+TEST_F(PageAllocTest, BulkFreesEscapeImmediateReuse) {
+  // Allocate everything, bulk-free half, hot-free one: the hot one comes
+  // back first; the bulk ones mix into the random pool.
+  std::vector<FrameNumber> frames;
+  for (int i = 0; i < 64; ++i) frames.push_back(*alloc_.alloc(FrameState::kKernel));
+  for (int i = 0; i < 32; ++i) alloc_.free(frames[i], FreeKind::kBulk);
+  alloc_.free(frames[40], FreeKind::kHot);
+  EXPECT_EQ(alloc_.alloc(FrameState::kKernel), frames[40]);
+}
+
+TEST_F(PageAllocTest, RefcountSharingAndLastUnrefFrees) {
+  const auto f = alloc_.alloc(FrameState::kUserAnon);
+  ASSERT_TRUE(f);
+  alloc_.ref(*f);
+  alloc_.ref(*f);
+  EXPECT_EQ(alloc_.refcount(*f), 3u);
+  EXPECT_EQ(alloc_.unref(*f), 2u);
+  EXPECT_EQ(alloc_.unref(*f), 1u);
+  EXPECT_FALSE(alloc_.is_free(*f));
+  EXPECT_EQ(alloc_.unref(*f), 0u);
+  EXPECT_TRUE(alloc_.is_free(*f));
+}
+
+TEST_F(PageAllocTest, StatsCount) {
+  const auto f = alloc_.alloc(FrameState::kUserAnon);
+  alloc_.free(*f);
+  EXPECT_EQ(alloc_.stats().allocs, 1u);
+  EXPECT_EQ(alloc_.stats().frees, 1u);
+  EXPECT_EQ(alloc_.stats().pages_zeroed_on_user_alloc, 1u);
+}
+
+TEST_F(PageAllocTest, AllFramesDistinctUntilExhaustion) {
+  std::set<FrameNumber> seen;
+  for (int i = 0; i < 64; ++i) {
+    const auto f = alloc_.alloc(FrameState::kUserAnon);
+    ASSERT_TRUE(f);
+    EXPECT_TRUE(seen.insert(*f).second) << "frame handed out twice";
+  }
+}
+
+TEST_F(PageAllocTest, DeterministicForSeed) {
+  PhysicalMemory m2(kPageSize * 64);
+  PageAllocator a2(m2, {}, util::Rng(7));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(alloc_.alloc(FrameState::kKernel), a2.alloc(FrameState::kKernel));
+  }
+}
+
+TEST_F(PageAllocTest, ContentSurvivesBulkFreeWithoutPolicy) {
+  // The central un-hygienic behaviour: data outlives deallocation.
+  const auto f = alloc_.alloc(FrameState::kUserAnon);
+  ASSERT_TRUE(f);
+  mem_.page(*f)[0] = std::byte{0xEE};
+  alloc_.free(*f, FreeKind::kBulk);
+  EXPECT_TRUE(alloc_.is_free(*f));
+  EXPECT_EQ(mem_.page(*f)[0], std::byte{0xEE});
+}
+
+}  // namespace
+}  // namespace keyguard::sim

@@ -1,0 +1,129 @@
+// Page-cache pressure: the eviction residue channel. A stock kernel
+// reclaims cache pages UNCLEARED, so cached secrets (the PEM key file
+// included) reach unallocated memory without any process exiting.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "servers/ssh_server.hpp"
+#include "sim/kernel.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::sim {
+namespace {
+
+TEST(PageCacheLru, EvictOldestFollowsPopulationOrder) {
+  PhysicalMemory mem(kPageSize * 16);
+  PageAllocator alloc(mem, {}, util::Rng(1));
+  PageCache cache(mem, alloc);
+  cache.populate("/a", util::to_bytes("a"));
+  cache.populate("/b", util::to_bytes("b"));
+  cache.populate("/c", util::to_bytes("c"));
+  EXPECT_EQ(cache.cached_pages(), 3u);
+  EXPECT_EQ(cache.evict_oldest(false), "/a");
+  EXPECT_EQ(cache.evict_oldest(false), "/b");
+  EXPECT_EQ(cache.cached_files(), 1u);
+  EXPECT_TRUE(cache.cached("/c"));
+}
+
+TEST(PageCacheLru, EvictOldestOnEmptyIsNullopt) {
+  PhysicalMemory mem(kPageSize * 4);
+  PageAllocator alloc(mem, {}, util::Rng(1));
+  PageCache cache(mem, alloc);
+  EXPECT_FALSE(cache.evict_oldest(false).has_value());
+}
+
+TEST(PageCacheLru, BudgetEnforcedOnReads) {
+  KernelConfig cfg;
+  cfg.mem_bytes = 4ull << 20;
+  cfg.page_cache_limit_pages = 4;
+  Kernel k(cfg);
+  auto& p = k.spawn("reader");
+  for (int i = 0; i < 10; ++i) {
+    const std::string path = "/f" + std::to_string(i);
+    k.vfs().write_file(path, util::to_bytes("file-" + std::to_string(i)));
+    k.read_file(p, path);
+  }
+  EXPECT_LE(k.page_cache().cached_pages(), 4u);
+  // The most recent files survive.
+  EXPECT_TRUE(k.page_cache().cached("/f9"));
+  EXPECT_FALSE(k.page_cache().cached("/f0"));
+}
+
+TEST(PageCacheLru, EvictedKeyFileBecomesUnallocatedResidue) {
+  // Read the key file, then flood the cache with other files: the PEM's
+  // frames are reclaimed uncleared and show up as free-memory residue.
+  core::ScenarioConfig scfg;
+  scfg.mem_bytes = 8ull << 20;
+  scfg.key_bits = 512;
+  scfg.seed = 321;
+  core::Scenario s(scfg);
+
+  KernelConfig cfg;
+  cfg.mem_bytes = 8ull << 20;
+  cfg.page_cache_limit_pages = 3;
+  Kernel k(cfg, 321);
+  k.vfs().write_file("/key.pem", util::to_bytes(s.pem()));
+  auto& p = k.spawn("reader");
+  k.read_file(p, "/key.pem");
+  // Three one-page files push the cache (limit 3) past budget; the PEM is
+  // the oldest entry and gets reclaimed. Scan immediately — before any
+  // further allocation recycles (and overwrites) the hot-freed frame.
+  for (int i = 0; i < 3; ++i) {
+    const std::string path = "/big" + std::to_string(i);
+    k.vfs().write_file(path, std::vector<std::byte>(kPageSize, std::byte{0x11}));
+    k.read_file(p, path);
+  }
+  EXPECT_FALSE(k.page_cache().cached("/key.pem"));
+  const auto matches = s.scanner().scan_kernel(k);
+  ASSERT_FALSE(matches.empty());
+  bool found_free_pem = false;
+  for (const auto& m : matches) {
+    if (m.part == "PEM" && m.state == FrameState::kFree) found_free_pem = true;
+  }
+  EXPECT_TRUE(found_free_pem);
+}
+
+TEST(PageCacheLru, ZeroOnFreeKernelScrubsEvictions) {
+  core::ScenarioConfig scfg;
+  scfg.mem_bytes = 8ull << 20;
+  scfg.key_bits = 512;
+  scfg.seed = 654;
+  core::Scenario s(scfg);
+
+  KernelConfig cfg;
+  cfg.mem_bytes = 8ull << 20;
+  cfg.page_cache_limit_pages = 3;
+  cfg.zero_on_free = true;
+  Kernel k(cfg, 654);
+  k.vfs().write_file("/key.pem", util::to_bytes(s.pem()));
+  auto& p = k.spawn("reader");
+  k.read_file(p, "/key.pem");
+  for (int i = 0; i < 6; ++i) {
+    const std::string path = "/big" + std::to_string(i);
+    k.vfs().write_file(path, std::vector<std::byte>(kPageSize, std::byte{0x11}));
+    k.read_file(p, path);
+  }
+  EXPECT_FALSE(k.page_cache().cached("/key.pem"));
+  const auto census = scan::KeyScanner::census(s.scanner().scan_kernel(k));
+  EXPECT_EQ(census.unallocated, 0u);
+}
+
+TEST(CacheBackedTransfers, ServedFilesChurnTheCache) {
+  core::ScenarioConfig scfg;
+  scfg.mem_bytes = 16ull << 20;
+  scfg.key_bits = 512;
+  scfg.seed = 987;
+  core::Scenario s(scfg);
+  auto cfg = s.ssh_config();
+  cfg.transfer_files_via_cache = true;
+  servers::SshServer server(s.kernel(), cfg, s.make_rng());
+  ASSERT_TRUE(server.start());
+  const auto before = s.kernel().page_cache().cached_pages();
+  for (int i = 0; i < 5; ++i) server.handle_connection(32 << 10);
+  EXPECT_GT(s.kernel().page_cache().cached_pages(), before);
+  // The served files are cached under /srv/files/.
+  EXPECT_TRUE(s.kernel().page_cache().cached("/srv/files/f0"));
+}
+
+}  // namespace
+}  // namespace keyguard::sim

@@ -1,0 +1,57 @@
+#include "sim/physmem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace keyguard::sim {
+namespace {
+
+TEST(PhysicalMemory, SizeRoundsToPages) {
+  PhysicalMemory m(kPageSize * 3 + 100);
+  EXPECT_EQ(m.page_count(), 3u);
+  EXPECT_EQ(m.size_bytes(), 3 * kPageSize);
+}
+
+TEST(PhysicalMemory, MinimumOnePage) {
+  PhysicalMemory m(1);
+  EXPECT_EQ(m.page_count(), 1u);
+}
+
+TEST(PhysicalMemory, StartsZeroed) {
+  PhysicalMemory m(kPageSize * 4);
+  EXPECT_TRUE(util::all_zero(m.all()));
+}
+
+TEST(PhysicalMemory, PageViewsAreDistinct) {
+  PhysicalMemory m(kPageSize * 2);
+  m.page(0)[0] = std::byte{0xAA};
+  m.page(1)[0] = std::byte{0xBB};
+  EXPECT_EQ(m.all()[0], std::byte{0xAA});
+  EXPECT_EQ(m.all()[kPageSize], std::byte{0xBB});
+}
+
+TEST(PhysicalMemory, ClearPage) {
+  PhysicalMemory m(kPageSize * 2);
+  auto p = m.page(1);
+  for (auto& b : p) b = std::byte{0xFF};
+  m.clear_page(1);
+  EXPECT_TRUE(util::all_zero(m.page(1)));
+}
+
+TEST(PhysicalMemory, RangeClamping) {
+  PhysicalMemory m(kPageSize);
+  EXPECT_EQ(m.range(0, 100).size(), 100u);
+  EXPECT_EQ(m.range(kPageSize - 10, 100).size(), 10u);
+  EXPECT_TRUE(m.range(kPageSize + 1, 10).empty());
+}
+
+TEST(FrameStateName, AllNamed) {
+  EXPECT_STREQ(frame_state_name(FrameState::kFree), "free");
+  EXPECT_STREQ(frame_state_name(FrameState::kUserAnon), "user");
+  EXPECT_STREQ(frame_state_name(FrameState::kPageCache), "pagecache");
+  EXPECT_STREQ(frame_state_name(FrameState::kKernel), "kernel");
+}
+
+}  // namespace
+}  // namespace keyguard::sim

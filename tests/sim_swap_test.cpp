@@ -1,0 +1,221 @@
+#include "sim/swap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/leaks.hpp"
+#include "core/scenario.hpp"
+#include "servers/ssh_server.hpp"
+#include "sim/kernel.hpp"
+#include "sslsim/ssl_library.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::sim {
+namespace {
+
+KernelConfig swap_config(bool encrypt = false) {
+  KernelConfig cfg;
+  cfg.mem_bytes = 4ull << 20;
+  cfg.swap_pages = 64;
+  cfg.encrypt_swap = encrypt;
+  return cfg;
+}
+
+TEST(SwapDevice, SlotAllocationAndExhaustion) {
+  SwapDevice dev(3);
+  EXPECT_EQ(dev.capacity(), 3u);
+  EXPECT_EQ(dev.used(), 0u);
+  const auto a = dev.alloc_slot();
+  const auto b = dev.alloc_slot();
+  const auto c = dev.alloc_slot();
+  ASSERT_TRUE(a && b && c);
+  EXPECT_TRUE(dev.full());
+  EXPECT_FALSE(dev.alloc_slot().has_value());
+  dev.free_slot(*b, false);
+  EXPECT_EQ(dev.used(), 2u);
+  EXPECT_EQ(dev.alloc_slot(), b);  // lowest free slot reused
+}
+
+TEST(SwapDevice, FreeWithoutScrubKeepsBytes) {
+  SwapDevice dev(2);
+  const auto slot = dev.alloc_slot();
+  ASSERT_TRUE(slot);
+  dev.slot(*slot)[100] = std::byte{0xAA};
+  dev.free_slot(*slot, /*scrub=*/false);
+  EXPECT_EQ(dev.raw()[static_cast<std::size_t>(*slot) * kPageSize + 100], std::byte{0xAA});
+}
+
+TEST(SwapDevice, FreeWithScrubClears) {
+  SwapDevice dev(2);
+  const auto slot = dev.alloc_slot();
+  ASSERT_TRUE(slot);
+  dev.slot(*slot)[100] = std::byte{0xAA};
+  dev.free_slot(*slot, /*scrub=*/true);
+  EXPECT_TRUE(util::all_zero(dev.slot(*slot)));
+}
+
+TEST(KernelSwap, RoundTripPreservesContent) {
+  Kernel k(swap_config());
+  auto& p = k.spawn("p");
+  const VirtAddr a = k.mmap_anon(p, 2 * kPageSize, false);
+  const auto msg = util::to_bytes("swapped and back");
+  k.mem_write(p, a, msg);
+  EXPECT_EQ(k.swap_out_pages(p, 2), 2u);
+  EXPECT_EQ(k.swap_used(), 2u);
+  EXPECT_FALSE(k.translate(p, a).has_value());  // not resident
+  std::vector<std::byte> back(msg.size());
+  k.mem_read(p, a, back);  // major fault: swap-in
+  EXPECT_EQ(back, msg);
+  // The touched page's slot was released; the untouched second page stays out.
+  EXPECT_EQ(k.swap_used(), 1u);
+  EXPECT_TRUE(k.translate(p, a).has_value());
+}
+
+TEST(KernelSwap, WriteFaultsSwappedPageBackIn) {
+  Kernel k(swap_config());
+  auto& p = k.spawn("p");
+  const VirtAddr a = k.mmap_anon(p, kPageSize, false);
+  k.mem_write(p, a, util::to_bytes("before"));
+  k.swap_out_pages(p, 1);
+  k.mem_write(p, a, util::to_bytes("after!"));
+  std::vector<std::byte> back(6);
+  k.mem_read(p, a, back);
+  EXPECT_EQ(back, util::to_bytes("after!"));
+}
+
+TEST(KernelSwap, SwapOutDuplicatesNotMoves) {
+  // Stock kernel: the vacated RAM frame keeps the plaintext.
+  Kernel k(swap_config());
+  auto& p = k.spawn("p");
+  const VirtAddr a = k.mmap_anon(p, kPageSize, false);
+  const auto secret = util::to_bytes("SWAP-DUPLICATED!");
+  k.mem_write(p, a, secret);
+  k.swap_out_pages(p, 1);
+  // One copy in free RAM, one on the swap device.
+  EXPECT_FALSE(util::find_all(k.memory().all(), secret).empty());
+  EXPECT_FALSE(util::find_all(k.swap()->raw(), secret).empty());
+}
+
+TEST(KernelSwap, MlockedPagesAreNeverEvicted) {
+  Kernel k(swap_config());
+  auto& p = k.spawn("p");
+  const VirtAddr locked = k.mmap_anon(p, kPageSize, true, "keypage");
+  const VirtAddr plain = k.mmap_anon(p, kPageSize, false);
+  k.mem_write(p, locked, util::to_bytes("LOCKED"));
+  k.mem_write(p, plain, util::to_bytes("PLAIN"));
+  EXPECT_EQ(k.swap_out_pages(p, 10), 1u);  // only the unlocked page went
+  EXPECT_TRUE(k.translate(p, locked).has_value());
+  EXPECT_FALSE(k.translate(p, plain).has_value());
+  EXPECT_TRUE(util::find_all(k.swap()->raw(), util::to_bytes("LOCKED")).empty());
+}
+
+TEST(KernelSwap, SharedCowFramesAreSkipped) {
+  Kernel k(swap_config());
+  auto& parent = k.spawn("parent");
+  k.mmap_anon(parent, kPageSize, false);
+  k.fork(parent, "child");
+  EXPECT_EQ(k.swap_out_pages(parent, 10), 0u);
+}
+
+TEST(KernelSwap, ForkFaultsSwappedPagesIn) {
+  Kernel k(swap_config());
+  auto& parent = k.spawn("parent");
+  const VirtAddr a = k.mmap_anon(parent, kPageSize, false);
+  k.mem_write(parent, a, util::to_bytes("inherit"));
+  k.swap_out_pages(parent, 1);
+  auto& child = k.fork(parent, "child");
+  std::vector<std::byte> back(7);
+  k.mem_read(child, a, back);
+  EXPECT_EQ(back, util::to_bytes("inherit"));
+}
+
+TEST(KernelSwap, ExitReleasesSlotsWithoutScrubbing) {
+  Kernel k(swap_config());
+  auto& p = k.spawn("p");
+  const VirtAddr a = k.mmap_anon(p, kPageSize, false);
+  const auto secret = util::to_bytes("DEAD-PROC-SWAP");
+  k.mem_write(p, a, secret);
+  k.swap_out_pages(p, 1);
+  k.exit_process(p);
+  EXPECT_EQ(k.swap_used(), 0u);
+  // ...but the bytes are still on the device.
+  EXPECT_FALSE(util::find_all(k.swap()->raw(), secret).empty());
+}
+
+TEST(KernelSwap, GlobalPressureSweepsProcesses) {
+  Kernel k(swap_config());
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  k.mmap_anon(a, 2 * kPageSize, false);
+  k.mmap_anon(b, 2 * kPageSize, false);
+  EXPECT_EQ(k.swap_out_global(3), 3u);
+  EXPECT_EQ(k.swap_used(), 3u);
+}
+
+TEST(KernelSwap, NoSwapDeviceMeansNoEviction) {
+  KernelConfig cfg;
+  cfg.mem_bytes = 1ull << 20;
+  Kernel k(cfg);
+  auto& p = k.spawn("p");
+  k.mmap_anon(p, kPageSize, false);
+  EXPECT_EQ(k.swap_out_pages(p, 10), 0u);
+  EXPECT_EQ(k.swap(), nullptr);
+}
+
+TEST(KernelSwap, EncryptedSwapHidesPlaintext) {
+  Kernel k(swap_config(/*encrypt=*/true));
+  auto& p = k.spawn("p");
+  const VirtAddr a = k.mmap_anon(p, kPageSize, false);
+  const auto secret = util::to_bytes("PROVOS-ENCRYPTED-SWAP");
+  k.mem_write(p, a, secret);
+  k.swap_out_pages(p, 1);
+  EXPECT_TRUE(util::find_all(k.swap()->raw(), secret).empty());
+  // Round trip still works.
+  std::vector<std::byte> back(secret.size());
+  k.mem_read(p, a, back);
+  EXPECT_EQ(back, secret);
+}
+
+TEST(SwapAttack, RecoversKeySwappedFromUnprotectedServer) {
+  // End to end: an sshd whose key pages are NOT mlocked gets its heap
+  // evicted under pressure; the disk image then contains the key.
+  core::ScenarioConfig cfg;
+  cfg.mem_bytes = 16ull << 20;
+  cfg.key_bits = 512;
+  cfg.seed = 404;
+  core::Scenario s(cfg);
+  sim::KernelConfig kcfg;
+  kcfg.mem_bytes = 16ull << 20;
+  kcfg.swap_pages = 256;
+  sim::Kernel kernel(kcfg, 404);
+  kernel.vfs().write_file(core::Scenario::kSshKeyPath, util::to_bytes(s.pem()));
+  servers::SshConfig ssh;
+  ssh.key_path = core::Scenario::kSshKeyPath;
+  util::Rng rng(1);
+  servers::SshServer server(kernel, ssh, rng);
+  ASSERT_TRUE(server.start());
+  kernel.swap_out_global(1000);
+  attack::SwapDiskLeak leak(kernel);
+  EXPECT_GT(s.scanner().count_copies(leak.image()), 0u);
+}
+
+TEST(SwapAttack, MlockedAlignedKeyNeverReachesSwap) {
+  core::ScenarioConfig cfg;
+  cfg.level = core::ProtectionLevel::kApplication;
+  cfg.mem_bytes = 16ull << 20;
+  cfg.key_bits = 512;
+  cfg.seed = 405;
+  core::Scenario s(cfg);
+  sim::KernelConfig kcfg = s.profile().kernel;
+  kcfg.swap_pages = 256;
+  sim::Kernel kernel(kcfg, 405);
+  kernel.vfs().write_file(core::Scenario::kSshKeyPath, util::to_bytes(s.pem()));
+  util::Rng rng(1);
+  servers::SshServer server(kernel, core::ssh_config(s.profile()), rng);
+  ASSERT_TRUE(server.start());
+  kernel.swap_out_global(1000);
+  attack::SwapDiskLeak leak(kernel);
+  EXPECT_EQ(s.scanner().count_copies(leak.image()), 0u);
+}
+
+}  // namespace
+}  // namespace keyguard::sim

@@ -1,0 +1,112 @@
+#include "sim/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::sim {
+namespace {
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  PageCacheTest() : mem_(kPageSize * 32), alloc_(mem_, {}, util::Rng(3)), cache_(mem_, alloc_) {}
+  PhysicalMemory mem_;
+  PageAllocator alloc_;
+  PageCache cache_;
+};
+
+TEST(Vfs, WriteAndReadBack) {
+  Vfs vfs;
+  vfs.write_file("/a", util::to_bytes("contents"));
+  ASSERT_TRUE(vfs.exists("/a"));
+  EXPECT_EQ(*vfs.file("/a"), util::to_bytes("contents"));
+  EXPECT_FALSE(vfs.exists("/b"));
+  EXPECT_EQ(vfs.file("/b"), nullptr);
+}
+
+TEST(Vfs, OverwriteReplaces) {
+  Vfs vfs;
+  vfs.write_file("/a", util::to_bytes("one"));
+  vfs.write_file("/a", util::to_bytes("two"));
+  EXPECT_EQ(*vfs.file("/a"), util::to_bytes("two"));
+  EXPECT_EQ(vfs.list().size(), 1u);
+}
+
+TEST_F(PageCacheTest, PopulateAndReadBack) {
+  const auto content = util::to_bytes("cached file data");
+  ASSERT_TRUE(cache_.populate("/f", content));
+  EXPECT_TRUE(cache_.cached("/f"));
+  EXPECT_EQ(cache_.read_cached("/f"), content);
+  EXPECT_EQ(cache_.frames("/f").size(), 1u);
+}
+
+TEST_F(PageCacheTest, MultiPageFile) {
+  std::vector<std::byte> content(kPageSize * 2 + 500);
+  util::Rng rng(9);
+  rng.fill_bytes(content);
+  ASSERT_TRUE(cache_.populate("/big", content));
+  EXPECT_EQ(cache_.frames("/big").size(), 3u);
+  EXPECT_EQ(cache_.read_cached("/big"), content);
+}
+
+TEST_F(PageCacheTest, PopulateIsIdempotent) {
+  const auto content = util::to_bytes("x");
+  cache_.populate("/f", content);
+  const auto frames1 = cache_.frames("/f");
+  cache_.populate("/f", content);
+  EXPECT_EQ(cache_.frames("/f"), frames1);
+}
+
+TEST_F(PageCacheTest, ContentVisibleInPhysicalMemory) {
+  const auto content = util::to_bytes("FINDABLE-IN-RAM");
+  cache_.populate("/f", content);
+  EXPECT_FALSE(util::find_all(mem_.all(), content).empty());
+}
+
+TEST_F(PageCacheTest, EvictWithoutClearLeavesResidue) {
+  const auto content = util::to_bytes("EVICTED-RESIDUE");
+  cache_.populate("/f", content);
+  cache_.evict("/f", /*clear_pages=*/false);
+  EXPECT_FALSE(cache_.cached("/f"));
+  EXPECT_FALSE(util::find_all(mem_.all(), content).empty());
+}
+
+TEST_F(PageCacheTest, EvictWithClearScrubs) {
+  const auto content = util::to_bytes("SCRUBBED-ENTRY!");
+  cache_.populate("/f", content);
+  cache_.evict("/f", /*clear_pages=*/true);
+  EXPECT_FALSE(cache_.cached("/f"));
+  EXPECT_TRUE(util::find_all(mem_.all(), content).empty());
+}
+
+TEST_F(PageCacheTest, EvictMissingIsNoop) {
+  cache_.evict("/missing", true);
+  SUCCEED();
+}
+
+TEST_F(PageCacheTest, DropAllEvictsEverything) {
+  cache_.populate("/a", util::to_bytes("a"));
+  cache_.populate("/b", util::to_bytes("b"));
+  EXPECT_EQ(cache_.cached_files(), 2u);
+  cache_.drop_all();
+  EXPECT_EQ(cache_.cached_files(), 0u);
+}
+
+TEST_F(PageCacheTest, PopulateFailsWhenMemoryExhausted) {
+  std::vector<std::byte> huge(kPageSize * 64);  // more than the 32 frames
+  EXPECT_FALSE(cache_.populate("/huge", huge));
+  EXPECT_FALSE(cache_.cached("/huge"));
+  // All partially-allocated frames were released.
+  EXPECT_EQ(alloc_.free_count(), 32u);
+}
+
+TEST_F(PageCacheTest, FramesAreMarkedPageCache) {
+  cache_.populate("/f", util::to_bytes("y"));
+  for (const FrameNumber f : cache_.frames("/f")) {
+    EXPECT_EQ(alloc_.state(f), FrameState::kPageCache);
+  }
+}
+
+}  // namespace
+}  // namespace keyguard::sim

@@ -1,0 +1,134 @@
+#include "servers/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace keyguard::servers {
+namespace {
+
+using core::ProtectionLevel;
+using core::Scenario;
+using core::ScenarioConfig;
+
+ScenarioConfig cfg(ProtectionLevel level) {
+  ScenarioConfig c;
+  c.level = level;
+  c.mem_bytes = 24ull << 20;
+  c.key_bits = 512;
+  c.seed = 1234;
+  return c;
+}
+
+// A short schedule keeps unit tests fast; the paper-scale one runs in bench.
+TimelineSchedule short_schedule() {
+  TimelineSchedule sch;
+  sch.start_server = 1;
+  sch.start_traffic = 2;
+  sch.more_traffic = 4;
+  sch.less_traffic = 6;
+  sch.stop_traffic = 8;
+  sch.stop_server = 10;
+  sch.end = 12;
+  sch.base_concurrency = 3;
+  sch.high_concurrency = 6;
+  return sch;
+}
+
+TEST(Timeline, SshBaselineReproducesPaperPhenomenology) {
+  Scenario s(cfg(ProtectionLevel::kNone));
+  s.precache_key_file(Scenario::kSshKeyPath);
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  SshAdapter adapter(server, /*transfers_per_slot=*/2, /*transfer_bytes=*/16 << 10);
+  TimelineDriver driver(s.kernel(), adapter, s.scanner(), short_schedule());
+  const auto samples = driver.run();
+  ASSERT_EQ(samples.size(), 13u);
+
+  // (1) The PEM is in memory at t=0, before the server starts.
+  EXPECT_EQ(samples[0].census.total(), 1u);
+  EXPECT_EQ(samples[0].matches[0].part, "PEM");
+
+  // (2) Server start materialises d, P, Q.
+  EXPECT_GE(samples[1].census.allocated, 4u);
+
+  // (3) Traffic floods memory with copies (more than the idle server).
+  const auto peak = samples[5].census.total();
+  EXPECT_GT(peak, samples[1].census.total());
+
+  // (4) Copies appear in unallocated memory during/after traffic.
+  EXPECT_GT(samples[8].census.unallocated, 0u);
+
+  // (5) After server stop, allocated copies collapse to the page cache
+  // PEM; residue persists in unallocated memory.
+  const auto& final_sample = samples.back();
+  EXPECT_GT(final_sample.census.unallocated, 0u);
+  std::size_t final_allocated_nonpem = 0;
+  for (const auto& m : final_sample.matches) {
+    if (m.allocated() && m.part != "PEM") ++final_allocated_nonpem;
+  }
+  EXPECT_EQ(final_allocated_nonpem, 0u);
+}
+
+TEST(Timeline, SshIntegratedShowsSingleStableCopy) {
+  Scenario s(cfg(ProtectionLevel::kIntegrated));
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  SshAdapter adapter(server, 2, 16 << 10);
+  TimelineDriver driver(s.kernel(), adapter, s.scanner(), short_schedule());
+  const auto samples = driver.run();
+
+  for (const auto& sample : samples) {
+    EXPECT_EQ(sample.census.unallocated, 0u) << "tick " << sample.tick;
+    // While running: exactly d, P, Q on the aligned page. Before/after: 0.
+    EXPECT_LE(sample.census.allocated, 3u) << "tick " << sample.tick;
+  }
+  // During traffic the aligned page is present.
+  EXPECT_EQ(samples[5].census.allocated, 3u);
+  // After stop, nothing remains anywhere.
+  EXPECT_EQ(samples.back().census.total(), 0u);
+}
+
+TEST(Timeline, ApacheBaselineWorkerReapingPushesCopiesToFreeMemory) {
+  Scenario s(cfg(ProtectionLevel::kNone));
+  s.precache_key_file(Scenario::kApacheKeyPath);
+  auto config = s.apache_config();
+  config.start_servers = 2;  // let the prefork pool grow and reap
+  ApacheServer server(s.kernel(), config, s.make_rng());
+  ApacheAdapter adapter(server, /*requests_per_slot=*/2);
+  TimelineDriver driver(s.kernel(), adapter, s.scanner(), short_schedule());
+  const auto samples = driver.run();
+
+  // Load drop at less_traffic reaps workers; stop_traffic reaps more. The
+  // paper: "the number of copies in unallocated memory increases".
+  EXPECT_GT(samples[9].census.unallocated, samples[5].census.unallocated);
+  // After the server stops, many copies reside in unallocated memory.
+  EXPECT_GT(samples.back().census.unallocated, 0u);
+}
+
+TEST(Timeline, ApacheKernelLevelNeverShowsUnallocated) {
+  Scenario s(cfg(ProtectionLevel::kKernel));
+  ApacheServer server(s.kernel(), s.apache_config(), s.make_rng());
+  ApacheAdapter adapter(server, 2);
+  TimelineDriver driver(s.kernel(), adapter, s.scanner(), short_schedule());
+  const auto samples = driver.run();
+  std::size_t peak_allocated = 0;
+  for (const auto& sample : samples) {
+    EXPECT_EQ(sample.census.unallocated, 0u) << "tick " << sample.tick;
+    peak_allocated = std::max(peak_allocated, sample.census.allocated);
+  }
+  // Kernel level does not curb allocated-memory duplication (Fig 26).
+  EXPECT_GT(peak_allocated, 4u);
+}
+
+TEST(Timeline, SampleTicksAreSequential) {
+  Scenario s(cfg(ProtectionLevel::kIntegrated));
+  SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  SshAdapter adapter(server, 1, 4 << 10);
+  TimelineDriver driver(s.kernel(), adapter, s.scanner(), short_schedule());
+  const auto samples = driver.run();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].tick, static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace keyguard::servers

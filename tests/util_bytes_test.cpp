@@ -1,0 +1,92 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace keyguard::util {
+namespace {
+
+TEST(FindAll, FindsAllOccurrences) {
+  const auto hay = to_bytes("abcabcabc");
+  const auto needle = to_bytes("abc");
+  EXPECT_EQ(find_all(hay, needle), (std::vector<std::size_t>{0, 3, 6}));
+}
+
+TEST(FindAll, FindsOverlapping) {
+  const auto hay = to_bytes("aaaa");
+  const auto needle = to_bytes("aa");
+  EXPECT_EQ(find_all(hay, needle), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(FindAll, EmptyNeedleFindsNothing) {
+  const auto hay = to_bytes("abc");
+  EXPECT_TRUE(find_all(hay, {}).empty());
+}
+
+TEST(FindAll, NeedleLongerThanHaystack) {
+  const auto hay = to_bytes("ab");
+  const auto needle = to_bytes("abc");
+  EXPECT_TRUE(find_all(hay, needle).empty());
+}
+
+TEST(FindFirst, FromOffset) {
+  const auto hay = to_bytes("xxabxxab");
+  const auto needle = to_bytes("ab");
+  EXPECT_EQ(find_first(hay, needle), 2u);
+  EXPECT_EQ(find_first(hay, needle, 3), 6u);
+  EXPECT_EQ(find_first(hay, needle, 7), npos);
+}
+
+TEST(FindFirst, MatchAtVeryEnd) {
+  const auto hay = to_bytes("xxxab");
+  const auto needle = to_bytes("ab");
+  EXPECT_EQ(find_first(hay, needle), 3u);
+}
+
+TEST(FindFirst, BinaryDataWithEmbeddedZeros) {
+  std::vector<std::byte> hay(100, std::byte{0});
+  const std::vector<std::byte> needle{std::byte{0}, std::byte{1}, std::byte{0}};
+  hay[50] = std::byte{1};
+  EXPECT_EQ(find_first(hay, needle), 49u);
+}
+
+TEST(FindAll, RandomPlantedNeedles) {
+  Rng rng(55);
+  std::vector<std::byte> hay(4096);
+  rng.fill_bytes(hay);
+  std::vector<std::byte> needle(24);
+  rng.fill_bytes(needle);
+  // Plant at three known spots (non-overlapping).
+  for (const std::size_t pos : {100u, 2000u, 4000u}) {
+    std::copy(needle.begin(), needle.end(), hay.begin() + pos);
+  }
+  const auto hits = find_all(hay, needle);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], 100u);
+  EXPECT_EQ(hits[1], 2000u);
+  EXPECT_EQ(hits[2], 4000u);
+}
+
+TEST(AllZero, Basics) {
+  std::vector<std::byte> z(16, std::byte{0});
+  EXPECT_TRUE(all_zero(z));
+  z[7] = std::byte{1};
+  EXPECT_FALSE(all_zero(z));
+  EXPECT_TRUE(all_zero({}));
+}
+
+TEST(Fnv1a, DistinctInputsDistinctHashes) {
+  EXPECT_NE(fnv1a(to_bytes("a")), fnv1a(to_bytes("b")));
+  EXPECT_EQ(fnv1a(to_bytes("hello")), fnv1a(to_bytes("hello")));
+}
+
+TEST(AsBytes, ViewsWithoutCopy) {
+  const std::string s = "xyz";
+  const auto view = as_bytes(s);
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_EQ(static_cast<const void*>(view.data()), static_cast<const void*>(s.data()));
+}
+
+}  // namespace
+}  // namespace keyguard::util

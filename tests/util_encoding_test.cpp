@@ -1,0 +1,91 @@
+#include "util/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::util {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const auto data = to_bytes("hello\x00world\xff");
+  const std::string hex = to_hex(data);
+  const auto back = from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Hex, KnownVector) {
+  const auto data = to_bytes("abc");
+  EXPECT_EQ(to_hex(data), "616263");
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Hex, RejectsNonHex) { EXPECT_FALSE(from_hex("zz").has_value()); }
+
+TEST(Hex, AcceptsUpperCase) {
+  const auto v = from_hex("DEADBEEF");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_hex(*v), "deadbeef");
+}
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  const auto v = base64_decode("Zm9vYmFy");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, to_bytes("foobar"));
+}
+
+TEST(Base64, DecodeSkipsWhitespace) {
+  const auto v = base64_decode("Zm9v\nYmFy\n");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, to_bytes("foobar"));
+}
+
+TEST(Base64, RejectsInvalidChar) {
+  EXPECT_FALSE(base64_decode("Zm9v!").has_value());
+}
+
+TEST(Base64, RejectsDataAfterPadding) {
+  EXPECT_FALSE(base64_decode("Zg==Zg").has_value());
+}
+
+TEST(Base64, RandomRoundTrips) {
+  Rng rng(101);
+  for (std::size_t len = 0; len < 64; ++len) {
+    std::vector<std::byte> data(len);
+    rng.fill_bytes(data);
+    const auto back = base64_decode(base64_encode(data));
+    ASSERT_TRUE(back.has_value()) << "len=" << len;
+    EXPECT_EQ(*back, data) << "len=" << len;
+  }
+}
+
+TEST(WrapLines, WrapsAt64) {
+  const std::string text(130, 'a');
+  const std::string wrapped = wrap_lines(text, 64);
+  EXPECT_EQ(wrapped.size(), 130 + 3);  // two full lines + remainder newline
+  EXPECT_EQ(wrapped[64], '\n');
+  EXPECT_EQ(wrapped[129], '\n');
+  EXPECT_EQ(wrapped.back(), '\n');
+}
+
+TEST(WrapLines, ExactMultipleGetsSingleTrailingNewline) {
+  const std::string wrapped = wrap_lines(std::string(64, 'x'), 64);
+  EXPECT_EQ(wrapped.size(), 65u);
+  EXPECT_EQ(wrapped.back(), '\n');
+}
+
+}  // namespace
+}  // namespace keyguard::util

@@ -1,0 +1,96 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace keyguard::util {
+namespace {
+
+Flags make_flags(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(const_cast<const char**>(args.data())));
+}
+
+TEST(Flags, EqualsSyntax) {
+  const auto f = make_flags({"--name=value", "--n=42"});
+  EXPECT_EQ(f.get("name"), "value");
+  EXPECT_EQ(f.get_int("n", 0), 42);
+}
+
+TEST(Flags, SpaceSyntax) {
+  const auto f = make_flags({"--name", "value", "--n", "7"});
+  EXPECT_EQ(f.get("name"), "value");
+  EXPECT_EQ(f.get_int("n", 0), 7);
+}
+
+TEST(Flags, BareFlagIsBooleanTrue) {
+  const auto f = make_flags({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.get_bool("quiet"));
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_FALSE(f.has("quiet"));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const auto f = make_flags({});
+  EXPECT_EQ(f.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(f.get_int("missing", 99), 99);
+}
+
+TEST(Flags, MalformedIntFallsBack) {
+  const auto f = make_flags({"--n=abc"});
+  EXPECT_EQ(f.get_int("n", 5), 5);
+}
+
+TEST(Flags, NegativeIntViaEquals) {
+  const auto f = make_flags({"--n=-3"});
+  EXPECT_EQ(f.get_int("n", 0), -3);
+}
+
+TEST(Flags, EnvFallbackForInt) {
+  ::setenv("KEYGUARD_TEST_INT", "123", 1);
+  const auto f = make_flags({});
+  EXPECT_EQ(f.get_int("n", 0, "KEYGUARD_TEST_INT"), 123);
+  // Explicit flag beats the environment.
+  const auto g = make_flags({"--n=9"});
+  EXPECT_EQ(g.get_int("n", 0, "KEYGUARD_TEST_INT"), 9);
+  ::unsetenv("KEYGUARD_TEST_INT");
+}
+
+TEST(Flags, EnvTruthy) {
+  ::setenv("KEYGUARD_TEST_BOOL", "1", 1);
+  EXPECT_TRUE(env_truthy("KEYGUARD_TEST_BOOL"));
+  ::setenv("KEYGUARD_TEST_BOOL", "true", 1);
+  EXPECT_TRUE(env_truthy("KEYGUARD_TEST_BOOL"));
+  ::setenv("KEYGUARD_TEST_BOOL", "0", 1);
+  EXPECT_FALSE(env_truthy("KEYGUARD_TEST_BOOL"));
+  ::unsetenv("KEYGUARD_TEST_BOOL");
+  EXPECT_FALSE(env_truthy("KEYGUARD_TEST_BOOL"));
+}
+
+TEST(Flags, EnvInt) {
+  ::setenv("KEYGUARD_TEST_INT2", "77", 1);
+  EXPECT_EQ(env_int("KEYGUARD_TEST_INT2", 1), 77);
+  ::setenv("KEYGUARD_TEST_INT2", "junk", 1);
+  EXPECT_EQ(env_int("KEYGUARD_TEST_INT2", 1), 1);
+  ::unsetenv("KEYGUARD_TEST_INT2");
+  EXPECT_EQ(env_int("KEYGUARD_TEST_INT2", 42), 42);
+}
+
+TEST(Flags, GetBoolEnvFallback) {
+  ::setenv("KEYGUARD_TEST_FULL", "yes", 1);
+  const auto f = make_flags({});
+  EXPECT_TRUE(f.get_bool("full", "KEYGUARD_TEST_FULL"));
+  ::unsetenv("KEYGUARD_TEST_FULL");
+  EXPECT_FALSE(f.get_bool("full", "KEYGUARD_TEST_FULL"));
+}
+
+TEST(Flags, NonFlagArgumentsIgnored) {
+  const auto f = make_flags({"positional", "--x=1", "stray"});
+  EXPECT_EQ(f.get_int("x", 0), 1);
+}
+
+}  // namespace
+}  // namespace keyguard::util
