@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <string>
 
 #include "bignum/prime.hpp"
 #include "core/key_vault.hpp"
@@ -115,6 +116,9 @@ BENCHMARK(BM_SecureRsaKeyDecrypt);
 
 // --- scanner ---------------------------------------------------------------
 
+// Arg 0: memory MB. Arg 1: shard count (1 = the serial LKM walk). The
+// label carries the scanner's own ScanStats MB/s so the sharded engine's
+// throughput is visible next to google-benchmark's bytes/s.
 void BM_ScanMemory(benchmark::State& state) {
   core::ScenarioConfig cfg;
   cfg.mem_bytes = static_cast<std::size_t>(state.range(0)) << 20;
@@ -125,13 +129,22 @@ void BM_ScanMemory(benchmark::State& state) {
     const auto a = s.kernel().heap_alloc(p, 4096);
     s.kernel().mem_write(p, a, sslsim::SslLibrary::limb_image(s.key().p));
   }
+  s.scanner().set_shards(static_cast<std::size_t>(state.range(1)));
+  scan::ScanStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(s.scanner().scan_kernel(s.kernel()));
+    benchmark::DoNotOptimize(s.scanner().scan_kernel(s.kernel(), &stats));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           (state.range(0) << 20));
+  state.SetLabel(std::to_string(stats.shard_count) + " shards, " +
+                 std::to_string(static_cast<long long>(stats.mb_per_sec())) +
+                 " MB/s");
 }
-BENCHMARK(BM_ScanMemory)->Arg(16)->Arg(64);
+BENCHMARK(BM_ScanMemory)
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4});
 
 // --- simulator hot paths -----------------------------------------------------
 

@@ -86,6 +86,12 @@ inline bool shape_check(bool ok, const std::string& what) {
   return ok;
 }
 
+/// ScanStats trailer for benches that time the scanner: one greppable line
+/// per scan ("SCAN [tag] 64.0 MB in 4 shards, 4 patterns, ... MB/s").
+inline void print_scan_stats(const char* tag, const scan::ScanStats& stats) {
+  std::printf("SCAN [%s] %s\n", tag, stats.summary().c_str());
+}
+
 inline core::Scenario make_scenario(core::ProtectionLevel level, const Scale& s,
                                     std::uint64_t seed) {
   core::ScenarioConfig cfg;

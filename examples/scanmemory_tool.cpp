@@ -5,7 +5,11 @@
 // location, matched part, page frame, frame class, owning pids.
 //
 //   ./scanmemory_tool [--server ssh|apache] [--connections N]
-//                     [--level none|...|integrated]
+//                     [--level none|...|integrated] [--threads N]
+//
+// --threads (or KEYGUARD_SCAN_THREADS) picks the shard count for the
+// parallel walk; 1 reproduces the LKM's serial scan. Results are
+// identical either way — the ScanStats trailer shows the difference.
 #include <cstdio>
 #include <string>
 
@@ -21,6 +25,8 @@ int main(int argc, char** argv) {
   const std::string which = flags.get("server", "ssh");
   const int connections = static_cast<int>(flags.get_int("connections", 16));
   const std::string level_name = flags.get("level", "none");
+  const auto threads =
+      flags.get_int("threads", 0, "KEYGUARD_SCAN_THREADS");  // 0 = auto
 
   core::ProtectionLevel level = core::ProtectionLevel::kNone;
   for (const auto l : core::kAllProtectionLevels) {
@@ -46,7 +52,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("Request recieved\n");  // the LKM's greeting, typo and all
-  const auto matches = s.scanner().scan_kernel(s.kernel());
+  if (threads > 0) s.scanner().set_shards(static_cast<std::size_t>(threads));
+  scan::ScanStats stats;
+  const auto matches = s.scanner().scan_kernel(s.kernel(), &stats);
   for (const auto& m : matches) {
     std::printf(
         "Full match found for %s of size %zu bytes at: %09zu, in page: %06u, "
@@ -66,5 +74,6 @@ int main(int argc, char** argv) {
   const auto census = scan::KeyScanner::census(matches);
   std::printf("\n%zu matches total: %zu allocated, %zu unallocated\n",
               census.total(), census.allocated, census.unallocated);
+  std::printf("scan: %s\n", stats.summary().c_str());
   return 0;
 }

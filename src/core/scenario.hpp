@@ -28,6 +28,9 @@ class Scenario {
   const std::string& pem() const noexcept { return pem_; }
   const ProtectionProfile& profile() const noexcept { return profile_; }
   const scan::KeyScanner& scanner() const noexcept { return scanner_; }
+  /// Mutable access so callers can tune the shard count (scan results are
+  /// identical at every setting; only ScanStats timing differs).
+  scan::KeyScanner& scanner() noexcept { return scanner_; }
   const ScenarioConfig& config() const noexcept { return cfg_; }
 
   /// Fresh deterministic stream for workload decisions, derived from the

@@ -5,6 +5,8 @@
 #include "crypto/pem.hpp"
 #include "sslsim/ssl_library.hpp"
 #include "util/bytes.hpp"
+#include "util/flags.hpp"
+#include "util/thread_pool.hpp"
 
 namespace keyguard::scan {
 
@@ -45,67 +47,70 @@ KeyPatterns KeyPatterns::from_key(const crypto::RsaPrivateKey& key) {
   return out;
 }
 
-std::vector<MemoryMatch> KeyScanner::scan_kernel(const sim::Kernel& kernel) const {
+std::vector<std::span<const std::byte>> KeyScanner::needles() const {
+  std::vector<std::span<const std::byte>> out;
+  out.reserve(patterns_.patterns.size());
+  for (const auto& p : patterns_.patterns) out.emplace_back(p.bytes);
+  return out;
+}
+
+std::size_t KeyScanner::effective_shards() const {
+  if (shards_ != 0) return shards_;
+  const auto env = util::env_int("KEYGUARD_SCAN_THREADS", 0);
+  if (env > 0) return static_cast<std::size_t>(env);
+  return util::ThreadPool::shared().size() + 1;  // workers + calling thread
+}
+
+std::vector<MemoryMatch> KeyScanner::scan_kernel(const sim::Kernel& kernel,
+                                                 ScanStats* stats) const {
+  // Byte scan first — the O(memory) part, sharded across the pool. The
+  // worker threads touch only the immutable byte span; frame metadata is
+  // resolved afterwards on this thread from a single-pass snapshot, so
+  // the allocator is never read concurrently.
+  const auto raw =
+      sharded_scan(kernel.memory().all(), needles(), effective_shards(),
+                   /*min_prefix_bytes=*/0, stats);
+  const auto frame_states = kernel.allocator().states_snapshot();
+
   std::vector<MemoryMatch> matches;
-  const auto memory = kernel.memory().all();
-  for (const auto& pattern : patterns_.patterns) {
-    if (pattern.bytes.empty()) continue;
-    for (const std::size_t offset : util::find_all(memory, pattern.bytes)) {
-      MemoryMatch m;
-      m.phys_offset = offset;
-      m.part = pattern.name;
-      m.frame = static_cast<sim::FrameNumber>(offset / sim::kPageSize);
-      m.state = kernel.allocator().state(m.frame);
-      m.owners = kernel.frame_owners(m.frame);
-      m.provenance = describe_match(kernel, m);
-      matches.push_back(std::move(m));
-    }
+  matches.reserve(raw.size());
+  for (const auto& r : raw) {
+    MemoryMatch m;
+    m.phys_offset = r.offset;
+    m.part = patterns_.patterns[r.pattern_index].name;
+    m.frame = static_cast<sim::FrameNumber>(r.offset / sim::kPageSize);
+    m.state = frame_states[m.frame];
+    m.owners = kernel.frame_owners(m.frame);
+    m.provenance = describe_match(kernel, m);
+    matches.push_back(std::move(m));
   }
-  // Physical-address order, like the LKM's linear walk.
-  std::sort(matches.begin(), matches.end(),
-            [](const MemoryMatch& a, const MemoryMatch& b) {
-              return a.phys_offset < b.phys_offset;
-            });
+  // Already in (phys_offset, pattern) order — the engine's merge contract.
   return matches;
 }
 
 std::vector<CaptureMatch> KeyScanner::scan_capture(
-    std::span<const std::byte> capture) const {
+    std::span<const std::byte> capture, ScanStats* stats) const {
+  const auto raw = sharded_scan(capture, needles(), effective_shards(),
+                                /*min_prefix_bytes=*/0, stats);
   std::vector<CaptureMatch> matches;
-  for (const auto& pattern : patterns_.patterns) {
-    if (pattern.bytes.empty()) continue;
-    for (const std::size_t offset : util::find_all(capture, pattern.bytes)) {
-      matches.push_back({offset, pattern.name});
-    }
+  matches.reserve(raw.size());
+  for (const auto& r : raw) {
+    matches.push_back({r.offset, patterns_.patterns[r.pattern_index].name});
   }
-  std::sort(matches.begin(), matches.end(),
-            [](const CaptureMatch& a, const CaptureMatch& b) {
-              return a.offset < b.offset;
-            });
   return matches;
 }
 
 std::vector<PartialMatch> KeyScanner::scan_capture_prefix(
-    std::span<const std::byte> capture, std::size_t min_bytes) const {
+    std::span<const std::byte> capture, std::size_t min_bytes,
+    ScanStats* stats) const {
+  const auto raw =
+      sharded_scan(capture, needles(), effective_shards(), min_bytes, stats);
   std::vector<PartialMatch> matches;
-  for (const auto& pattern : patterns_.patterns) {
-    if (pattern.bytes.size() < min_bytes) continue;
-    const auto prefix = std::span<const std::byte>(pattern.bytes).first(min_bytes);
-    for (const std::size_t offset : util::find_all(capture, prefix)) {
-      // Extend the match as far as the pattern keeps agreeing.
-      std::size_t len = min_bytes;
-      while (len < pattern.bytes.size() && offset + len < capture.size() &&
-             capture[offset + len] == pattern.bytes[len]) {
-        ++len;
-      }
-      matches.push_back(
-          {offset, pattern.name, len, len == pattern.bytes.size()});
-    }
+  matches.reserve(raw.size());
+  for (const auto& r : raw) {
+    matches.push_back({r.offset, patterns_.patterns[r.pattern_index].name,
+                       r.matched_bytes, r.full});
   }
-  std::sort(matches.begin(), matches.end(),
-            [](const PartialMatch& a, const PartialMatch& b) {
-              return a.offset < b.offset;
-            });
   return matches;
 }
 
@@ -114,7 +119,8 @@ std::vector<ProcessMatch> KeyScanner::scan_process(const sim::Kernel& kernel,
   // Reassemble the resident image the way a core dump would: contiguous
   // virtual runs of resident pages, scanned run by run so patterns that
   // span adjacent virtual pages are found even when their frames are
-  // physically scattered.
+  // physically scattered. Runs are small (one process), so this path
+  // stays serial.
   std::vector<ProcessMatch> matches;
   const auto& pt = process.page_table();
   auto it = pt.begin();

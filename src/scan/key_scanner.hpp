@@ -9,8 +9,12 @@
 // or n_tty exploits disclosed).
 //
 // Like the LKM (first machine word compared, then the tail), the scan uses
-// a first-byte filter (memchr) before the full compare; complexity is
-// O(memory size), matching the paper's "about 5 seconds for 256 MB".
+// a first-byte filter (memchr) before the full compare. Unlike the LKM's
+// single linear walk ("about 5 seconds for 256 MB"), the walk is sharded
+// across a thread pool (scan/scan_engine.hpp): whole-frame shards with
+// seam-overlap windows make the parallel result byte-for-byte identical
+// to the serial one. Match order is the documented contract: ascending
+// phys_offset, with the pattern list order (d, P, Q, PEM) breaking ties.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +22,7 @@
 #include <vector>
 
 #include "crypto/rsa.hpp"
+#include "scan/scan_engine.hpp"
 #include "sim/kernel.hpp"
 
 namespace keyguard::scan {
@@ -89,13 +94,24 @@ class KeyScanner {
   explicit KeyScanner(const crypto::RsaPrivateKey& key)
       : KeyScanner(KeyPatterns::from_key(key)) {}
 
+  /// Shard count for the parallel walk. 0 (the default) auto-sizes to the
+  /// machine (KEYGUARD_SCAN_THREADS env overrides); 1 forces the serial
+  /// walk. Results are byte-for-byte identical at every setting — only
+  /// ScanStats timing differs.
+  void set_shards(std::size_t shards) noexcept { shards_ = shards; }
+  std::size_t shards() const noexcept { return shards_; }
+
   /// Full physical-memory scan with frame classification and reverse-map
-  /// owner attribution (scanmemory's procfile_read).
-  std::vector<MemoryMatch> scan_kernel(const sim::Kernel& kernel) const;
+  /// owner attribution (scanmemory's procfile_read). Matches are in
+  /// ascending (phys_offset, pattern) order. `stats`, when non-null,
+  /// receives shard/throughput metrics for the byte-scan portion.
+  std::vector<MemoryMatch> scan_kernel(const sim::Kernel& kernel,
+                                       ScanStats* stats = nullptr) const;
 
   /// Scan of a disclosed byte buffer (what the attacker greps on the USB
   /// stick / dump file).
-  std::vector<CaptureMatch> scan_capture(std::span<const std::byte> capture) const;
+  std::vector<CaptureMatch> scan_capture(std::span<const std::byte> capture,
+                                         ScanStats* stats = nullptr) const;
 
   /// Number of distinct key copies in a capture (== matches; the paper
   /// counts every appearance).
@@ -107,7 +123,8 @@ class KeyScanner {
   /// `min_bytes` of a pattern's prefix appears (the appendix code used
   /// MIN = 5 32-bit words = 20 bytes). Full matches are flagged.
   std::vector<PartialMatch> scan_capture_prefix(std::span<const std::byte> capture,
-                                                std::size_t min_bytes = 20) const;
+                                                std::size_t min_bytes = 20,
+                                                ScanStats* stats = nullptr) const;
 
   /// Scans one process's resident virtual address space — what a core dump
   /// or /proc/<pid>/mem disclosure of that process would reveal.
@@ -119,7 +136,13 @@ class KeyScanner {
   const KeyPatterns& patterns() const noexcept { return patterns_; }
 
  private:
+  /// Needle views over patterns_, in declaration order (the tie-break).
+  std::vector<std::span<const std::byte>> needles() const;
+  /// shards_ resolved against the machine/env for an actual scan.
+  std::size_t effective_shards() const;
+
   KeyPatterns patterns_;
+  std::size_t shards_ = 0;  // 0 = auto
 };
 
 }  // namespace keyguard::scan

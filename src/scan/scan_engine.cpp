@@ -1,0 +1,165 @@
+#include "scan/scan_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "util/bytes.hpp"
+#include "util/thread_pool.hpp"
+
+namespace keyguard::scan {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millis_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Scans one shard's window and appends hits whose first byte lies inside
+/// the payload [begin, end). Output is (offset, pattern_index)-sorted
+/// because needles are iterated in order and find_all returns ascending
+/// offsets; the final merge only has to concatenate shards.
+void scan_shard(std::span<const std::byte> buffer, std::size_t begin,
+                std::size_t end, std::size_t window_end,
+                std::span<const std::span<const std::byte>> needles,
+                std::size_t min_prefix_bytes, std::vector<RawMatch>& out) {
+  const auto window = buffer.subspan(begin, window_end - begin);
+  for (std::size_t pi = 0; pi < needles.size(); ++pi) {
+    const auto needle = needles[pi];
+    if (needle.empty()) continue;
+    if (min_prefix_bytes == 0) {
+      for (const std::size_t local : util::find_all(window, needle)) {
+        const std::size_t offset = begin + local;
+        if (offset >= end) break;  // first byte in the next shard's payload
+        out.push_back({offset, pi, needle.size(), true});
+      }
+    } else {
+      if (needle.size() < min_prefix_bytes) continue;
+      const auto prefix = needle.first(min_prefix_bytes);
+      for (const std::size_t local : util::find_all(window, prefix)) {
+        const std::size_t offset = begin + local;
+        if (offset >= end) break;
+        // Extend while the needle keeps agreeing (the LKM compared the
+        // first words, then as many following words as matched). The
+        // overlap window is sized so extension is never cut short at a
+        // seam — only the true end of the buffer can truncate it.
+        std::size_t len = min_prefix_bytes;
+        while (len < needle.size() && local + len < window.size() &&
+               window[local + len] == needle[len]) {
+          ++len;
+        }
+        out.push_back({offset, pi, len, len == needle.size()});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const RawMatch& a, const RawMatch& b) {
+    return a.offset != b.offset ? a.offset < b.offset
+                                : a.pattern_index < b.pattern_index;
+  });
+}
+
+}  // namespace
+
+double ScanStats::mb_per_sec() const {
+  if (wall_millis <= 0.0) return 0.0;
+  return (static_cast<double>(bytes_scanned) / (1024.0 * 1024.0)) /
+         (wall_millis / 1000.0);
+}
+
+std::string ScanStats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%.1f MB in %zu shard%s, %zu patterns, %.2f ms, %.1f MB/s",
+                static_cast<double>(bytes_scanned) / (1024.0 * 1024.0),
+                shard_count, shard_count == 1 ? "" : "s", pattern_count,
+                wall_millis, mb_per_sec());
+  return buf;
+}
+
+ShardPlan plan_shards(std::size_t total_bytes, std::size_t max_needle_len,
+                      std::size_t requested_shards, std::size_t frame_bytes) {
+  ShardPlan plan;
+  plan.overlap = max_needle_len > 0 ? max_needle_len - 1 : 0;
+  if (total_bytes == 0 || requested_shards <= 1) {
+    plan.shard_count = 1;
+    plan.shard_bytes = total_bytes;
+    return plan;
+  }
+  // Whole-frame shards: ceil-divide into `requested_shards`, then round the
+  // shard size up to frame granularity so frames never straddle a seam.
+  const std::size_t raw = (total_bytes + requested_shards - 1) / requested_shards;
+  plan.shard_bytes = ((raw + frame_bytes - 1) / frame_bytes) * frame_bytes;
+  if (plan.shard_bytes == 0) plan.shard_bytes = frame_bytes;
+  // Rounding up can leave trailing shards empty; clamp the count so every
+  // shard owns at least one payload byte.
+  plan.shard_count = (total_bytes + plan.shard_bytes - 1) / plan.shard_bytes;
+  return plan;
+}
+
+std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
+                                   std::span<const std::span<const std::byte>> needles,
+                                   std::size_t requested_shards,
+                                   std::size_t min_prefix_bytes,
+                                   ScanStats* stats) {
+  const auto t0 = Clock::now();
+  std::size_t max_len = 0;
+  std::size_t active_needles = 0;
+  for (const auto n : needles) {
+    if (n.empty() || (min_prefix_bytes > 0 && n.size() < min_prefix_bytes)) continue;
+    ++active_needles;
+    max_len = std::max(max_len, n.size());
+  }
+
+  const ShardPlan plan = plan_shards(buffer.size(), max_len, requested_shards);
+  std::vector<std::vector<RawMatch>> per_shard(plan.shard_count);
+  std::vector<double> shard_millis(plan.shard_count, 0.0);
+
+  util::ThreadPool::shared().parallel_for(
+      plan.shard_count, [&](std::size_t i) {
+        const auto ts = Clock::now();
+        const std::size_t begin = plan.shard_begin(i);
+        const std::size_t end =
+            std::min(buffer.size(), begin + (plan.shard_count == 1
+                                                 ? buffer.size()
+                                                 : plan.shard_bytes));
+        const std::size_t window_end = std::min(buffer.size(), end + plan.overlap);
+        scan_shard(buffer, begin, end, window_end, needles, min_prefix_bytes,
+                   per_shard[i]);
+        shard_millis[i] = millis_since(ts);
+      });
+
+  // Deterministic merge: shards are disjoint ascending offset ranges and
+  // each shard's list is already (offset, pattern_index)-sorted, so plain
+  // concatenation preserves the serial walk's order.
+  std::vector<RawMatch> merged;
+  std::size_t total = 0;
+  for (const auto& s : per_shard) total += s.size();
+  merged.reserve(total);
+  for (auto& s : per_shard) {
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+
+  if (stats != nullptr) {
+    stats->bytes_scanned = buffer.size();
+    stats->match_count = merged.size();
+    stats->shard_count = plan.shard_count;
+    stats->overlap_bytes = plan.overlap;
+    stats->pattern_count = active_needles;
+    stats->shards.clear();
+    stats->shards.reserve(plan.shard_count);
+    for (std::size_t i = 0; i < plan.shard_count; ++i) {
+      const std::size_t begin = plan.shard_begin(i);
+      const std::size_t end =
+          std::min(buffer.size(),
+                   begin + (plan.shard_count == 1 ? buffer.size() : plan.shard_bytes));
+      stats->shards.push_back(
+          {i, begin, end - begin, per_shard[i].size(), shard_millis[i]});
+    }
+    stats->wall_millis = millis_since(t0);
+  }
+  return merged;
+}
+
+}  // namespace keyguard::scan

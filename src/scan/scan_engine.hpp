@@ -1,0 +1,97 @@
+// Parallel sharded scan engine.
+//
+// The paper's scanmemory LKM walks physical memory linearly ("about 5
+// seconds for 256 MB"). This engine keeps the LKM's memchr-then-compare
+// inner loop but splits the buffer into per-thread shards of whole 4 KB
+// frames, scans the shards concurrently over util::ThreadPool, and merges
+// per-shard results into the exact byte order the serial walk produces.
+//
+// Correctness at shard seams: a needle that starts in shard i may continue
+// into shard i+1, so every shard scans an overlap window of
+// `max_needle_len - 1` extra bytes past its end, and a hit is attributed
+// to the shard that contains its FIRST byte. Each offset is therefore
+// found exactly once, and the merged result is byte-for-byte identical to
+// a single-shard scan — the equivalence and boundary test batteries in
+// tests/scan_parallel_test.cpp and tests/scan_boundary_test.cpp enforce
+// this for every shard count.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace keyguard::scan {
+
+/// Per-shard accounting for one scan.
+struct ShardStats {
+  std::size_t index = 0;    ///< shard number, 0-based
+  std::size_t offset = 0;   ///< first payload byte
+  std::size_t bytes = 0;    ///< payload bytes (overlap window excluded)
+  std::size_t matches = 0;  ///< hits attributed to this shard
+  double millis = 0.0;      ///< wall time of this shard's scan
+};
+
+/// Aggregate scan metrics, reported by KeyScanner::scan_kernel /
+/// scan_capture / scan_capture_prefix and printed by the benches.
+struct ScanStats {
+  std::size_t bytes_scanned = 0;  ///< payload bytes == buffer size
+  std::size_t match_count = 0;
+  std::size_t shard_count = 0;
+  std::size_t overlap_bytes = 0;  ///< per-shard seam window
+  std::size_t pattern_count = 0;  ///< needles actually searched
+  double wall_millis = 0.0;       ///< end-to-end, including the merge
+  std::vector<ShardStats> shards;
+
+  double mb_per_sec() const;
+  /// One-line human summary, e.g.
+  /// "64.0 MB in 4 shards, 4 patterns, 31.2 ms, 2051.3 MB/s".
+  std::string summary() const;
+};
+
+/// A raw engine hit: which needle matched where. The KeyScanner layers
+/// pattern names, frame metadata, and provenance on top.
+struct RawMatch {
+  std::size_t offset = 0;
+  std::size_t pattern_index = 0;
+  std::size_t matched_bytes = 0;  ///< == needle size unless prefix mode
+  bool full = true;
+};
+
+/// How a buffer is split: `shard_count` shards of `shard_bytes` payload
+/// (whole frames, last shard takes the remainder) with `overlap` extra
+/// bytes scanned past each seam.
+struct ShardPlan {
+  std::size_t shard_count = 1;
+  std::size_t shard_bytes = 0;
+  std::size_t overlap = 0;
+
+  std::size_t shard_begin(std::size_t i) const { return i * shard_bytes; }
+};
+
+/// Computes the plan for `total_bytes` split `requested_shards` ways.
+/// Shard payloads are rounded up to whole frames (frame_bytes granularity)
+/// so frames never straddle a seam; the count is clamped so every shard
+/// has at least one payload byte. requested_shards == 0 means one shard.
+ShardPlan plan_shards(std::size_t total_bytes, std::size_t max_needle_len,
+                      std::size_t requested_shards,
+                      std::size_t frame_bytes = 4096);
+
+/// Scans `buffer` for every needle across `requested_shards` concurrent
+/// shards and returns all hits sorted by (offset, pattern_index) — the
+/// serial walk's order, with the needle list order breaking offset ties.
+///
+/// min_prefix_bytes == 0: exact whole-needle matches (RawMatch::full true,
+/// matched_bytes == needle size). min_prefix_bytes > 0: the LKM's partial
+/// path — needles shorter than the minimum are skipped, each hit of the
+/// first min_prefix_bytes is extended while bytes keep agreeing, and
+/// `full` flags complete matches.
+///
+/// `stats`, when non-null, receives per-shard and aggregate metrics.
+std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
+                                   std::span<const std::span<const std::byte>> needles,
+                                   std::size_t requested_shards,
+                                   std::size_t min_prefix_bytes = 0,
+                                   ScanStats* stats = nullptr);
+
+}  // namespace keyguard::scan

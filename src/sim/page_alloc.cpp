@@ -82,4 +82,8 @@ FrameState PageAllocator::state(FrameNumber frame) const {
   return states_[frame];
 }
 
+std::vector<FrameState> PageAllocator::states_snapshot() const {
+  return states_;
+}
+
 }  // namespace keyguard::sim

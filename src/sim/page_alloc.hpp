@@ -77,6 +77,12 @@ class PageAllocator {
   // -- inspection -----------------------------------------------------------
   FrameState state(FrameNumber frame) const;
   bool is_free(FrameNumber frame) const { return state(frame) == FrameState::kFree; }
+
+  /// One-pass copy of every frame's state. The parallel scanner takes this
+  /// snapshot once per scan and classifies matches against it, so worker
+  /// threads never read the allocator itself — the snapshot is plain
+  /// value data, safe to share across concurrent readers.
+  std::vector<FrameState> states_snapshot() const;
   std::size_t free_count() const noexcept { return hot_.size() + pool_.size(); }
   std::size_t page_count() const noexcept { return states_.size(); }
 

@@ -31,6 +31,8 @@ std::span<const std::byte> PhysicalMemory::page(FrameNumber frame) const noexcep
 
 std::span<const std::byte> PhysicalMemory::range(std::size_t offset,
                                                  std::size_t len) const noexcept {
+  // Clamp via (size - offset), never (offset + len): the sum would wrap for
+  // len near SIZE_MAX and return a bogus span instead of the tail.
   if (offset >= bytes_.size()) return {};
   return {bytes_.data() + offset, std::min(len, bytes_.size() - offset)};
 }

@@ -1,0 +1,122 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/flags.hpp"
+
+namespace keyguard::util {
+
+namespace {
+
+std::size_t default_worker_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;  // the calling thread is the +1
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? default_worker_count() : threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();  // no workers: run inline so submit never deadlocks
+    return;
+  }
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk(mu_);
+      work_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // All participants claim iterations from one counter; the caller blocks
+  // until every helper it enlisted has drained out.
+  struct ForState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> helpers_active{0};
+    std::mutex mu;
+    std::condition_variable done;
+  } st;
+
+  auto run_share = [&st, &body, n] {
+    std::size_t i;
+    while ((i = st.next.fetch_add(1, std::memory_order_relaxed)) < n) body(i);
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  st.helpers_active.store(helpers, std::memory_order_relaxed);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([&st, run_share] {
+      run_share();
+      if (st.helpers_active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lk(st.mu);  // pairs with the waiter's predicate check
+        st.done.notify_all();
+      }
+    });
+  }
+  run_share();
+  std::unique_lock lk(st.mu);
+  st.done.wait(lk, [&st] {
+    return st.helpers_active.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ThreadPool& ThreadPool::shared() {
+  // KEYGUARD_POOL_WORKERS pins the worker count — tests/run_sanitized.sh
+  // sets it so TSan sees real cross-thread traffic even on 1-core boxes,
+  // where the default sizing would make every parallel_for run inline.
+  static ThreadPool pool(static_cast<std::size_t>(
+      std::max<std::int64_t>(0, env_int("KEYGUARD_POOL_WORKERS", 0))));
+  return pool;
+}
+
+}  // namespace keyguard::util

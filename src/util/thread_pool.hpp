@@ -1,0 +1,62 @@
+// Small reusable worker pool for data-parallel jobs.
+//
+// The sharded memory scanner splits physical memory into per-thread shards
+// and fans them out here. The pool is deliberately minimal: a fixed set of
+// workers, a FIFO queue, and a blocking `parallel_for` in which the caller
+// thread participates, so a pool of N workers applies N+1 threads to the
+// loop and a zero-worker pool degrades to a plain serial loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace keyguard::util {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks hardware_concurrency - 1 workers (the caller
+  /// thread is the +1), so the default pool saturates the machine without
+  /// oversubscribing it.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excludes the calling thread).
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues one job. Jobs must not throw.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+  /// Runs body(0..n-1) across the workers plus the calling thread and
+  /// returns when all iterations are done. Iterations are claimed from a
+  /// shared counter, so uneven iteration costs self-balance. `body` must
+  /// not throw.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool, created on first use and sized for the machine
+  /// (KEYGUARD_POOL_WORKERS overrides the worker count).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs
+  std::condition_variable idle_cv_;   // wait_idle waits for drain
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;         // popped but not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace keyguard::util

@@ -63,6 +63,34 @@ TEST(Golden, Ext2CaptureCopiesPinned) {
   EXPECT_EQ(s.scanner().count_copies(leak.capture()), 4u);
 }
 
+TEST(Golden, ScanOrderInvariantAcrossShardCounts) {
+  // The parallel merge contract as a golden pin: for a fixed workload, the
+  // full match list (offsets, parts, frames, provenance) is identical at
+  // every shard count and arrives in ascending phys_offset order.
+  core::Scenario s(golden_config(core::ProtectionLevel::kNone));
+  servers::SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  ASSERT_TRUE(server.start());
+  for (int i = 0; i < 15; ++i) server.handle_connection(8 << 10);
+  auto& scanner = s.scanner();
+  scanner.set_shards(1);
+  const auto serial = scanner.scan_kernel(s.kernel());
+  ASSERT_FALSE(serial.empty());
+  for (std::size_t i = 1; i < serial.size(); ++i) {
+    ASSERT_LE(serial[i - 1].phys_offset, serial[i].phys_offset);
+  }
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    scanner.set_shards(shards);
+    const auto parallel = scanner.scan_kernel(s.kernel());
+    ASSERT_EQ(parallel.size(), serial.size()) << shards << " shards";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel[i].phys_offset, serial[i].phys_offset) << shards;
+      ASSERT_EQ(parallel[i].part, serial[i].part) << shards;
+      ASSERT_EQ(parallel[i].provenance, serial[i].provenance) << shards;
+    }
+  }
+  scanner.set_shards(0);  // restore auto for any later use of the scenario
+}
+
 TEST(Golden, MemoryImageHashPinned) {
   // The strongest pin: a full workload's final physical memory, hashed.
   core::Scenario s(golden_config(core::ProtectionLevel::kNone));

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Builds and runs the scan + sim test binaries under a sanitizer.
+#
+#   tests/run_sanitized.sh [thread|address|undefined]   (default: thread)
+#
+# ThreadSanitizer is the one that matters for the parallel sharded scanner
+# (tests/scan_parallel_test, tests/scan_boundary_test exercise the
+# ThreadPool fan-out); address/undefined cover the same binaries for
+# memory and UB bugs. CI-runnable: exits non-zero on any failure.
+set -euo pipefail
+
+SAN="${1:-thread}"
+case "$SAN" in
+  thread|address|undefined) ;;
+  *) echo "usage: $0 [thread|address|undefined]" >&2; exit 2 ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-${SAN}san"
+
+# The binaries whose concurrency/memory behaviour the sanitizer polices.
+TARGETS=(
+  util_thread_pool_test
+  scan_test
+  scan_parallel_test
+  scan_boundary_test
+  scan_hunter_test
+  sim_physmem_test
+  sim_page_alloc_test
+  sim_kernel_test
+)
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DKEYGUARD_SANITIZE="$SAN" > /dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target "${TARGETS[@]}"
+
+# Force real workers in the shared pool: on 1-core machines the default
+# sizing is 0 workers (inline parallel_for), which would give the thread
+# sanitizer nothing cross-thread to check.
+export KEYGUARD_POOL_WORKERS=4
+
+status=0
+for t in "${TARGETS[@]}"; do
+  echo "== [$SAN] $t"
+  if ! "$BUILD/tests/$t" --gtest_brief=1; then
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "== [$SAN] all ${#TARGETS[@]} binaries clean"
+else
+  echo "== [$SAN] FAILURES detected" >&2
+fi
+exit "$status"

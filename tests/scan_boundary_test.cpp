@@ -1,0 +1,213 @@
+// Boundary placement battery: needles planted straddling every shard
+// seam, every frame boundary, and the last bytes of memory must be found
+// exactly once, with full and partial matches intact — the classic
+// parallel-scan off-by-one class.
+#include "scan/key_scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "crypto/pem.hpp"
+#include "sslsim/ssl_library.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::scan {
+namespace {
+
+using sslsim::SslLibrary;
+
+const crypto::RsaPrivateKey& test_key() {
+  static const crypto::RsaPrivateKey k = [] {
+    util::Rng rng(31337);
+    return crypto::generate_rsa_key(rng, 512);
+  }();
+  return k;
+}
+
+const std::size_t kShardCounts[] = {1, 2, 4, 8};
+
+/// Scans a fresh capture holding one needle at `offset`; the match must be
+/// found exactly once at exactly that offset, for every shard count.
+void expect_found_once(std::size_t capture_size, std::size_t offset,
+                       const KeyPatterns::Pattern& pattern) {
+  std::vector<std::byte> capture(capture_size, std::byte{0});
+  ASSERT_LE(offset + pattern.bytes.size(), capture_size);
+  std::copy(pattern.bytes.begin(), pattern.bytes.end(),
+            capture.begin() + offset);
+  KeyPatterns pats;
+  pats.patterns.push_back(pattern);
+  KeyScanner scanner(pats);
+  for (const std::size_t shards : kShardCounts) {
+    scanner.set_shards(shards);
+    const auto matches = scanner.scan_capture(capture);
+    ASSERT_EQ(matches.size(), 1u)
+        << pattern.name << " planted at " << offset << ", " << shards
+        << " shards";
+    EXPECT_EQ(matches[0].offset, offset) << shards << " shards";
+    EXPECT_EQ(matches[0].part, pattern.name) << shards << " shards";
+  }
+}
+
+// Every placement of a needle relative to every seam a 2/4/8-way split of
+// the capture produces: first byte just before the seam, last byte just
+// after, and the needle centred on it.
+TEST(ScanBoundary, RealNeedlesStraddlingEveryShardSeam) {
+  const std::size_t capture_size = sim::kPageSize * 16;
+  const auto pats = KeyPatterns::from_key(test_key());
+  for (const auto& pattern : pats.patterns) {
+    const std::size_t len = pattern.bytes.size();
+    const std::size_t max_len =
+        std::max_element(pats.patterns.begin(), pats.patterns.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.bytes.size() < b.bytes.size();
+                         })
+            ->bytes.size();
+    for (const std::size_t shards : {2u, 4u, 8u}) {
+      const auto plan = plan_shards(capture_size, max_len, shards);
+      for (std::size_t i = 1; i < plan.shard_count; ++i) {
+        const std::size_t seam = plan.shard_begin(i);
+        // Straddle: one byte in the left shard, the rest in the right.
+        expect_found_once(capture_size, seam - 1, pattern);
+        // Straddle: all but the last byte left, last byte right.
+        expect_found_once(capture_size, seam - len + 1, pattern);
+        // Centred on the seam.
+        expect_found_once(capture_size, seam - len / 2, pattern);
+        // Exactly at the seam (first byte owned by the right shard).
+        expect_found_once(capture_size, seam, pattern);
+      }
+    }
+  }
+}
+
+TEST(ScanBoundary, NeedleStraddlingEveryFrameBoundary) {
+  const std::size_t pages = 8;
+  const std::size_t capture_size = sim::kPageSize * pages;
+  KeyPatterns::Pattern p{"P", SslLibrary::limb_image(test_key().p)};
+  for (std::size_t frame = 1; frame < pages; ++frame) {
+    const std::size_t boundary = frame * sim::kPageSize;
+    expect_found_once(capture_size, boundary - 1, p);
+    expect_found_once(capture_size, boundary - p.bytes.size() + 1, p);
+    expect_found_once(capture_size, boundary - p.bytes.size() / 2, p);
+  }
+}
+
+TEST(ScanBoundary, NeedleInLastBytesOfMemory) {
+  const std::size_t capture_size = sim::kPageSize * 4 + 123;  // ragged end
+  const auto pats = KeyPatterns::from_key(test_key());
+  for (const auto& pattern : pats.patterns) {
+    // Needle's last byte is the last byte of memory.
+    expect_found_once(capture_size, capture_size - pattern.bytes.size(),
+                      pattern);
+  }
+}
+
+// A needle cut off by the end of memory: the full scan must NOT report it;
+// the prefix scan must report it exactly once, partial, with exactly the
+// surviving byte count.
+TEST(ScanBoundary, TruncatedNeedleAtEndOfMemoryIsPartialOnly) {
+  const auto d_img = SslLibrary::limb_image(test_key().d);
+  ASSERT_GT(d_img.size(), 30u);
+  const std::size_t keep = 30;  // >= the 20-byte minimum
+  const std::size_t capture_size = sim::kPageSize * 3;
+  std::vector<std::byte> capture(capture_size, std::byte{0});
+  std::copy(d_img.begin(), d_img.begin() + keep,
+            capture.begin() + (capture_size - keep));
+  KeyScanner scanner(test_key());
+  for (const std::size_t shards : kShardCounts) {
+    scanner.set_shards(shards);
+    EXPECT_TRUE(scanner.scan_capture(capture).empty()) << shards << " shards";
+    const auto partial = scanner.scan_capture_prefix(capture);
+    ASSERT_EQ(partial.size(), 1u) << shards << " shards";
+    EXPECT_EQ(partial[0].offset, capture_size - keep);
+    EXPECT_EQ(partial[0].part, "d");
+    EXPECT_EQ(partial[0].matched_bytes, keep);
+    EXPECT_FALSE(partial[0].full);
+  }
+}
+
+// A partial needle straddling a seam: the prefix hit starts left of the
+// seam and its extension crosses into the next shard's territory.
+TEST(ScanBoundary, PartialMatchExtensionCrossesShardSeam) {
+  const auto d_img = SslLibrary::limb_image(test_key().d);
+  const std::size_t keep = d_img.size() - 8;  // truncated copy
+  const std::size_t capture_size = sim::kPageSize * 8;
+  const auto plan = plan_shards(capture_size, d_img.size(), 4);
+  ASSERT_GT(plan.shard_count, 1u);
+  const std::size_t seam = plan.shard_begin(1);
+  std::vector<std::byte> capture(capture_size, std::byte{0});
+  // First 10 bytes in shard 0, the rest (including the truncation point)
+  // in shard 1.
+  const std::size_t offset = seam - 10;
+  std::copy(d_img.begin(), d_img.begin() + keep, capture.begin() + offset);
+  KeyScanner scanner(test_key());
+  scanner.set_shards(1);
+  const auto serial = scanner.scan_capture_prefix(capture);
+  ASSERT_EQ(serial.size(), 1u);
+  EXPECT_EQ(serial[0].matched_bytes, keep);
+  EXPECT_FALSE(serial[0].full);
+  for (const std::size_t shards : kShardCounts) {
+    scanner.set_shards(shards);
+    const auto partial = scanner.scan_capture_prefix(capture);
+    ASSERT_EQ(partial.size(), 1u) << shards << " shards";
+    EXPECT_EQ(partial[0].offset, offset) << shards << " shards";
+    EXPECT_EQ(partial[0].matched_bytes, keep) << shards << " shards";
+    EXPECT_FALSE(partial[0].full) << shards << " shards";
+  }
+}
+
+// scan_kernel: a needle written straight across a physical frame boundary
+// (adjacent frames) is one match, attributed to the frame holding its
+// first byte, at every shard count.
+TEST(ScanBoundary, KernelScanNeedleAcrossFrameBoundary) {
+  sim::KernelConfig cfg;
+  cfg.mem_bytes = 4ull << 20;
+  sim::Kernel k(cfg);
+  const auto p_img = SslLibrary::limb_image(test_key().p);
+  const std::size_t half = p_img.size() / 2;
+  const sim::FrameNumber left = 5;
+  auto left_page = k.memory().page(left);
+  auto right_page = k.memory().page(left + 1);
+  std::copy(p_img.begin(), p_img.begin() + half, left_page.end() - half);
+  std::copy(p_img.begin() + half, p_img.end(), right_page.begin());
+
+  KeyScanner scanner(test_key());
+  for (const std::size_t shards : kShardCounts) {
+    scanner.set_shards(shards);
+    const auto matches = scanner.scan_kernel(k);
+    ASSERT_EQ(matches.size(), 1u) << shards << " shards";
+    EXPECT_EQ(matches[0].part, "P");
+    EXPECT_EQ(matches[0].frame, left);
+    EXPECT_EQ(matches[0].phys_offset,
+              static_cast<std::size_t>(left + 1) * sim::kPageSize - half);
+    EXPECT_EQ(matches[0].state, sim::FrameState::kFree);
+  }
+}
+
+// The PEM needle is longer than a whole page, so it can cover an entire
+// shard-interior frame and cross TWO seams when shards are one page.
+TEST(ScanBoundary, NeedleLongerThanOneFrame) {
+  const auto pem = util::to_bytes(crypto::pem_encode_private_key(test_key()));
+  ASSERT_GT(pem.size(), 400u);
+  KeyPatterns::Pattern pattern{"PEM", pem};
+  const std::size_t capture_size = sim::kPageSize * 9;
+  // Force one-page shards by asking for 9 of them; plant the PEM so it
+  // spans three consecutive pages.
+  const std::size_t offset = sim::kPageSize * 4 - pem.size() / 2;
+  std::vector<std::byte> capture(capture_size, std::byte{0});
+  std::copy(pem.begin(), pem.end(), capture.begin() + offset);
+  KeyPatterns pats;
+  pats.patterns.push_back(pattern);
+  KeyScanner scanner(pats);
+  for (const std::size_t shards : {1u, 2u, 4u, 8u, 9u}) {
+    scanner.set_shards(shards);
+    const auto matches = scanner.scan_capture(capture);
+    ASSERT_EQ(matches.size(), 1u) << shards << " shards";
+    EXPECT_EQ(matches[0].offset, offset) << shards << " shards";
+  }
+}
+
+}  // namespace
+}  // namespace keyguard::scan

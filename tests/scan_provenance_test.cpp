@@ -85,6 +85,11 @@ TEST(Provenance, ResidueOfExitedProcessLabelled) {
   for (int i = 0; i < 8; ++i) server.handle_connection(8 << 10);
   const auto matches = s.scanner().scan_kernel(s.kernel());
   EXPECT_GE(count_with(matches, "unallocated residue"), 1u);
+  // Pin the documented phys_offset order (the parallel merge contract):
+  // provenance rows must arrive in the LKM's linear-walk order.
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LE(matches[i - 1].phys_offset, matches[i].phys_offset);
+  }
 }
 
 TEST(Provenance, ApacheWorkerCachesAttributedToWorkers) {

@@ -98,6 +98,8 @@ TEST(KeyScanner, ReportsAllCowDuplicates) {
   EXPECT_EQ(matches.size(), 2u);
 }
 
+// The documented order contract (which the parallel merge must uphold):
+// ascending phys_offset, pattern list order (d, P, Q, PEM) breaking ties.
 TEST(KeyScanner, MatchesSortedByPhysicalAddress) {
   sim::Kernel k(small_config());
   auto& p = k.spawn("victim");
@@ -173,6 +175,11 @@ TEST(KeyScanner, EndToEndServerLoadScan) {
       ASSERT_EQ(m.owners.size(), 1u);
       EXPECT_EQ(m.owners[0], sshd.pid());
     }
+  }
+  // And the report is in the documented phys_offset order — tests must
+  // never rely on any other ordering.
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LE(matches[i - 1].phys_offset, matches[i].phys_offset);
   }
 }
 

@@ -46,6 +46,23 @@ TEST(PhysicalMemory, RangeClamping) {
   EXPECT_TRUE(m.range(kPageSize + 1, 10).empty());
 }
 
+TEST(PhysicalMemory, RangeAtOrPastEndIsEmpty) {
+  PhysicalMemory m(kPageSize);
+  EXPECT_TRUE(m.range(kPageSize, 1).empty());   // offset == size exactly
+  EXPECT_TRUE(m.range(kPageSize, 0).empty());
+  EXPECT_TRUE(m.range(SIZE_MAX, 10).empty());   // absurd offset
+}
+
+TEST(PhysicalMemory, RangeLenNearSizeMaxDoesNotOverflow) {
+  // offset + len would wrap; the clamp must be computed as (size - offset)
+  // and return the tail, never a wrapped empty/bogus span.
+  PhysicalMemory m(kPageSize);
+  EXPECT_EQ(m.range(0, SIZE_MAX).size(), kPageSize);
+  EXPECT_EQ(m.range(kPageSize - 1, SIZE_MAX).size(), 1u);
+  EXPECT_EQ(m.range(10, SIZE_MAX - 5).size(), kPageSize - 10);
+  EXPECT_EQ(m.range(kPageSize - 1, SIZE_MAX).data(), m.all().data() + kPageSize - 1);
+}
+
 TEST(FrameStateName, AllNamed) {
   EXPECT_STREQ(frame_state_name(FrameState::kFree), "free");
   EXPECT_STREQ(frame_state_name(FrameState::kUserAnon), "user");

@@ -1,0 +1,75 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace keyguard::util {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsSerially) {
+  // hardware_concurrency == 1 machines get a workerless pool; everything
+  // must still run (inline, on the caller).
+  ThreadPool pool(0);
+  std::atomic<int> sum{0};
+  pool.parallel_for(64, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  pool.submit([&] { sum.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 64 * 63 / 2 + 1);
+}
+
+TEST(ThreadPool, MoreIterationsThanThreadsSelfBalance) {
+  ThreadPool pool(2);
+  constexpr std::size_t kN = 37;  // not a multiple of participants
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(kN, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), kN);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdleDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossManyParallelFors) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> n{0};
+    pool.parallel_for(16, [&](std::size_t) { n.fetch_add(1); });
+    ASSERT_EQ(n.load(), 16u) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, SharedPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+}  // namespace
+}  // namespace keyguard::util
