@@ -5,14 +5,22 @@
 // location, matched part, page frame, frame class, owning pids.
 //
 //   ./scanmemory_tool [--server ssh|apache] [--connections N]
-//                     [--level none|...|integrated] [--threads N]
+//                     [--level none|...|integrated] [--threads N] [--taint]
 //
 // --threads (or KEYGUARD_SCAN_THREADS) picks the shard count for the
 // parallel walk; 1 reproduces the LKM's serial scan. Results are
 // identical either way — the ScanStats trailer shows the difference.
+//
+// --taint attaches a shadow-taint map before the workload and appends the
+// residue audit the LKM could never produce: every surviving key-derived
+// byte (not just full-needle matches) with provenance, plus the
+// scanner/taint cross-check.
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "analysis/taint_auditor.hpp"
+#include "analysis/taint_map.hpp"
 #include "core/scenario.hpp"
 #include "servers/apache_server.hpp"
 #include "servers/ssh_server.hpp"
@@ -38,6 +46,13 @@ int main(int argc, char** argv) {
   cfg.mem_bytes = 64ull << 20;
   cfg.seed = 260;
   core::Scenario s(cfg);
+
+  // The shadow must observe the whole workload, so attach it first.
+  std::unique_ptr<analysis::ShadowTaintMap> taint_map;
+  if (flags.has("taint")) {
+    taint_map = std::make_unique<analysis::ShadowTaintMap>(s.kernel());
+    s.kernel().attach_taint(taint_map.get());
+  }
 
   if (which == "apache") {
     servers::ApacheServer server(s.kernel(), s.apache_config(), s.make_rng());
@@ -75,5 +90,19 @@ int main(int argc, char** argv) {
   std::printf("\n%zu matches total: %zu allocated, %zu unallocated\n",
               census.total(), census.allocated, census.unallocated);
   std::printf("scan: %s\n", stats.summary().c_str());
+
+  if (taint_map) {
+    analysis::TaintAuditor auditor(*taint_map);
+    const auto report = auditor.audit(s.kernel());
+    const auto cross = auditor.cross_check(s.scanner().patterns(), matches);
+    std::printf("\n%s", analysis::TaintAuditor::format(report).c_str());
+    std::printf(
+        "cross-check: %zu/%zu scanner hits taint-covered, %zu needle-visible "
+        "bytes, %zu taint-only bytes%s\n",
+        cross.covered_hits, cross.scanner_hits, cross.needle_visible_bytes,
+        cross.taint_only_bytes,
+        cross.all_hits_covered() ? "" : "  ** UNCOVERED HITS: shadow lost a flow **");
+    s.kernel().attach_taint(nullptr);
+  }
   return 0;
 }

@@ -1,0 +1,210 @@
+#include "analysis/taint_auditor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace keyguard::analysis {
+
+namespace {
+
+std::string describe_region(const sim::Kernel& kernel, const TaintedRegion& r) {
+  switch (r.state) {
+    case sim::FrameState::kFree:
+      return "unallocated residue";
+    case sim::FrameState::kPageCache:
+      return "page cache";
+    case sim::FrameState::kKernel:
+      return "kernel buffer";
+    case sim::FrameState::kUserAnon:
+      break;
+  }
+  for (const auto pid : r.owners) {
+    const auto* proc = kernel.find_process(pid);
+    if (proc == nullptr) continue;
+    const auto vpage = kernel.virt_of_frame(*proc, r.frame);
+    if (!vpage) continue;
+    const auto desc =
+        kernel.describe_address(*proc, *vpage + r.offset % sim::kPageSize);
+    if (desc) return *desc;
+  }
+  return "user memory";
+}
+
+}  // namespace
+
+AuditReport TaintAuditor::audit(const sim::Kernel& kernel) const {
+  AuditReport report;
+  const auto frame_states = kernel.allocator().states_snapshot();
+  const auto shadow = map_.phys_shadow();
+
+  // RAM: maximal same-tag runs, split at frame boundaries.
+  std::size_t pos = 0;
+  sim::FrameNumber last_tainted_frame = 0;
+  bool any_tainted_frame = false;
+  while (pos < shadow.size()) {
+    if (shadow[pos] == sim::TaintTag::kClean) {
+      ++pos;
+      continue;
+    }
+    const sim::TaintTag tag = shadow[pos];
+    const std::size_t frame_end = (pos / sim::kPageSize + 1) * sim::kPageSize;
+    std::size_t end = pos + 1;
+    while (end < frame_end && end < shadow.size() && shadow[end] == tag) ++end;
+
+    TaintedRegion r;
+    r.offset = pos;
+    r.length = end - pos;
+    r.tag = tag;
+    r.frame = static_cast<sim::FrameNumber>(pos / sim::kPageSize);
+    r.state = frame_states[r.frame];
+    r.owners = kernel.frame_owners(r.frame);
+    r.mlocked = kernel.frame_mlocked(r.frame);
+    r.provenance = describe_region(kernel, r);
+    r.age = map_.epoch() - map_.frame_last_tainted(r.frame);
+
+    report.bytes_by_tag[static_cast<std::size_t>(tag)] += r.length;
+    switch (r.state) {
+      case sim::FrameState::kUserAnon:
+        report.bytes_allocated += r.length;
+        if (r.mlocked) report.bytes_mlocked += r.length;
+        break;
+      case sim::FrameState::kFree:
+        report.bytes_unallocated += r.length;
+        break;
+      case sim::FrameState::kPageCache:
+        report.bytes_page_cache += r.length;
+        break;
+      case sim::FrameState::kKernel:
+        report.bytes_kernel += r.length;
+        break;
+    }
+    if (!any_tainted_frame || r.frame != last_tainted_frame) {
+      ++report.tainted_frames;
+      if (r.mlocked) ++report.mlocked_tainted_frames;
+      last_tainted_frame = r.frame;
+      any_tainted_frame = true;
+    }
+    report.regions.push_back(std::move(r));
+    pos = end;
+  }
+
+  // Swap: same segmentation over the device shadow, split at slot
+  // boundaries. Freed-but-unscrubbed slots are reported too (slot_live ==
+  // false) — that is the disk-resident residue the paper mlocks against.
+  const auto swap_shadow = map_.swap_shadow();
+  const auto* device = kernel.swap();
+  pos = 0;
+  while (pos < swap_shadow.size()) {
+    if (swap_shadow[pos] == sim::TaintTag::kClean) {
+      ++pos;
+      continue;
+    }
+    const sim::TaintTag tag = swap_shadow[pos];
+    const std::size_t slot_end = (pos / sim::kPageSize + 1) * sim::kPageSize;
+    std::size_t end = pos + 1;
+    while (end < slot_end && end < swap_shadow.size() && swap_shadow[end] == tag) {
+      ++end;
+    }
+
+    TaintedRegion r;
+    r.in_swap = true;
+    r.offset = pos;
+    r.length = end - pos;
+    r.tag = tag;
+    r.slot = static_cast<std::uint32_t>(pos / sim::kPageSize);
+    r.slot_live = device != nullptr && device->slot_in_use(r.slot);
+    r.provenance = r.slot_live ? "swap slot (live)" : "swap slot (freed, unscrubbed)";
+
+    report.bytes_by_tag[static_cast<std::size_t>(tag)] += r.length;
+    report.bytes_swap += r.length;
+    report.regions.push_back(std::move(r));
+    pos = end;
+  }
+  return report;
+}
+
+CrossCheck TaintAuditor::cross_check(
+    const scan::KeyPatterns& patterns,
+    const std::vector<scan::MemoryMatch>& matches) const {
+  CrossCheck out;
+  out.scanner_hits = matches.size();
+
+  // Pattern name -> needle length.
+  auto pattern_len = [&](const std::string& name) -> std::size_t {
+    for (const auto& p : patterns.patterns) {
+      if (p.name == name) return p.bytes.size();
+    }
+    return 0;
+  };
+
+  // Coverage check + interval collection for the union.
+  std::vector<std::pair<std::size_t, std::size_t>> intervals;
+  intervals.reserve(matches.size());
+  for (const auto& m : matches) {
+    const std::size_t len = pattern_len(m.part);
+    if (len == 0) continue;
+    intervals.emplace_back(m.phys_offset, m.phys_offset + len);
+    if (map_.range_fully_tainted(m.phys_offset, len)) {
+      ++out.covered_hits;
+    } else {
+      out.uncovered.push_back(m);
+    }
+  }
+
+  // Merge the hit intervals and count needle-visible vs taint-only bytes.
+  std::sort(intervals.begin(), intervals.end());
+  std::size_t tainted_in_union = 0;
+  std::size_t cursor = 0;
+  for (const auto& [begin, end] : intervals) {
+    const std::size_t lo = std::max(begin, cursor);
+    if (end <= lo) continue;
+    out.needle_visible_bytes += end - lo;
+    tainted_in_union += map_.tainted_bytes_in(lo, end - lo);
+    cursor = end;
+  }
+  out.taint_only_bytes = map_.stats().phys_tainted - tainted_in_union;
+  return out;
+}
+
+std::string TaintAuditor::format(const AuditReport& report, std::size_t max_regions) {
+  std::ostringstream os;
+  os << "taint audit: " << report.total_bytes() << " tainted bytes in "
+     << report.regions.size() << " regions / " << report.tainted_frames
+     << " RAM frames (" << report.mlocked_tainted_frames << " mlocked)\n";
+  os << "  allocated " << report.bytes_allocated << " (mlocked "
+     << report.bytes_mlocked << "), unallocated " << report.bytes_unallocated
+     << ", page cache " << report.bytes_page_cache << ", kernel "
+     << report.bytes_kernel << ", swap " << report.bytes_swap << "\n";
+  os << "  by tag:";
+  for (std::size_t t = 1; t < sim::kTaintTagCount; ++t) {
+    if (report.bytes_by_tag[t] == 0) continue;
+    os << " " << sim::taint_tag_name(static_cast<sim::TaintTag>(t)) << "="
+       << report.bytes_by_tag[t];
+  }
+  os << "\n";
+  os << "  single-locked-page invariant: "
+     << (report.single_locked_page_only() ? "HOLDS" : "violated") << "\n";
+
+  const std::size_t shown = std::min(report.regions.size(), max_regions);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& r = report.regions[i];
+    os << "  [" << (r.in_swap ? "swap" : "ram ") << " +" << r.offset << " len "
+       << r.length << "] " << sim::taint_tag_name(r.tag) << " — " << r.provenance;
+    if (!r.in_swap) {
+      os << " (" << sim::frame_state_name(r.state);
+      if (r.mlocked) os << ", mlocked";
+      if (!r.owners.empty()) {
+        os << ", pids";
+        for (const auto pid : r.owners) os << " " << pid;
+      }
+      os << ", age " << r.age << ")";
+    }
+    os << "\n";
+  }
+  if (report.regions.size() > shown) {
+    os << "  ... " << (report.regions.size() - shown) << " more regions\n";
+  }
+  return os.str();
+}
+
+}  // namespace keyguard::analysis

@@ -1,0 +1,123 @@
+// Residue auditor over a ShadowTaintMap: turns the per-byte shadow into
+// the report the paper's scanmemory could not produce.
+//
+// The needle scanner proves a copy exists only when a FULL pattern
+// survives contiguously; taint accounting has no such blind spot — a
+// half-overwritten prime, a freed dmp1 chunk, a Montgomery R^2, a swap
+// slot whose owner already exited all still show up, each with its tag,
+// physical location, frame class (allocated / unallocated / page cache /
+// kernel / swap), owning processes, mlock status, and age. cross_check()
+// ties the two views together: every scanner hit must be fully
+// taint-covered (the needle IS key material, so uncovered hits mean the
+// shadow lost track — an instrumentation bug), and the bytes the taint
+// view sees BEYOND the needle union are exactly the partial residues the
+// paper's methodology undercounts.
+//
+// The protected-scenario invariant (single_locked_page_only) is the
+// defense's whole claim in one predicate: after setup, key material
+// exists on exactly one mlocked RAM page and nowhere else — not in freed
+// heap, not in the page cache, not on swap.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/taint_map.hpp"
+#include "scan/key_scanner.hpp"
+#include "sim/kernel.hpp"
+
+namespace keyguard::analysis {
+
+/// One maximal run of same-tagged bytes (never crossing a frame or swap
+/// slot boundary, so the location metadata is uniform across the run).
+struct TaintedRegion {
+  bool in_swap = false;     ///< swap-device region (offset is device-relative)
+  std::size_t offset = 0;   ///< physical (or device) byte offset
+  std::size_t length = 0;   ///< run length in bytes
+  sim::TaintTag tag{};      ///< what the bytes are derived from
+
+  // RAM regions only:
+  sim::FrameNumber frame = 0;
+  sim::FrameState state{};          ///< frame class at audit time
+  std::vector<sim::Pid> owners;     ///< live processes mapping the frame
+  bool mlocked = false;             ///< mapped with mlock by any owner
+  std::string provenance;           ///< "RSA bignum p (freed)", "page cache", ...
+  std::uint64_t age = 0;            ///< tracker events since frame last gained taint
+
+  // Swap regions only:
+  std::uint32_t slot = 0;
+  bool slot_live = false;  ///< slot still backs a swapped-out page
+};
+
+/// Full-machine residue report.
+struct AuditReport {
+  std::vector<TaintedRegion> regions;  ///< ascending offset, RAM then swap
+
+  // Tainted-byte totals by location class.
+  std::size_t bytes_allocated = 0;    ///< kUserAnon frames (incl. mlocked)
+  std::size_t bytes_mlocked = 0;      ///< subset of bytes_allocated
+  std::size_t bytes_unallocated = 0;  ///< kFree frames — the paper's residue
+  std::size_t bytes_page_cache = 0;
+  std::size_t bytes_kernel = 0;
+  std::size_t bytes_swap = 0;  ///< live + dead slots
+  std::array<std::size_t, sim::kTaintTagCount> bytes_by_tag{};
+
+  std::size_t tainted_frames = 0;          ///< distinct RAM frames with taint
+  std::size_t mlocked_tainted_frames = 0;  ///< subset that is mlocked
+
+  std::size_t total_bytes() const noexcept {
+    return bytes_allocated + bytes_unallocated + bytes_page_cache + bytes_kernel +
+           bytes_swap;
+  }
+
+  /// The protected scenario's hard invariant: all surviving key material
+  /// sits on exactly one mlocked page — zero tainted bytes in unallocated
+  /// memory, the page cache, kernel buffers, or swap.
+  bool single_locked_page_only() const noexcept {
+    return tainted_frames == 1 && mlocked_tainted_frames == 1 &&
+           bytes_unallocated == 0 && bytes_page_cache == 0 && bytes_kernel == 0 &&
+           bytes_swap == 0;
+  }
+};
+
+/// Scanner-vs-taint reconciliation.
+struct CrossCheck {
+  std::size_t scanner_hits = 0;  ///< MemoryMatch count fed in
+  std::size_t covered_hits = 0;  ///< hits whose full needle range is tainted
+  /// Hits with at least one untainted byte — should be EMPTY; a non-empty
+  /// list means the shadow lost a key flow (instrumentation gap).
+  std::vector<scan::MemoryMatch> uncovered;
+
+  std::size_t needle_visible_bytes = 0;  ///< union of all hit ranges
+  /// Tainted RAM bytes OUTSIDE every hit range: residue only the shadow
+  /// sees (partial overwrites, non-needle parts like dmp1/iqmp/DER/R^2).
+  std::size_t taint_only_bytes = 0;
+
+  bool all_hits_covered() const noexcept { return covered_hits == scanner_hits; }
+};
+
+class TaintAuditor {
+ public:
+  explicit TaintAuditor(const ShadowTaintMap& map) : map_(map) {}
+
+  /// Walks the shadow, segments it into regions, and resolves provenance
+  /// against the kernel's current frame/process state.
+  AuditReport audit(const sim::Kernel& kernel) const;
+
+  /// Reconciles a scan_kernel() result against the shadow. `patterns` must
+  /// be the scanner's own pattern set (hit lengths are looked up by name).
+  CrossCheck cross_check(const scan::KeyPatterns& patterns,
+                         const std::vector<scan::MemoryMatch>& matches) const;
+
+  /// Human-readable report (scanmemory_tool --taint output).
+  static std::string format(const AuditReport& report, std::size_t max_regions = 32);
+
+  const ShadowTaintMap& map() const noexcept { return map_; }
+
+ private:
+  const ShadowTaintMap& map_;
+};
+
+}  // namespace keyguard::analysis

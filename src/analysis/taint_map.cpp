@@ -1,0 +1,151 @@
+#include "analysis/taint_map.hpp"
+
+#include <algorithm>
+
+namespace keyguard::analysis {
+
+namespace {
+
+std::size_t idx(sim::TaintTag t) noexcept { return static_cast<std::size_t>(t); }
+
+}  // namespace
+
+ShadowTaintMap::ShadowTaintMap(std::size_t phys_bytes, std::size_t swap_pages)
+    : phys_(phys_bytes, sim::TaintTag::kClean),
+      swap_(swap_pages * sim::kPageSize, sim::TaintTag::kClean),
+      frame_epoch_(phys_bytes / sim::kPageSize, 0) {}
+
+ShadowTaintMap::ShadowTaintMap(const sim::Kernel& kernel)
+    : ShadowTaintMap(kernel.memory().size_bytes(),
+                     kernel.swap() ? kernel.swap()->capacity() : 0) {}
+
+void ShadowTaintMap::set_range(std::vector<sim::TaintTag>& shadow,
+                               std::array<std::size_t, sim::kTaintTagCount>& by_tag,
+                               std::size_t& total, std::size_t off, std::size_t len,
+                               sim::TaintTag tag) {
+  const std::size_t end = std::min(off + len, shadow.size());
+  for (std::size_t i = std::min(off, shadow.size()); i < end; ++i) {
+    const sim::TaintTag old = shadow[i];
+    if (old == tag) continue;
+    if (old != sim::TaintTag::kClean) {
+      --by_tag[idx(old)];
+      --total;
+    }
+    if (tag != sim::TaintTag::kClean) {
+      ++by_tag[idx(tag)];
+      ++total;
+    }
+    shadow[i] = tag;
+  }
+}
+
+void ShadowTaintMap::copy_range(std::vector<sim::TaintTag>& dst_shadow,
+                                std::array<std::size_t, sim::kTaintTagCount>& by_tag,
+                                std::size_t& total, std::size_t dst,
+                                const sim::TaintTag* src, std::size_t len) {
+  const std::size_t end = std::min(dst + len, dst_shadow.size());
+  for (std::size_t i = std::min(dst, dst_shadow.size()); i < end; ++i) {
+    const sim::TaintTag old = dst_shadow[i];
+    const sim::TaintTag neu = src[i - dst];
+    if (old == neu) continue;
+    if (old != sim::TaintTag::kClean) {
+      --by_tag[idx(old)];
+      --total;
+    }
+    if (neu != sim::TaintTag::kClean) {
+      ++by_tag[idx(neu)];
+      ++total;
+    }
+    dst_shadow[i] = neu;
+  }
+}
+
+void ShadowTaintMap::note_frame_taint(std::size_t off, std::size_t len) {
+  if (len == 0) return;
+  const std::size_t first = off / sim::kPageSize;
+  const std::size_t last = (off + len - 1) / sim::kPageSize;
+  for (std::size_t f = first; f <= last && f < frame_epoch_.size(); ++f) {
+    frame_epoch_[f] = epoch_;
+  }
+}
+
+void ShadowTaintMap::on_phys_store(std::size_t off, std::size_t len,
+                                   sim::TaintTag tag) {
+  ++epoch_;
+  ++stats_.stores;
+  set_range(phys_, stats_.phys_by_tag, stats_.phys_tainted, off, len, tag);
+  if (tag != sim::TaintTag::kClean) note_frame_taint(off, len);
+}
+
+void ShadowTaintMap::on_phys_copy(std::size_t dst, std::size_t src, std::size_t len) {
+  ++epoch_;
+  ++stats_.copies;
+  // Snapshot the source shadow first: physical copies (COW break, realloc
+  // move) never overlap, but the snapshot makes this safe regardless.
+  const std::size_t src_end = std::min(src + len, phys_.size());
+  std::vector<sim::TaintTag> tags(phys_.begin() + std::min(src, phys_.size()),
+                                  phys_.begin() + src_end);
+  tags.resize(len, sim::TaintTag::kClean);
+  copy_range(phys_, stats_.phys_by_tag, stats_.phys_tainted, dst, tags.data(), len);
+  if (std::any_of(tags.begin(), tags.end(),
+                  [](sim::TaintTag t) { return t != sim::TaintTag::kClean; })) {
+    note_frame_taint(dst, len);
+  }
+}
+
+void ShadowTaintMap::on_phys_clear(std::size_t off, std::size_t len) {
+  ++epoch_;
+  ++stats_.clears;
+  set_range(phys_, stats_.phys_by_tag, stats_.phys_tainted, off, len,
+            sim::TaintTag::kClean);
+}
+
+void ShadowTaintMap::on_swap_store(std::uint32_t slot, std::size_t phys_src) {
+  ++epoch_;
+  ++stats_.swap_stores;
+  // Swap-out DUPLICATES the page: the slot inherits the page's shadow while
+  // the vacated RAM frame keeps its own (it is hot-freed uncleared on a
+  // stock kernel; zero_on_free clears it through on_phys_clear).
+  const std::size_t dst = static_cast<std::size_t>(slot) * sim::kPageSize;
+  copy_range(swap_, stats_.swap_by_tag, stats_.swap_tainted, dst,
+             phys_.data() + phys_src, sim::kPageSize);
+}
+
+void ShadowTaintMap::on_swap_load(std::size_t phys_dst, std::uint32_t slot) {
+  ++epoch_;
+  ++stats_.swap_loads;
+  const std::size_t src = static_cast<std::size_t>(slot) * sim::kPageSize;
+  // The slot's shadow stays put — like its bytes, which persist on the
+  // device until the slot is scrubbed.
+  copy_range(phys_, stats_.phys_by_tag, stats_.phys_tainted, phys_dst,
+             swap_.data() + src, sim::kPageSize);
+  if (std::any_of(swap_.begin() + src, swap_.begin() + src + sim::kPageSize,
+                  [](sim::TaintTag t) { return t != sim::TaintTag::kClean; })) {
+    note_frame_taint(phys_dst, sim::kPageSize);
+  }
+}
+
+void ShadowTaintMap::on_swap_clear(std::uint32_t slot) {
+  ++epoch_;
+  ++stats_.swap_clears;
+  set_range(swap_, stats_.swap_by_tag, stats_.swap_tainted,
+            static_cast<std::size_t>(slot) * sim::kPageSize, sim::kPageSize,
+            sim::TaintTag::kClean);
+}
+
+bool ShadowTaintMap::range_fully_tainted(std::size_t off, std::size_t len) const {
+  if (off + len > phys_.size()) return false;
+  return std::all_of(phys_.begin() + off, phys_.begin() + off + len,
+                     [](sim::TaintTag t) { return t != sim::TaintTag::kClean; });
+}
+
+std::size_t ShadowTaintMap::tainted_bytes_in(std::size_t off, std::size_t len) const {
+  const std::size_t end = std::min(off + len, phys_.size());
+  std::size_t n = 0;
+  for (std::size_t i = std::min(off, phys_.size()); i < end; ++i) {
+    if (phys_[i] != sim::TaintTag::kClean) ++n;
+  }
+  return n;
+}
+
+}  // namespace keyguard::analysis

@@ -1,0 +1,121 @@
+// Per-byte shadow taint map over simulated physical memory + swap.
+//
+// The KeyScanner answers "where does a FULL needle still match?"; this map
+// answers the stronger question the paper's §3 methodology could not:
+// "where does ANY byte derived from the key survive?" Every byte of
+// simulated RAM and every swap-slot byte has a one-byte shadow holding a
+// sim::TaintTag. Taint is introduced where key material enters simulated
+// memory (PEM/DER parse buffers, the eight RSA BIGNUMs, Montgomery
+// contexts, CRT intermediates, the rsa_aligned vault page, the cached key
+// file) and then travels mechanically with the kernel's physical copies:
+// COW breaks, swap-out/in, realloc moves, page-cache fills. It is
+// destroyed ONLY by actual zeroing (clear_highpage, BN_clear_free-style
+// scrubs, swap-slot scrubs) or by being overwritten with clean data —
+// the same two ways real bytes die.
+//
+// The map is a passive sim::TaintTracker: attach it with
+// Kernel::attach_taint BEFORE the workload so no key flow predates the
+// shadow. It never mutates the machine, draws no randomness, and keeps
+// no pointers into it, so attaching it cannot change simulated behaviour
+// (golden pins stay bit-identical).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/taint.hpp"
+
+namespace keyguard::analysis {
+
+/// Aggregate shadow-map accounting: surviving tainted bytes by tag and
+/// location class, plus cumulative event counters.
+struct TaintStats {
+  /// Surviving tainted bytes in physical memory, per tag (index ==
+  /// static_cast<size_t>(TaintTag)); [0] is unused (kClean).
+  std::array<std::size_t, sim::kTaintTagCount> phys_by_tag{};
+  /// Surviving tainted bytes on the swap device, per tag.
+  std::array<std::size_t, sim::kTaintTagCount> swap_by_tag{};
+  std::size_t phys_tainted = 0;  ///< total tainted RAM bytes
+  std::size_t swap_tainted = 0;  ///< total tainted swap bytes
+
+  // Cumulative event counts since construction.
+  std::uint64_t stores = 0;       ///< on_phys_store calls
+  std::uint64_t copies = 0;       ///< on_phys_copy calls
+  std::uint64_t clears = 0;       ///< on_phys_clear calls
+  std::uint64_t swap_stores = 0;  ///< pages swapped out
+  std::uint64_t swap_loads = 0;   ///< pages swapped back in
+  std::uint64_t swap_clears = 0;  ///< slots scrubbed
+
+  std::size_t total_tainted() const noexcept { return phys_tainted + swap_tainted; }
+};
+
+class ShadowTaintMap final : public sim::TaintTracker {
+ public:
+  /// Shadow for `phys_bytes` of RAM and `swap_pages` swap slots.
+  ShadowTaintMap(std::size_t phys_bytes, std::size_t swap_pages);
+
+  /// Shadow sized for `kernel`'s RAM and swap device. Does NOT attach —
+  /// call kernel.attach_taint(&map) (and detach before the map dies).
+  explicit ShadowTaintMap(const sim::Kernel& kernel);
+
+  ShadowTaintMap(const ShadowTaintMap&) = delete;
+  ShadowTaintMap& operator=(const ShadowTaintMap&) = delete;
+
+  // -- TaintTracker events (called by the sim; see sim/taint.hpp) ----------
+  void on_phys_store(std::size_t off, std::size_t len, sim::TaintTag tag) override;
+  void on_phys_copy(std::size_t dst, std::size_t src, std::size_t len) override;
+  void on_phys_clear(std::size_t off, std::size_t len) override;
+  void on_swap_store(std::uint32_t slot, std::size_t phys_src) override;
+  void on_swap_load(std::size_t phys_dst, std::uint32_t slot) override;
+  void on_swap_clear(std::uint32_t slot) override;
+
+  /// Direct taint introduction (tests; host-side custody modelling).
+  void mark_phys(std::size_t off, std::size_t len, sim::TaintTag tag) {
+    on_phys_store(off, len, tag);
+  }
+
+  // -- queries ---------------------------------------------------------------
+  sim::TaintTag phys_tag(std::size_t off) const { return phys_[off]; }
+  sim::TaintTag swap_tag(std::uint32_t slot, std::size_t off) const {
+    return swap_[static_cast<std::size_t>(slot) * sim::kPageSize + off];
+  }
+  std::span<const sim::TaintTag> phys_shadow() const noexcept { return phys_; }
+  std::span<const sim::TaintTag> swap_shadow() const noexcept { return swap_; }
+
+  /// True when every byte of [off, off+len) is tainted (any tag).
+  bool range_fully_tainted(std::size_t off, std::size_t len) const;
+  /// Tainted bytes within [off, off+len).
+  std::size_t tainted_bytes_in(std::size_t off, std::size_t len) const;
+
+  /// Monotonic event clock (advances once per tracker event). Region ages
+  /// in audit reports are expressed in these ticks.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  /// Event-clock value when `frame` last GAINED taint (0 = never).
+  std::uint64_t frame_last_tainted(sim::FrameNumber frame) const {
+    return frame_epoch_[frame];
+  }
+
+  const TaintStats& stats() const noexcept { return stats_; }
+
+ private:
+  void set_range(std::vector<sim::TaintTag>& shadow,
+                 std::array<std::size_t, sim::kTaintTagCount>& by_tag,
+                 std::size_t& total, std::size_t off, std::size_t len,
+                 sim::TaintTag tag);
+  void copy_range(std::vector<sim::TaintTag>& dst_shadow,
+                  std::array<std::size_t, sim::kTaintTagCount>& by_tag,
+                  std::size_t& total, std::size_t dst,
+                  const sim::TaintTag* src, std::size_t len);
+  void note_frame_taint(std::size_t off, std::size_t len);
+
+  std::vector<sim::TaintTag> phys_;
+  std::vector<sim::TaintTag> swap_;
+  std::vector<std::uint64_t> frame_epoch_;
+  std::uint64_t epoch_ = 0;
+  TaintStats stats_;
+};
+
+}  // namespace keyguard::analysis

@@ -1,7 +1,6 @@
 #include "attack/leaks.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 namespace keyguard::attack {
 namespace {
@@ -23,9 +22,9 @@ bool Ext2DirectoryLeak::create_directory() {
   // Everything after the initialised header reaches the attacker's disk.
   capture_.insert(capture_.end(), page.begin() + kInitializedHeader, page.end());
 
-  // make_empty then writes the "." / ".." header over the first bytes.
-  auto writable = kernel_.memory().page(*frame);
-  std::memset(writable.data(), 0x2E, kInitializedHeader);  // '.' entries
+  // make_empty then writes the "." / ".." header over the first bytes
+  // (through the taint-aware fill so the overwritten shadow clears too).
+  kernel_.memory().fill(*frame, 0, kInitializedHeader, std::byte{0x2E});  // '.' entries
 
   frames_.push_back(*frame);
   return true;

@@ -15,12 +15,14 @@ Scenario::Scenario(ScenarioConfig cfg)
       kernel_(std::make_unique<sim::Kernel>(profile_.kernel, cfg.seed)),
       scanner_(key_),
       seed_rng_(cfg.seed ^ 0xabcdef0123456789ULL) {
-  kernel_->vfs().write_file(kSshKeyPath, util::to_bytes(pem_));
-  kernel_->vfs().write_file(kApacheKeyPath, util::to_bytes(pem_));
+  // The host-key files are key material: any page-cache frame they are
+  // read into inherits the PEM taint tag in an attached shadow map.
+  kernel_->vfs().write_file(kSshKeyPath, util::to_bytes(pem_), sim::TaintTag::kPem);
+  kernel_->vfs().write_file(kApacheKeyPath, util::to_bytes(pem_), sim::TaintTag::kPem);
 }
 
 void Scenario::precache_key_file(const std::string& path) {
-  kernel_->page_cache().populate(path, util::as_bytes(pem_));
+  kernel_->page_cache().populate(path, util::as_bytes(pem_), sim::TaintTag::kPem);
 }
 
 }  // namespace keyguard::core

@@ -71,11 +71,13 @@ bool SshServer::handshake(sim::Process& child, sslsim::SimRsaKey& key) {
   // The recovered secret passes through a child heap buffer (session key
   // derivation scratch) before use.
   const auto plain_bytes = plain.to_bytes_be();
+  // keylint: allow(unscrubbed) — stock sshd churn: the scratch is freed
+  // uncleared, one of the residue sources the figures count
   const sim::VirtAddr buf =
       kernel_.heap_alloc(child, plain_bytes.size(), "session secret scratch");
   if (buf != 0) {
     kernel_.mem_write(child, buf, plain_bytes);
-    kernel_.heap_free(child, buf);
+    kernel_.heap_free(child, buf);  // keylint: allow(raw-free)
   }
 
   // Verify the handshake actually decrypted correctly.

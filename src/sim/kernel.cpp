@@ -60,7 +60,9 @@ void Kernel::release_address_space(Process& p) {
   // bytes (Gutmann'96's point about disk remnants).
   for (auto& [addr, pte] : p.pages_) {
     if (pte.swapped) {
-      swap_->free_slot(pte.swap_slot, /*scrub=*/false);
+      // A stock kernel never wipes the slot; the zero-on-free defense
+      // scrubs it eagerly, same as it clears the RAM frames below.
+      swap_->free_slot(pte.swap_slot, /*scrub=*/cfg_.zero_on_free);
     } else {
       alloc_.unref(pte.frame, FreeKind::kBulk);
     }
@@ -128,7 +130,7 @@ void Kernel::munmap(Process& p, VirtAddr addr, std::size_t bytes) {
     const auto it = p.pages_.find(a);
     if (it == p.pages_.end()) continue;
     if (it->second.swapped) {
-      swap_->free_slot(it->second.swap_slot, /*scrub=*/false);
+      swap_->free_slot(it->second.swap_slot, /*scrub=*/cfg_.zero_on_free);
     } else {
       alloc_.unref(it->second.frame, FreeKind::kHot);
     }
@@ -169,10 +171,14 @@ void Kernel::swap_in(Process& p, VirtAddr page_addr, Pte& pte) {
   if (cfg_.encrypt_swap) crypt_slot(pte.swap_slot);
   const auto src = swap_->slot(pte.swap_slot);
   std::memcpy(mem_.page(*frame).data(), src.data(), kPageSize);
-  // The slot is released but NOT scrubbed: the plaintext (or ciphertext,
-  // under encryption) stays on disk until the slot is reused.
+  if (taint_) {
+    taint_->on_swap_load(static_cast<std::size_t>(*frame) * kPageSize, pte.swap_slot);
+  }
+  // On a stock kernel the slot is released but NOT scrubbed: the plaintext
+  // (or ciphertext, under encryption) stays on disk until the slot is
+  // reused. The zero-on-free defense scrubs it here too.
   if (cfg_.encrypt_swap) crypt_slot(pte.swap_slot);  // restore ciphertext
-  swap_->free_slot(pte.swap_slot, /*scrub=*/false);
+  swap_->free_slot(pte.swap_slot, /*scrub=*/cfg_.zero_on_free);
   pte.swapped = false;
   pte.swap_slot = 0;
   pte.frame = *frame;
@@ -189,6 +195,9 @@ std::size_t Kernel::swap_out_pages(Process& p, std::size_t n) {
     const auto slot = swap_->alloc_slot();
     if (!slot) break;
     std::memcpy(swap_->slot(*slot).data(), mem_.page(pte.frame).data(), kPageSize);
+    if (taint_) {
+      taint_->on_swap_store(*slot, static_cast<std::size_t>(pte.frame) * kPageSize);
+    }
     if (cfg_.encrypt_swap) crypt_slot(*slot);
     // The vacated frame keeps its content on a stock kernel: swapping
     // DUPLICATES the page (RAM residue + disk copy), it does not move it.
@@ -225,6 +234,12 @@ FrameNumber Kernel::frame_for_write(Process& p, VirtAddr page_addr) {
       const auto src = mem_.page(pte.frame);
       auto dst = mem_.page(*fresh);
       std::memcpy(dst.data(), src.data(), kPageSize);
+      if (taint_) {
+        // The shadow duplicates with the page — a COW break on a
+        // key-bearing page mints a second tainted frame.
+        taint_->on_phys_copy(static_cast<std::size_t>(*fresh) * kPageSize,
+                             static_cast<std::size_t>(pte.frame) * kPageSize, kPageSize);
+      }
       alloc_.unref(pte.frame, FreeKind::kHot);
       pte.frame = *fresh;
     }
@@ -233,7 +248,8 @@ FrameNumber Kernel::frame_for_write(Process& p, VirtAddr page_addr) {
   return pte.frame;
 }
 
-void Kernel::mem_write(Process& p, VirtAddr addr, std::span<const std::byte> data) {
+void Kernel::mem_write(Process& p, VirtAddr addr, std::span<const std::byte> data,
+                       TaintTag taint) {
   assert(p.alive_);
   std::size_t done = 0;
   while (done < data.size()) {
@@ -243,6 +259,9 @@ void Kernel::mem_write(Process& p, VirtAddr addr, std::span<const std::byte> dat
     const std::size_t n = std::min(kPageSize - off, data.size() - done);
     const FrameNumber frame = frame_for_write(p, page_addr);
     std::memcpy(mem_.page(frame).data() + off, data.data() + done, n);
+    if (taint_) {
+      taint_->on_phys_store(static_cast<std::size_t>(frame) * kPageSize + off, n, taint);
+    }
     done += n;
   }
 }
@@ -309,9 +328,37 @@ VirtAddr Kernel::heap_realloc(Process& p, VirtAddr addr, std::size_t new_size) {
   std::vector<std::byte> data(old_size);
   mem_read(p, addr, data);
   mem_write(p, fresh, data);
+  // The copy went through host memory, so re-link the shadow: whatever
+  // taint the old chunk carried now covers the new one too.
+  propagate_taint(p, fresh, addr, old_size);
   // free() without clearing: the old bytes stay behind.
   p.heap_.free(addr);
   return fresh;
+}
+
+void Kernel::attach_taint(TaintTracker* tracker) noexcept {
+  taint_ = tracker;
+  mem_.set_taint_tracker(tracker);
+  if (swap_) swap_->set_taint_tracker(tracker);
+}
+
+void Kernel::propagate_taint(const Process& p, VirtAddr dst, VirtAddr src,
+                             std::size_t len) {
+  if (!taint_) return;
+  std::size_t done = 0;
+  while (done < len) {
+    const VirtAddr s = src + done;
+    const VirtAddr d = dst + done;
+    // Stay inside one page on BOTH sides per step.
+    const std::size_t n = std::min({len - done, kPageSize - (s % kPageSize),
+                                    kPageSize - (d % kPageSize)});
+    const auto sf = translate(p, s);
+    const auto df = translate(p, d);
+    assert(sf && df && "propagate_taint over non-resident range");
+    taint_->on_phys_copy(static_cast<std::size_t>(*df) * kPageSize + d % kPageSize,
+                         static_cast<std::size_t>(*sf) * kPageSize + s % kPageSize, n);
+    done += n;
+  }
 }
 
 std::optional<std::vector<std::byte>> Kernel::read_file(Process& p, const std::string& path,
@@ -320,8 +367,10 @@ std::optional<std::vector<std::byte>> Kernel::read_file(Process& p, const std::s
   (void)p;
   const auto* content = vfs_.file(path);
   if (content == nullptr) return std::nullopt;
-  // Read goes through the page cache, populating it as a side effect.
-  cache_.populate(path, *content);
+  // Read goes through the page cache, populating it as a side effect. The
+  // cached frames inherit the file's taint tag (the PEM host key file is
+  // the canonical tainted file).
+  cache_.populate(path, *content, vfs_.taint_tag(path));
   std::vector<std::byte> out = cache_.read_cached(path);
   if ((flags & kOpenNoCache) != 0 && cfg_.o_nocache_supported) {
     // The paper's patch: remove_from_page_cache + clear_highpage + free.

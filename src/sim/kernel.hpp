@@ -105,7 +105,11 @@ class Kernel {
   // -- memory access (the only way simulated code touches memory) -----------
 
   /// Write with COW break-on-write semantics (and swap-in on fault).
-  void mem_write(Process& p, VirtAddr addr, std::span<const std::byte> data);
+  /// `taint` labels the written bytes in the attached shadow map: key
+  /// material passes its source tag, ordinary data (the default) clears
+  /// whatever taint the overwritten bytes carried.
+  void mem_write(Process& p, VirtAddr addr, std::span<const std::byte> data,
+                 TaintTag taint = TaintTag::kClean);
 
   /// Read through the page table; faults swapped pages back in.
   void mem_read(Process& p, VirtAddr addr, std::span<std::byte> out);
@@ -166,6 +170,20 @@ class Kernel {
 
   PhysicalMemory& memory() noexcept { return mem_; }
   const PhysicalMemory& memory() const noexcept { return mem_; }
+
+  // -- shadow taint (see sim/taint.hpp; implementation in src/analysis) -----
+
+  /// Attaches (or detaches, with nullptr) a shadow-taint tracker. The
+  /// tracker observes every physical byte movement from this point on:
+  /// attach it BEFORE the workload runs so no key flow predates the
+  /// shadow. Fans out to the physical memory and the swap device.
+  void attach_taint(TaintTracker* tracker) noexcept;
+  TaintTracker* taint() const noexcept { return taint_; }
+
+  /// Copies shadow taint for a virtual byte range that was just copied
+  /// host-side (heap_realloc's read+write move). Both ranges must be
+  /// resident. No-op without a tracker.
+  void propagate_taint(const Process& p, VirtAddr dst, VirtAddr src, std::size_t len);
   PageAllocator& allocator() noexcept { return alloc_; }
   const PageAllocator& allocator() const noexcept { return alloc_; }
   const KernelConfig& config() const noexcept { return cfg_; }
@@ -207,6 +225,7 @@ class Kernel {
   PageCache cache_;
   std::optional<SwapDevice> swap_;
   std::uint64_t swap_secret_ = 0;
+  TaintTracker* taint_ = nullptr;
   std::vector<std::unique_ptr<Process>> procs_;
   Pid next_pid_ = 1;
 };

@@ -40,6 +40,18 @@ std::span<const std::byte> PhysicalMemory::range(std::size_t offset,
 void PhysicalMemory::clear_page(FrameNumber frame) noexcept {
   auto p = page(frame);
   std::memset(p.data(), 0, p.size());
+  if (taint_) taint_->on_phys_clear(static_cast<std::size_t>(frame) * kPageSize, kPageSize);
+}
+
+void PhysicalMemory::fill(FrameNumber frame, std::size_t offset, std::size_t len,
+                          std::byte value) {
+  auto p = page(frame);
+  assert(offset <= p.size() && len <= p.size() - offset);
+  std::memset(p.data() + offset, static_cast<int>(value), len);
+  if (taint_) {
+    taint_->on_phys_store(static_cast<std::size_t>(frame) * kPageSize + offset, len,
+                          TaintTag::kClean);
+  }
 }
 
 }  // namespace keyguard::sim

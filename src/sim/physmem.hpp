@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "sim/taint.hpp"
+
 namespace keyguard::sim {
 
 inline constexpr std::size_t kPageSize = 4096;
@@ -53,11 +55,24 @@ class PhysicalMemory {
   /// Byte range [offset, offset+len); clamped to the end of memory.
   std::span<const std::byte> range(std::size_t offset, std::size_t len) const noexcept;
 
-  /// Zero-fills one frame (clear_highpage in the paper's patches).
+  /// Zero-fills one frame (clear_highpage in the paper's patches) and
+  /// clears its shadow taint when a tracker is attached.
   void clear_page(FrameNumber frame) noexcept;
+
+  /// memset over part of a frame through the taint hook (kernel code that
+  /// initialises buffers in place, e.g. ext2_make_empty's "."/".." header,
+  /// goes through here so the overwritten shadow bytes are cleared too).
+  void fill(FrameNumber frame, std::size_t offset, std::size_t len, std::byte value);
+
+  /// Shadow-taint observer for every clear/fill on this memory. Null (the
+  /// default) disables tracking; the Kernel fans the tracker out to the
+  /// swap device as well via Kernel::attach_taint.
+  void set_taint_tracker(TaintTracker* t) noexcept { taint_ = t; }
+  TaintTracker* taint() const noexcept { return taint_; }
 
  private:
   std::vector<std::byte> bytes_;
+  TaintTracker* taint_ = nullptr;
 };
 
 }  // namespace keyguard::sim

@@ -25,6 +25,7 @@ void SwapDevice::free_slot(std::uint32_t slot, bool scrub) {
   --used_count_;
   if (scrub) {
     std::memset(bytes_.data() + static_cast<std::size_t>(slot) * kPageSize, 0, kPageSize);
+    if (taint_) taint_->on_swap_clear(slot);
   }
 }
 

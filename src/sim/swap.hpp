@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/physmem.hpp"
+#include "sim/taint.hpp"
 
 namespace keyguard::sim {
 
@@ -37,8 +38,18 @@ class SwapDevice {
   std::optional<std::uint32_t> alloc_slot();
 
   /// Releases a slot. Stock behaviour keeps the bytes (`scrub == false`);
-  /// a paranoid kernel could scrub.
+  /// the zero-on-free kernel defense scrubs eagerly (and clears the
+  /// slot's shadow taint through the attached tracker).
   void free_slot(std::uint32_t slot, bool scrub);
+
+  /// Shadow-taint observer for slot scrubs (see sim/taint.hpp). Attached
+  /// by Kernel::attach_taint alongside the PhysicalMemory tracker.
+  void set_taint_tracker(TaintTracker* t) noexcept { taint_ = t; }
+
+  /// True when the slot currently backs a swapped-out page. Freed slots
+  /// keep their bytes (and shadow taint) until scrubbed — the auditor
+  /// reports them as disk-resident residue.
+  bool slot_in_use(std::uint32_t index) const { return slots_used_[index]; }
 
   /// Mutable view of one slot's bytes.
   std::span<std::byte> slot(std::uint32_t index);
@@ -52,6 +63,7 @@ class SwapDevice {
   std::vector<std::byte> bytes_;
   std::vector<bool> slots_used_;
   std::size_t used_count_ = 0;
+  TaintTracker* taint_ = nullptr;
 };
 
 }  // namespace keyguard::sim

@@ -5,8 +5,19 @@
 
 namespace keyguard::sim {
 
-void Vfs::write_file(const std::string& path, std::vector<std::byte> content) {
+void Vfs::write_file(const std::string& path, std::vector<std::byte> content,
+                     TaintTag taint) {
   files_[path] = std::move(content);
+  if (taint != TaintTag::kClean) {
+    taints_[path] = taint;
+  } else {
+    taints_.erase(path);
+  }
+}
+
+TaintTag Vfs::taint_tag(const std::string& path) const {
+  const auto it = taints_.find(path);
+  return it == taints_.end() ? TaintTag::kClean : it->second;
 }
 
 const std::vector<std::byte>* Vfs::file(const std::string& path) const {
@@ -23,7 +34,8 @@ std::vector<std::string> Vfs::list() const {
   return names;
 }
 
-bool PageCache::populate(const std::string& path, std::span<const std::byte> content) {
+bool PageCache::populate(const std::string& path, std::span<const std::byte> content,
+                         TaintTag taint) {
   if (entries_.contains(path)) return true;
   std::vector<FrameNumber> frames;
   const std::size_t pages = (content.size() + kPageSize - 1) / kPageSize;
@@ -39,7 +51,12 @@ bool PageCache::populate(const std::string& path, std::span<const std::byte> con
     const std::size_t n = std::min(kPageSize, content.size() - off);
     std::memcpy(dst.data(), content.data() + off, n);
     // The tail of the last page keeps whatever was there before — page
-    // cache allocations are not zeroed (see PageAllocator::alloc).
+    // cache allocations are not zeroed (see PageAllocator::alloc) — and
+    // the shadow map mirrors that: only the written bytes take the file's
+    // tag, stale taint in the tail survives.
+    if (auto* t = mem_.taint()) {
+      t->on_phys_store(static_cast<std::size_t>(*frame) * kPageSize, n, taint);
+    }
     frames.push_back(*frame);
   }
   cached_pages_ += frames.size();

@@ -28,13 +28,20 @@ inline constexpr int kOpenNoCache = 0x0200'0000;  // O_NOCACHE 02000000 (octal i
 
 class Vfs {
  public:
-  void write_file(const std::string& path, std::vector<std::byte> content);
+  /// Stores a file. `taint` labels the contents as key material (e.g. the
+  /// PEM host key is written with TaintTag::kPem): every page-cache frame
+  /// the file is read into inherits the tag in the shadow map.
+  void write_file(const std::string& path, std::vector<std::byte> content,
+                  TaintTag taint = TaintTag::kClean);
   const std::vector<std::byte>* file(const std::string& path) const;
   bool exists(const std::string& path) const;
+  /// Taint tag the file was written with (kClean for unknown paths).
+  TaintTag taint_tag(const std::string& path) const;
   std::vector<std::string> list() const;
 
  private:
   std::map<std::string, std::vector<std::byte>> files_;
+  std::map<std::string, TaintTag> taints_;
 };
 
 class PageCache {
@@ -43,8 +50,11 @@ class PageCache {
       : mem_(mem), alloc_(alloc) {}
 
   /// Ensures `content` is resident in page-cache frames for `path`.
-  /// Idempotent. Returns false when physical memory is exhausted.
-  bool populate(const std::string& path, std::span<const std::byte> content);
+  /// Idempotent. Returns false when physical memory is exhausted. `taint`
+  /// tags the cached bytes in the shadow map (the tail of the last page
+  /// keeps its PREVIOUS shadow, exactly like it keeps its previous bytes).
+  bool populate(const std::string& path, std::span<const std::byte> content,
+                TaintTag taint = TaintTag::kClean);
 
   /// Reads the cached bytes back out (tests; the kernel's read path).
   std::vector<std::byte> read_cached(const std::string& path) const;

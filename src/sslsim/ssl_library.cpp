@@ -20,12 +20,12 @@ std::vector<std::byte> SslLibrary::limb_image(const Bignum& v) {
 }
 
 SimBignum SslLibrary::write_bignum_heap(sim::Process& p, const Bignum& v,
-                                        std::string label) {
+                                        std::string label, sim::TaintTag taint) {
   const auto image = limb_image(v);
   const sim::VirtAddr addr =
       kernel_.heap_alloc(p, image.empty() ? 8 : image.size(), std::move(label));
   assert(addr != 0 && "simulated heap exhausted");
-  if (!image.empty()) kernel_.mem_write(p, addr, image);
+  if (!image.empty()) kernel_.mem_write(p, addr, image, taint);
   return SimBignum{addr, v.limb_count(), /*static_data=*/false};
 }
 
@@ -51,13 +51,19 @@ Bignum SslLibrary::read_bignum(sim::Process& p, const SimBignum& b) const {
   return Bignum::from_bytes_le(bytes);
 }
 
+// keylint: allow(unscrubbed) — the context is owned by the caller; every
+// exit path releases it through free_mont_ctx (clear-freed when the
+// library's clear_temporaries discipline is on).
 SimMontCtx SslLibrary::make_mont_ctx(sim::Process& p, const Bignum& modulus) {
   // BN_MONT_CTX_set copies the modulus and computes R^2 mod N; both copies
-  // land in the process heap.
+  // land in the process heap. The modulus copy IS a copy of P or Q — tag
+  // it (and the derived R^2) so cached contexts show up in taint audits.
   const bn::MontgomeryContext host_ctx(modulus);
   SimMontCtx ctx;
-  ctx.n = write_bignum_heap(p, modulus, "BN_MONT_CTX modulus copy");
-  ctx.rr = write_bignum_heap(p, host_ctx.rr(), "BN_MONT_CTX R^2");
+  ctx.n = write_bignum_heap(p, modulus, "BN_MONT_CTX modulus copy",
+                            sim::TaintTag::kMont);
+  ctx.rr = write_bignum_heap(p, host_ctx.rr(), "BN_MONT_CTX R^2",
+                             sim::TaintTag::kMont);
   return ctx;
 }
 
@@ -76,12 +82,13 @@ std::optional<SimRsaKey> SslLibrary::load_private_key(sim::Process& p,
   const sim::VirtAddr pem_buf =
       kernel_.heap_alloc(p, pem_bytes->size(), "PEM read buffer");
   assert(pem_buf != 0);
-  kernel_.mem_write(p, pem_buf, *pem_bytes);
+  kernel_.mem_write(p, pem_buf, *pem_bytes, sim::TaintTag::kPem);
 
   const std::string pem_text(reinterpret_cast<const char*>(pem_bytes->data()),
                              pem_bytes->size());
   const auto host_key = crypto::pem_decode_private_key(pem_text);
   if (!host_key) {
+    // keylint: allow(raw-free) — unpatched OpenSSL error path under test
     kernel_.heap_free(p, pem_buf);
     return std::nullopt;
   }
@@ -90,18 +97,22 @@ std::optional<SimRsaKey> SslLibrary::load_private_key(sim::Process& p,
   const auto der = crypto::der_encode_private_key(*host_key);
   const sim::VirtAddr der_buf = kernel_.heap_alloc(p, der.size(), "DER decode buffer");
   assert(der_buf != 0);
-  kernel_.mem_write(p, der_buf, der);
+  kernel_.mem_write(p, der_buf, der, sim::TaintTag::kDer);
 
-  // ...and d2i_RSAPrivateKey materialises the eight BIGNUMs.
+  // ...and d2i_RSAPrivateKey materialises the eight BIGNUMs. Only the
+  // private parts carry taint; n and e are public.
   SimRsaKey key;
   key.n = write_bignum_heap(p, host_key->n, "RSA bignum n");
   key.e = write_bignum_heap(p, host_key->e, "RSA bignum e");
-  key.d = write_bignum_heap(p, host_key->d, "RSA bignum d");
-  key.p = write_bignum_heap(p, host_key->p, "RSA bignum p");
-  key.q = write_bignum_heap(p, host_key->q, "RSA bignum q");
-  key.dmp1 = write_bignum_heap(p, host_key->dmp1, "RSA bignum dmp1");
-  key.dmq1 = write_bignum_heap(p, host_key->dmq1, "RSA bignum dmq1");
-  key.iqmp = write_bignum_heap(p, host_key->iqmp, "RSA bignum iqmp");
+  key.d = write_bignum_heap(p, host_key->d, "RSA bignum d", sim::TaintTag::kKeyD);
+  key.p = write_bignum_heap(p, host_key->p, "RSA bignum p", sim::TaintTag::kKeyP);
+  key.q = write_bignum_heap(p, host_key->q, "RSA bignum q", sim::TaintTag::kKeyQ);
+  key.dmp1 =
+      write_bignum_heap(p, host_key->dmp1, "RSA bignum dmp1", sim::TaintTag::kKeyDmp1);
+  key.dmq1 =
+      write_bignum_heap(p, host_key->dmq1, "RSA bignum dmq1", sim::TaintTag::kKeyDmq1);
+  key.iqmp =
+      write_bignum_heap(p, host_key->iqmp, "RSA bignum iqmp", sim::TaintTag::kKeyIqmp);
 
   // Scratch buffers are released. The unpatched library leaves their
   // contents — including a full PEM copy of the key — in freed heap chunks.
@@ -109,6 +120,8 @@ std::optional<SimRsaKey> SslLibrary::load_private_key(sim::Process& p,
     kernel_.heap_clear_free(p, der_buf);
     kernel_.heap_clear_free(p, pem_buf);
   } else {
+    // keylint: allow(raw-free) — the unpatched library's leak, measured
+    // by the figures; the clear_temporaries branch above is the patch
     kernel_.heap_free(p, der_buf);
     kernel_.heap_free(p, pem_buf);
   }
@@ -123,9 +136,18 @@ bool SslLibrary::rsa_memory_align(sim::Process& p, SimRsaKey& key) {
   if (key.aligned) return true;
   if (!key.d.present()) return true;  // public-only key: nothing to do
 
-  SimBignum* parts[6] = {&key.d, &key.p, &key.q, &key.dmp1, &key.dmq1, &key.iqmp};
+  struct Part {
+    SimBignum* bn;
+    sim::TaintTag tag;
+  };
+  const Part parts[6] = {{&key.d, sim::TaintTag::kKeyD},
+                         {&key.p, sim::TaintTag::kKeyP},
+                         {&key.q, sim::TaintTag::kKeyQ},
+                         {&key.dmp1, sim::TaintTag::kKeyDmp1},
+                         {&key.dmq1, sim::TaintTag::kKeyDmq1},
+                         {&key.iqmp, sim::TaintTag::kKeyIqmp}};
   std::size_t total = 0;
-  for (const auto* part : parts) total += part->bytes();
+  for (const auto& part : parts) total += part.bn->bytes();
 
   // posix_memalign + mlock: one dedicated, swap-pinned region.
   const sim::VirtAddr page =
@@ -133,16 +155,17 @@ bool SslLibrary::rsa_memory_align(sim::Process& p, SimRsaKey& key) {
   if (page == 0) return false;
 
   sim::VirtAddr cursor = page;
-  for (auto* part : parts) {
-    if (!part->present()) continue;
-    std::vector<std::byte> image(part->bytes());
-    kernel_.mem_read(p, part->data, image);
-    kernel_.mem_write(p, cursor, image);
+  for (const auto& part : parts) {
+    SimBignum* bn = part.bn;
+    if (!bn->present()) continue;
+    std::vector<std::byte> image(bn->bytes());
+    kernel_.mem_read(p, bn->data, image);
+    kernel_.mem_write(p, cursor, image, part.tag);
     // memset(0) + free the original heap chunk (the patch's explicit scrub).
-    kernel_.heap_clear_free(p, part->data);
-    part->data = cursor;
-    part->static_data = true;  // BN_FLG_STATIC_DATA
-    cursor += part->bytes();
+    kernel_.heap_clear_free(p, bn->data);
+    bn->data = cursor;
+    bn->static_data = true;  // BN_FLG_STATIC_DATA
+    cursor += bn->bytes();
   }
 
   // Drop and scrub any cached Montgomery contexts, then disable caching
@@ -205,8 +228,8 @@ Bignum SslLibrary::rsa_private_op(sim::Process& p, SimRsaKey& key, const Bignum&
 
   // The intermediates pass through heap scratch (BN_CTX pool) and are
   // freed like any temporary.
-  SimBignum s1 = write_bignum_heap(p, m1, "CRT intermediate m1");
-  SimBignum s2 = write_bignum_heap(p, m2, "CRT intermediate m2");
+  SimBignum s1 = write_bignum_heap(p, m1, "CRT intermediate m1", sim::TaintTag::kCrt);
+  SimBignum s2 = write_bignum_heap(p, m2, "CRT intermediate m2", sim::TaintTag::kCrt);
   free_bignum(p, s1, cfg_.clear_temporaries);
   free_bignum(p, s2, cfg_.clear_temporaries);
 

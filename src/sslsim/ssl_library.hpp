@@ -113,7 +113,8 @@ class SslLibrary {
 
  private:
   SimBignum write_bignum_heap(sim::Process& p, const bn::Bignum& v,
-                              std::string label = {});
+                              std::string label = {},
+                              sim::TaintTag taint = sim::TaintTag::kClean);
   void free_bignum(sim::Process& p, SimBignum& b, bool clear);
   SimMontCtx make_mont_ctx(sim::Process& p, const bn::Bignum& modulus);
   void free_mont_ctx(sim::Process& p, SimMontCtx& ctx, bool clear);

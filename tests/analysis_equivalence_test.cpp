@@ -1,0 +1,136 @@
+// Scanner/taint equivalence: the needle scanner and the shadow-taint
+// auditor look at the same machine through different instruments, and
+// their views must reconcile.
+//
+//  * Soundness: every full needle match IS key material, so its byte
+//    range must be fully taint-covered. An uncovered hit would mean the
+//    shadow lost a flow — an instrumentation bug, not a finding.
+//  * Strict dominance (unprotected): the taint view sees strictly more
+//    surviving bytes than the needle union — partial overwrites, dmp1/
+//    dmq1/iqmp, DER, Montgomery R^2 are residue the paper's full-pattern
+//    methodology undercounts.
+//  * Protected end-state: the integrated defense must end with ALL
+//    surviving key material on exactly one mlocked page — zero tainted
+//    bytes in unallocated memory, page cache, kernel buffers, or swap.
+#include <gtest/gtest.h>
+
+#include "analysis/taint_auditor.hpp"
+#include "analysis/taint_map.hpp"
+#include "core/scenario.hpp"
+#include "servers/apache_server.hpp"
+#include "servers/ssh_server.hpp"
+
+namespace keyguard::analysis {
+namespace {
+
+core::ScenarioConfig cfg(core::ProtectionLevel level) {
+  core::ScenarioConfig c;
+  c.level = level;
+  c.mem_bytes = 16ull << 20;
+  c.key_bits = 512;
+  c.seed = 99;
+  return c;
+}
+
+void run_ssh(core::Scenario& s, int connections) {
+  servers::SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
+  ASSERT_TRUE(server.start());
+  for (int i = 0; i < connections; ++i) server.handle_connection(8 << 10);
+}
+
+void run_apache(core::Scenario& s, int requests) {
+  servers::ApacheServer server(s.kernel(), s.apache_config(), s.make_rng());
+  ASSERT_TRUE(server.start());
+  server.set_concurrency(8);
+  for (int i = 0; i < requests; ++i) server.handle_request();
+}
+
+struct Views {
+  std::unique_ptr<ShadowTaintMap> map;
+  AuditReport report;
+  CrossCheck cross;
+};
+
+template <typename Workload>
+Views run_with_shadow(core::Scenario& s, Workload&& workload) {
+  Views v;
+  v.map = std::make_unique<ShadowTaintMap>(s.kernel());
+  s.kernel().attach_taint(v.map.get());
+  workload(s);
+  const auto matches = s.scanner().scan_kernel(s.kernel());
+  TaintAuditor auditor(*v.map);
+  v.report = auditor.audit(s.kernel());
+  v.cross = auditor.cross_check(s.scanner().patterns(), matches);
+  s.kernel().attach_taint(nullptr);
+  return v;
+}
+
+TEST(Equivalence, UnprotectedSshScannerHitsAreTaintCovered) {
+  core::Scenario s(cfg(core::ProtectionLevel::kNone));
+  const auto v = run_with_shadow(s, [](core::Scenario& sc) { run_ssh(sc, 12); });
+
+  ASSERT_GT(v.cross.scanner_hits, 0u);
+  EXPECT_TRUE(v.cross.all_hits_covered())
+      << v.cross.uncovered.size() << " scanner hits with untainted bytes — "
+      << "the shadow map lost a key flow";
+
+  // The auditor sees strictly more residue than the needle scanner: the
+  // full-pattern methodology is a lower bound on surviving key bytes.
+  EXPECT_GT(v.map->stats().phys_tainted, v.cross.needle_visible_bytes);
+  EXPECT_GT(v.cross.taint_only_bytes, 0u);
+
+  // The workload left residue beyond live allocations (paper Fig 5).
+  EXPECT_GT(v.report.bytes_unallocated, 0u);
+  EXPECT_FALSE(v.report.single_locked_page_only());
+}
+
+TEST(Equivalence, UnprotectedApacheScannerHitsAreTaintCovered) {
+  core::Scenario s(cfg(core::ProtectionLevel::kNone));
+  const auto v = run_with_shadow(s, [](core::Scenario& sc) { run_apache(sc, 30); });
+
+  ASSERT_GT(v.cross.scanner_hits, 0u);
+  EXPECT_TRUE(v.cross.all_hits_covered());
+  EXPECT_GT(v.map->stats().phys_tainted, v.cross.needle_visible_bytes);
+  EXPECT_GT(v.cross.taint_only_bytes, 0u);
+}
+
+TEST(Equivalence, IntegratedSshEndsWithOneLockedTaintedPage) {
+  core::Scenario s(cfg(core::ProtectionLevel::kIntegrated));
+  const auto v = run_with_shadow(s, [](core::Scenario& sc) { run_ssh(sc, 12); });
+
+  EXPECT_TRUE(v.report.single_locked_page_only())
+      << TaintAuditor::format(v.report);
+  EXPECT_EQ(v.report.bytes_unallocated, 0u);
+  EXPECT_EQ(v.report.bytes_page_cache, 0u);
+  EXPECT_EQ(v.report.bytes_kernel, 0u);
+  EXPECT_EQ(v.report.bytes_swap, 0u);
+  EXPECT_EQ(v.report.tainted_frames, 1u);
+  EXPECT_EQ(v.report.mlocked_tainted_frames, 1u);
+  // The scanner agrees: its hits all land on that page too.
+  EXPECT_TRUE(v.cross.all_hits_covered());
+  ASSERT_GT(v.cross.scanner_hits, 0u);
+}
+
+TEST(Equivalence, IntegratedApacheEndsWithOneLockedTaintedPage) {
+  core::Scenario s(cfg(core::ProtectionLevel::kIntegrated));
+  const auto v = run_with_shadow(s, [](core::Scenario& sc) { run_apache(sc, 30); });
+
+  EXPECT_TRUE(v.report.single_locked_page_only())
+      << TaintAuditor::format(v.report);
+  EXPECT_TRUE(v.cross.all_hits_covered());
+}
+
+TEST(Equivalence, KernelLevelStillLeavesAllocatedDuplicates) {
+  core::Scenario s(cfg(core::ProtectionLevel::kKernel));
+  const auto v = run_with_shadow(s, [](core::Scenario& sc) { run_ssh(sc, 12); });
+
+  // zero_on_free wipes unallocated residue, but live duplication (mont
+  // caches, parse buffers still allocated) is untouched (paper Fig 14).
+  EXPECT_EQ(v.report.bytes_unallocated, 0u);
+  EXPECT_GT(v.report.bytes_allocated, 0u);
+  EXPECT_FALSE(v.report.single_locked_page_only());
+  EXPECT_TRUE(v.cross.all_hits_covered());
+}
+
+}  // namespace
+}  // namespace keyguard::analysis

@@ -28,6 +28,8 @@ TARGETS=(
   sim_physmem_test
   sim_page_alloc_test
   sim_kernel_test
+  analysis_taint_test
+  analysis_equivalence_test
 )
 
 cmake -B "$BUILD" -S "$ROOT" \

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""keylint — static hygiene checks for key-material handling.
+
+A lexical linter for the keyguard tree that enforces the repo's secret-
+lifetime discipline (the coding-side counterpart of the runtime shadow-taint
+auditor in src/analysis):
+
+  KL001  raw memset outside the scrub whitelist.
+         Zeroing secrets must go through core::secure_zero (host buffers,
+         dead-store-elimination proof) or the sim's clear_page/fill funnel
+         (so shadow taint clears with the bytes). A stray memset silently
+         bypasses both.
+
+  KL002  raw free of a secret-labelled buffer.
+         In a function that handles secret-labelled allocations, heap_free()
+         leaves the bytes behind; secret chunks must be heap_clear_free()d.
+         Deliberately-vulnerable paths (this repo reproduces the unpatched
+         OpenSSL/sshd behaviour!) carry an explicit allow annotation.
+
+  KL003  secret-labelled allocation with no scrub on any exit path.
+         A function that allocates buffers labelled as key material must
+         also contain a scrub call (clear_free / mem_zero / secure_zero /
+         a clear_temporaries-gated release), or an allow annotation.
+
+Annotations (same line or one of the three lines above the finding, or —
+for KL003 — anywhere in the function or just above its signature):
+
+    // keylint: allow(raw-free) — <why this is intentional>
+    // keylint: allow(unscrubbed) — <why this is intentional>
+
+Usage:  tools/keylint.py [paths...]        (default: src/)
+        tools/keylint.py --list-checks
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Files allowed to call memset directly: the two scrub funnels (simulated
+# physical memory + swap device) and the host-side secure_zero primitive.
+MEMSET_WHITELIST = {
+    "src/core/secure_zero.cpp",
+    "src/sim/physmem.cpp",
+    "src/sim/swap.cpp",
+}
+
+# A string literal that labels an allocation as key material.
+SECRET_LABEL = re.compile(
+    r'"[^"\n]*('
+    r"RSA bignum [dpqi]"      # d, p, q, dmp1, dmq1, iqmp (n and e are public)
+    r"|BN_MONT_CTX"           # Montgomery contexts copy P/Q and R^2
+    r"|PEM "                  # PEM parse buffers
+    r"|DER "                  # DER decode buffers
+    r"|CRT intermediate"      # m1/m2 in the private op
+    r"|session secret"        # recovered handshake secrets
+    r"|rsa_aligned"           # the defense's vault page
+    r"|key vault"             # host-side KeyVault arenas
+    r')[^"\n]*"'
+)
+
+ALLOC_CALL = re.compile(r"\b(heap_alloc|mmap_anon|write_bignum_heap)\s*\(")
+RAW_FREE = re.compile(r"\bheap_free\s*\(")
+RAW_MEMSET = re.compile(r"\b(?:std::)?memset\s*\(")
+# Anything that scrubs: explicit clears, or a clear_temporaries-gated
+# release (free_bignum/free_mont_ctx take the clear flag from config).
+SCRUB = re.compile(
+    r"clear_free|mem_zero|secure_zero|clear_page|clear_temporaries|/\*clear=\*/true"
+)
+ALLOW = re.compile(r"//\s*keylint:\s*allow\(([^)]*)\)")
+
+EXCLUDED_OPENERS = re.compile(
+    r"^\s*(namespace|struct|class|enum|union|extern)\b|^\s*[=,]|^\s*\{"
+)
+
+CHECKS = {
+    "KL001": "raw memset outside the scrub whitelist "
+             "(use core::secure_zero / PhysicalMemory::fill)",
+    "KL002": "raw heap_free in a secret-handling function "
+             "(use heap_clear_free or annotate allow(raw-free))",
+    "KL003": "secret-labelled allocation with no scrub on exit paths "
+             "(scrub or annotate allow(unscrubbed))",
+}
+
+
+def strip_noise(line: str) -> str:
+    """Remove string literals and // comments so brace counting is sane."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)'", "''", line)
+    return re.sub(r"//.*", "", line)
+
+
+def allows(lines: list[str], idx: int, what: str, lookback: int = 3) -> bool:
+    """True when an allow(...) covering `what` sits on lines[idx] or up to
+    `lookback` lines above it."""
+    for i in range(max(0, idx - lookback), idx + 1):
+        m = ALLOW.search(lines[i])
+        if m and what in {w.strip() for w in m.group(1).split(",")}:
+            return True
+    return False
+
+
+class Function:
+    """One top-level function body: [start, end] line indices (0-based)."""
+
+    def __init__(self, start: int, end: int, lines: list[str]):
+        self.start = start
+        self.end = end
+        self.lines = lines
+
+    def text(self) -> str:
+        return "\n".join(self.lines[self.start : self.end + 1])
+
+    def has_allow(self, what: str) -> bool:
+        # Anywhere in the body, or in the three lines above the signature
+        # (doc-comment position).
+        if allows(self.lines, self.start, what, lookback=3):
+            return True
+        for i in range(self.start, self.end + 1):
+            m = ALLOW.search(self.lines[i])
+            if m and what in {w.strip() for w in m.group(1).split(",")}:
+                return True
+        return False
+
+
+CONTROL_OPENER = re.compile(r"^\s*\}?\s*(if|for|while|switch|catch|do|else|return)\b")
+
+
+def statement_start(lines: list[str], i: int) -> int:
+    """First line of the statement that ends (with a `{`) on line i —
+    signatures wrap, so walk back until the previous line clearly closed a
+    statement."""
+    j = i
+    while j > 0:
+        prev = strip_noise(lines[j - 1]).rstrip()
+        if prev == "" or prev.endswith((";", "{", "}")):
+            break
+        j -= 1
+    return j
+
+
+def parse_functions(lines: list[str]) -> list[Function]:
+    """Brace-counting pass: top-level function-like bodies. Namespaces,
+    classes, control blocks and aggregate initialisers are skipped; bodies
+    nested inside an open function are folded into it."""
+    functions = []
+    depth = 0
+    open_start = None  # line where the current function's statement starts
+    open_depth = 0
+    for i, raw in enumerate(lines):
+        line = strip_noise(raw)
+        opens = line.count("{")
+        closes = line.count("}")
+        if open_start is None and opens > 0:
+            first = statement_start(lines, i)
+            joined = " ".join(strip_noise(l) for l in lines[first : i + 1])
+            if (
+                "(" in joined
+                and not EXCLUDED_OPENERS.search(lines[first])
+                and not CONTROL_OPENER.search(joined)
+            ):
+                open_start = first
+                open_depth = depth
+        depth += opens - closes
+        if open_start is not None and depth <= open_depth:
+            functions.append(Function(open_start, i, lines))
+            open_start = None
+    return functions
+
+
+def lint_file(path: Path, repo_rel: str) -> list[str]:
+    findings = []
+    lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+
+    # KL001 — line-based.
+    if repo_rel not in MEMSET_WHITELIST:
+        for i, line in enumerate(lines):
+            if RAW_MEMSET.search(strip_noise(line)):
+                if not allows(lines, i, "raw-memset"):
+                    findings.append(f"{repo_rel}:{i + 1}: KL001 {CHECKS['KL001']}")
+
+    # KL002 / KL003 — function-scoped.
+    for fn in parse_functions(lines):
+        body = fn.text()
+        secret = SECRET_LABEL.search(body) is not None
+        if not secret:
+            continue
+        if ALLOC_CALL.search(body) and not SCRUB.search(body):
+            if not fn.has_allow("unscrubbed"):
+                findings.append(
+                    f"{repo_rel}:{fn.start + 1}: KL003 {CHECKS['KL003']}"
+                )
+        for i in range(fn.start, fn.end + 1):
+            if RAW_FREE.search(strip_noise(lines[i])):
+                if not allows(lines, i, "raw-free"):
+                    findings.append(f"{repo_rel}:{i + 1}: KL002 {CHECKS['KL002']}")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    if "--list-checks" in args:
+        for check, text in CHECKS.items():
+            print(f"{check}  {text}")
+        return 0
+    roots = [Path(a) for a in args if not a.startswith("--")] or [Path("src")]
+    repo = Path(__file__).resolve().parent.parent
+
+    files = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(sorted(root.rglob("*.cpp")))
+            files.extend(sorted(root.rglob("*.hpp")))
+        else:
+            print(f"keylint: no such path: {root}", file=sys.stderr)
+            return 2
+
+    findings = []
+    for f in files:
+        try:
+            rel = str(f.resolve().relative_to(repo))
+        except ValueError:
+            rel = str(f)
+        findings.extend(lint_file(f, rel))
+
+    for finding in findings:
+        print(finding)
+    print(f"keylint: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
