@@ -1,0 +1,375 @@
+// Keystore scale sweep: keys × concurrency × pool size.
+//
+// The multi-tenant claim in numbers: a front end holding up to 1000 vhost
+// keys serves traffic while plaintext key material never exceeds N pool
+// pages + the master-key page, and the pool-hit path does no decryption,
+// so per-request latency is flat in the key count.
+//
+//   phase 1  host Keystore throughput grid (keys × pool × threads)
+//   phase 2  per-request latency vs key count at fixed pool (flatness)
+//   phase 3  hit-path stats: warm pool serves with zero further unseals
+//   phase 4  sim residue sweep: 1000-vhost SNI frontend under churn,
+//            audited MID-traffic — bounded_locked_pages_only(8) at every
+//            sampled instant — plus the needle scan reconciliation
+//
+// Runs argument-free at reduced scale; KEYGUARD_BENCH_FULL=1 widens the
+// grids and uses 1024-bit keys. Writes machine-readable results to
+// BENCH_keystore_scale.json (override with --json PATH).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "analysis/taint_auditor.hpp"
+#include "analysis/taint_map.hpp"
+#include "common.hpp"
+#include "core/protection.hpp"
+#include "keystore/keystore.hpp"
+#include "scan/key_scanner.hpp"
+#include "servers/sni_frontend.hpp"
+#include "util/json.hpp"
+
+using namespace kgbench;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The traffic generator: 80% of requests hit the hot fifth of the key
+/// population (the regime an LRU pool is built for), the rest roam.
+std::size_t pick_key(util::Rng& rng, std::size_t n_keys, bool uniform) {
+  if (uniform || n_keys < 5) return rng.next_below(n_keys);
+  const std::size_t hot = std::max<std::size_t>(1, n_keys / 5);
+  return rng.next_double() < 0.8 ? rng.next_below(hot) : rng.next_below(n_keys);
+}
+
+struct HostCell {
+  std::size_t keys, pool, threads;
+  std::uint64_t ops;
+  double wall_ms, ops_per_sec, mean_ms, hit_rate;
+  std::uint64_t unseals, evictions;
+};
+
+HostCell run_host_cell(const std::vector<crypto::RsaPrivateKey>& distinct,
+                       std::size_t n_keys, std::size_t pool, std::size_t threads,
+                       std::uint64_t total_ops, bool uniform) {
+  keystore::Keystore ks({.pool_keys = pool});
+  std::vector<keystore::KeyId> ids;
+  ids.reserve(n_keys);
+  for (std::size_t i = 0; i < n_keys; ++i) {
+    ids.push_back(ks.add_key(distinct[i % distinct.size()]));
+  }
+
+  const std::uint64_t per_thread = total_ops / threads;
+  const double t0 = now_ms();
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Rng rng(7000 + 31 * t + n_keys);
+      const bn::Bignum m(0x5157u + t);
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        (void)ks.sign(ids[pick_key(rng, ids.size(), uniform)], m);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double wall = now_ms() - t0;
+
+  const auto st = ks.stats();
+  HostCell c;
+  c.keys = n_keys;
+  c.pool = pool;
+  c.threads = threads;
+  c.ops = st.ops;
+  c.wall_ms = wall;
+  c.ops_per_sec = st.ops * 1000.0 / wall;
+  c.mean_ms = wall * static_cast<double>(threads) / static_cast<double>(st.ops);
+  c.hit_rate = st.ops ? static_cast<double>(st.pool_hits) / st.ops : 0.0;
+  c.unseals = st.unseals;
+  c.evictions = st.evictions;
+  return c;
+}
+
+struct ResidueSample {
+  std::uint64_t requests;
+  std::size_t secret_frames, master_frames, pool_frames;
+  std::size_t secret_bytes, sealed_bytes, residue_bytes;
+  bool bounded;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const Scale s = scale_from_env();
+  const std::size_t key_bits = s.full ? 1024 : 512;
+  const std::string json_path = flags.get("json", "BENCH_keystore_scale.json");
+  constexpr std::size_t kPool = 8;  // the acceptance configuration
+
+  banner("keystore scale: keys x concurrency x pool size",
+         "plaintext residue stays <= N pool pages + master key while "
+         "throughput scales; hit latency is flat in key count",
+         s);
+
+  // A small distinct-key set cycled over large populations keeps keygen
+  // off the critical path; every id still gets its own sealed blob.
+  const std::size_t n_distinct = 16;
+  std::vector<crypto::RsaPrivateKey> distinct;
+  {
+    util::Rng rng(4242);
+    for (std::size_t i = 0; i < n_distinct; ++i) {
+      distinct.push_back(crypto::generate_rsa_key(rng, key_bits));
+    }
+  }
+
+  util::JsonWriter json;
+  json.begin_object()
+      .field("bench", "keystore_scale")
+      .field("pool_pages", kPool)
+      .field("key_bits", key_bits)
+      .field("full_scale", s.full);
+
+  // ---- phase 1: throughput grid -------------------------------------------
+  const std::vector<std::size_t> key_counts = {32, 256, 1000};
+  const std::vector<std::size_t> pools = {4, 8, 16};
+  const std::vector<std::size_t> thread_counts = {1, 4};
+  const std::uint64_t grid_ops = s.full ? 1024 : 256;
+
+  util::Table grid({"keys", "pool", "threads", "ops/s", "mean ms", "hit rate",
+                    "unseals", "evictions"});
+  json.key("host_sweep").begin_array();
+  for (const auto keys : key_counts) {
+    for (const auto pool : pools) {
+      for (const auto threads : thread_counts) {
+        const auto c =
+            run_host_cell(distinct, keys, pool, threads, grid_ops, /*uniform=*/false);
+        grid.add_row({std::to_string(c.keys), std::to_string(c.pool),
+                      std::to_string(c.threads), util::fmt(c.ops_per_sec, 0),
+                      util::fmt(c.mean_ms, 3), util::fmt(c.hit_rate, 2),
+                      std::to_string(c.unseals), std::to_string(c.evictions)});
+        json.begin_object()
+            .field("keys", c.keys)
+            .field("pool", c.pool)
+            .field("threads", c.threads)
+            .field("ops", c.ops)
+            .field("wall_ms", c.wall_ms)
+            .field("ops_per_sec", c.ops_per_sec)
+            .field("mean_latency_ms", c.mean_ms)
+            .field("hit_rate", c.hit_rate)
+            .field("unseals", c.unseals)
+            .field("evictions", c.evictions)
+            .end_object();
+      }
+    }
+  }
+  json.end_array();
+  std::printf("%s\n%s\n", grid.render().c_str(), grid.render_tsv().c_str());
+
+  // ---- phase 2: latency vs key count (uniform traffic, miss-dominated) ----
+  // Uniform selection keeps the hit rate ~pool/keys for every point, so a
+  // latency trend here would mean the store does per-key work on the
+  // request path. It must not: lookup is O(pool), unseal cost is per-miss
+  // and key-size-, not population-, dependent.
+  const std::uint64_t flat_ops = s.full ? 1024 : 256;
+  util::Table flat({"keys", "mean ms", "ops/s", "hit rate"});
+  double flat_min = 0.0, flat_max = 0.0;
+  json.key("latency_vs_keys").begin_array();
+  for (const auto keys : key_counts) {
+    const auto c = run_host_cell(distinct, keys, kPool, 1, flat_ops, /*uniform=*/true);
+    flat.add_row({std::to_string(c.keys), util::fmt(c.mean_ms, 3),
+                  util::fmt(c.ops_per_sec, 0), util::fmt(c.hit_rate, 2)});
+    json.begin_object()
+        .field("keys", c.keys)
+        .field("mean_latency_ms", c.mean_ms)
+        .field("ops_per_sec", c.ops_per_sec)
+        .field("hit_rate", c.hit_rate)
+        .end_object();
+    flat_min = flat_min == 0.0 ? c.mean_ms : std::min(flat_min, c.mean_ms);
+    flat_max = std::max(flat_max, c.mean_ms);
+  }
+  json.end_array();
+  std::printf("%s\n%s\n", flat.render().c_str(), flat.render_tsv().c_str());
+
+  // ---- phase 3: the hit path does no decryption ----------------------------
+  std::uint64_t warm_unseals = 0, hot_unseals = 0, hot_hits = 0;
+  {
+    keystore::Keystore ks({.pool_keys = kPool});
+    std::vector<keystore::KeyId> ids;
+    for (std::size_t i = 0; i < kPool; ++i) ids.push_back(ks.add_key(distinct[i]));
+    const bn::Bignum m(424242);
+    for (const auto id : ids) (void)ks.sign(id, m);  // warm the pool
+    warm_unseals = ks.stats().unseals;
+    const std::uint64_t hot_ops = s.full ? 512 : 128;
+    for (std::uint64_t i = 0; i < hot_ops; ++i) (void)ks.sign(ids[i % kPool], m);
+    hot_unseals = ks.stats().unseals - warm_unseals;
+    hot_hits = ks.stats().pool_hits;
+    std::printf("hit path: %llu warm unseals, then %llu ops -> %llu further "
+                "unseals, %llu hits\n\n",
+                static_cast<unsigned long long>(warm_unseals),
+                static_cast<unsigned long long>(hot_ops),
+                static_cast<unsigned long long>(hot_unseals),
+                static_cast<unsigned long long>(hot_hits));
+  }
+
+  // ---- phase 4: sim residue sweep (the measurable claim) ------------------
+  // 1000 vhosts through one SNI frontend at the integrated level, audited
+  // mid-churn: plaintext on <= kPool locked pool pages + 1 master-key
+  // page at EVERY sampled instant.
+  const std::size_t vhosts = 1000;
+  const std::uint64_t requests = s.full ? 1024 : 384;
+  const std::uint64_t sample_every = requests / 8;
+
+  const auto profile = core::make_profile(core::ProtectionLevel::kIntegrated,
+                                          s.mem_bytes);
+  sim::Kernel kernel(profile.kernel);
+  analysis::ShadowTaintMap map(kernel);
+  kernel.attach_taint(&map);
+  servers::SniFrontend frontend(kernel, core::sni_config(profile, kPool),
+                                util::Rng(31));
+  {
+    std::vector<crypto::RsaPrivateKey> vhost_keys;
+    vhost_keys.reserve(vhosts);
+    for (std::size_t i = 0; i < vhosts; ++i) {
+      vhost_keys.push_back(distinct[i % distinct.size()]);
+    }
+    const double t0 = now_ms();
+    if (!frontend.start(vhost_keys)) {
+      std::fprintf(stderr, "frontend failed to start\n");
+      return 1;
+    }
+    std::printf("ingested %zu vhost keys in %s ms (sealed at rest)\n", vhosts,
+                util::fmt(now_ms() - t0, 0).c_str());
+  }
+
+  analysis::TaintAuditor auditor(map);
+  std::vector<ResidueSample> samples;
+  bool all_bounded = true;
+  std::size_t max_pool_frames = 0;
+  util::RunningStats req_ms;
+  for (std::uint64_t r = 1; r <= requests; ++r) {
+    const double t0 = now_ms();
+    if (!frontend.handle_request()) {
+      std::fprintf(stderr, "handshake failed at request %llu\n",
+                   static_cast<unsigned long long>(r));
+      return 1;
+    }
+    req_ms.add(now_ms() - t0);
+    if (r % sample_every != 0) continue;
+
+    const auto report = auditor.audit(kernel);
+    ResidueSample sm;
+    sm.requests = r;
+    sm.secret_frames = report.secret_tainted_frames;
+    sm.master_frames = report.master_key_frames;
+    sm.pool_frames = report.secret_tainted_frames - report.master_key_frames;
+    sm.secret_bytes = report.secret.total();
+    sm.sealed_bytes = report.sealed.total();
+    sm.residue_bytes = report.secret.unallocated + report.secret.page_cache +
+                       report.secret.kernel + report.secret.swap;
+    sm.bounded = report.bounded_locked_pages_only(kPool);
+    samples.push_back(sm);
+    all_bounded = all_bounded && sm.bounded;
+    max_pool_frames = std::max(max_pool_frames, sm.pool_frames);
+  }
+
+  util::Table res({"requests", "secret frames", "pool", "master", "secret B",
+                   "sealed B", "off-pool residue B", "bounded(8)"});
+  json.key("residue_samples").begin_array();
+  for (const auto& sm : samples) {
+    res.add_row({std::to_string(sm.requests), std::to_string(sm.secret_frames),
+                 std::to_string(sm.pool_frames), std::to_string(sm.master_frames),
+                 std::to_string(sm.secret_bytes), std::to_string(sm.sealed_bytes),
+                 std::to_string(sm.residue_bytes), sm.bounded ? "HOLDS" : "VIOLATED"});
+    json.begin_object()
+        .field("requests", sm.requests)
+        .field("secret_frames", sm.secret_frames)
+        .field("pool_frames", sm.pool_frames)
+        .field("master_frames", sm.master_frames)
+        .field("secret_bytes", sm.secret_bytes)
+        .field("sealed_bytes", sm.sealed_bytes)
+        .field("residue_bytes", sm.residue_bytes)
+        .field("bounded", sm.bounded)
+        .end_object();
+  }
+  json.end_array();
+  std::printf("%s\n%s\n", res.render().c_str(), res.render_tsv().c_str());
+
+  // Needle-scan reconciliation over the churned machine.
+  scan::KeyScanner scanner(scan::KeyPatterns::from_keys(distinct));
+  scan::ScanStats scan_stats;
+  const auto matches = scanner.scan_kernel(kernel, &scan_stats);
+  std::size_t unlocked_hits = 0;
+  std::set<std::string> visible;
+  for (const auto& m : matches) {
+    if (m.state != sim::FrameState::kUserAnon) ++unlocked_hits;
+    visible.insert(m.part.substr(m.part.find('#') + 1));
+  }
+  const auto cross = auditor.cross_check(scanner.patterns(), matches);
+  print_scan_stats("1000-vhost machine", scan_stats);
+  std::printf("scanner: %zu hits, %zu distinct plaintext keys visible, "
+              "%zu hits outside live mappings; cross-check %zu/%zu covered\n\n",
+              matches.size(), visible.size(), unlocked_hits, cross.covered_hits,
+              cross.scanner_hits);
+
+  const auto ks_stats = frontend.keystore().stats();
+  json.key("sim")
+      .begin_object()
+      .field("vhosts", vhosts)
+      .field("requests", requests)
+      .field("mean_request_ms", req_ms.mean())
+      .field("pool_hits", ks_stats.pool_hits)
+      .field("pool_misses", ks_stats.pool_misses)
+      .field("evictions", ks_stats.evictions)
+      .field("max_pool_frames", max_pool_frames)
+      .field("all_bounded", all_bounded)
+      .field("scanner_hits", matches.size())
+      .field("visible_plaintext_keys", visible.size())
+      .field("scan_mb_per_sec", scan_stats.mb_per_sec())
+      .end_object();
+
+  std::printf("traffic: %s ms/request mean, %llu hits / %llu misses / %llu "
+              "evictions\n\n",
+              util::fmt(req_ms.mean(), 3).c_str(),
+              static_cast<unsigned long long>(ks_stats.pool_hits),
+              static_cast<unsigned long long>(ks_stats.pool_misses),
+              static_cast<unsigned long long>(ks_stats.evictions));
+
+  // ---- verdicts -------------------------------------------------------------
+  bool ok = true;
+  ok &= shape_check(all_bounded,
+                    "bounded_locked_pages_only(8) HOLDS at every sampled instant "
+                    "under 1000-key churn");
+  ok &= shape_check(max_pool_frames <= kPool,
+                    "plaintext residue never exceeds 8 pool pages + 1 master page");
+  ok &= shape_check(visible.size() <= kPool,
+                    "needle scan never sees more than pool-many distinct keys");
+  ok &= shape_check(unlocked_hits == 0,
+                    "every surviving needle image sits in a live (pool) mapping");
+  ok &= shape_check(cross.all_hits_covered(),
+                    "every scanner hit is fully taint-covered");
+  ok &= shape_check(hot_unseals == 0 && hot_hits > 0,
+                    "warm pool serves with zero further unseals (no decryption "
+                    "on the hit path)");
+  ok &= shape_check(flat_max > 0 && flat_max / flat_min < 1.6,
+                    "per-request latency flat in key count at fixed pool "
+                    "(32 -> 1000 keys: " + util::fmt(flat_min, 3) + " -> " +
+                        util::fmt(flat_max, 3) + " ms spread < 1.6x)");
+  ok &= shape_check(ks_stats.evictions > 0,
+                    "the workload actually churns the pool (evictions happened)");
+
+  json.field("shape_checks_ok", ok).end_object();
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fwrite(json.str().data(), 1, json.str().size(), f);
+    std::fclose(f);
+    std::printf("\nJSON written to %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

@@ -4,17 +4,28 @@
 // prints every key-copy hit the way the LKM wrote to /proc/sshmem:
 // location, matched part, page frame, frame class, owning pids.
 //
-//   ./scanmemory_tool [--server ssh|apache] [--connections N]
-//                     [--level none|...|integrated] [--threads N] [--taint]
-//
-// --threads (or KEYGUARD_SCAN_THREADS) picks the shard count for the
-// parallel walk; 1 reproduces the LKM's serial scan. Results are
-// identical either way — the ScanStats trailer shows the difference.
-//
-// --taint attaches a shadow-taint map before the workload and appends the
-// residue audit the LKM could never produce: every surviving key-derived
-// byte (not just full-needle matches) with provenance, plus the
-// scanner/taint cross-check.
+// Usage:
+//   ./scanmemory_tool [--server ssh|apache]   workload to run (default ssh)
+//                     [--connections N]       connections/requests (default 16)
+//                     [--level none|application|library|kernel|integrated]
+//                                             protection profile (default none)
+//                     [--threads N]           scan shard count; 1 reproduces the
+//                                             LKM's serial walk, 0 = auto; also
+//                                             via KEYGUARD_SCAN_THREADS
+//                     [--taint]               attach a shadow-taint map before
+//                                             the workload and append the
+//                                             residue audit the LKM could never
+//                                             produce: every surviving
+//                                             key-derived byte (not just
+//                                             full-needle matches) with
+//                                             provenance, plus the scanner/taint
+//                                             cross-check
+//                     [--json [FILE]]         machine-readable results (matches,
+//                                             census, scan stats incl. MB/s, and
+//                                             the taint report when --taint is
+//                                             given) to FILE, or stdout when the
+//                                             value is omitted/empty; replaces
+//                                             the text report
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -25,8 +36,126 @@
 #include "servers/apache_server.hpp"
 #include "servers/ssh_server.hpp"
 #include "util/flags.hpp"
+#include "util/json.hpp"
 
 using namespace keyguard;
+
+namespace {
+
+std::size_t part_bytes(const core::Scenario& s, const std::string& part) {
+  if (part == "PEM") return s.pem().size();
+  if (part == "d") return s.key().d.limb_count() * 8;
+  return s.key().p.limb_count() * 8;
+}
+
+void print_text(const core::Scenario& s, const std::vector<scan::MemoryMatch>& matches,
+                const scan::ScanStats& stats) {
+  std::printf("Request recieved\n");  // the LKM's greeting, typo and all
+  for (const auto& m : matches) {
+    std::printf(
+        "Full match found for %s of size %zu bytes at: %09zu, in page: %06u, "
+        "state: %s, processes:",
+        m.part.c_str(), part_bytes(s, m.part), m.phys_offset, m.frame,
+        sim::frame_state_name(m.state));
+    if (m.owners.empty()) {
+      std::printf(" %s", m.allocated() ? "0" : "none");  // 0 == kernel
+    } else {
+      for (const auto pid : m.owners) std::printf(" %u", pid);
+    }
+    std::printf("  <- %s\n", m.provenance.c_str());
+  }
+  const auto census = scan::KeyScanner::census(matches);
+  std::printf("\n%zu matches total: %zu allocated, %zu unallocated\n",
+              census.total(), census.allocated, census.unallocated);
+  std::printf("scan: %s\n", stats.summary().c_str());
+}
+
+void write_json(util::JsonWriter& w, const core::Scenario& s,
+                const std::string& which, int connections,
+                const std::string& level_name,
+                const std::vector<scan::MemoryMatch>& matches,
+                const scan::ScanStats& stats,
+                const analysis::AuditReport* report,
+                const analysis::CrossCheck* cross) {
+  w.begin_object()
+      .field("tool", "scanmemory")
+      .field("server", which)
+      .field("connections", static_cast<std::int64_t>(connections))
+      .field("level", level_name);
+
+  w.key("matches").begin_array();
+  for (const auto& m : matches) {
+    w.begin_object()
+        .field("part", m.part)
+        .field("bytes", static_cast<std::uint64_t>(part_bytes(s, m.part)))
+        .field("phys_offset", static_cast<std::uint64_t>(m.phys_offset))
+        .field("frame", static_cast<std::uint64_t>(m.frame))
+        .field("state", sim::frame_state_name(m.state))
+        .field("provenance", m.provenance);
+    w.key("owners").begin_array();
+    for (const auto pid : m.owners) w.value(static_cast<std::uint64_t>(pid));
+    w.end_array().end_object();
+  }
+  w.end_array();
+
+  const auto census = scan::KeyScanner::census(matches);
+  w.key("census")
+      .begin_object()
+      .field("copies", static_cast<std::uint64_t>(census.total()))
+      .field("allocated", static_cast<std::uint64_t>(census.allocated))
+      .field("unallocated", static_cast<std::uint64_t>(census.unallocated))
+      .end_object();
+
+  w.key("scan")
+      .begin_object()
+      .field("bytes_scanned", static_cast<std::uint64_t>(stats.bytes_scanned))
+      .field("shards", static_cast<std::uint64_t>(stats.shard_count))
+      .field("patterns", static_cast<std::uint64_t>(stats.pattern_count))
+      .field("wall_ms", stats.wall_millis)
+      .field("mb_per_sec", stats.mb_per_sec())
+      .end_object();
+
+  if (report) {
+    w.key("taint").begin_object();
+    const auto totals = [&w](const char* name, const analysis::LocationTotals& t) {
+      w.key(name)
+          .begin_object()
+          .field("allocated", static_cast<std::uint64_t>(t.allocated))
+          .field("mlocked", static_cast<std::uint64_t>(t.mlocked))
+          .field("unallocated", static_cast<std::uint64_t>(t.unallocated))
+          .field("page_cache", static_cast<std::uint64_t>(t.page_cache))
+          .field("kernel", static_cast<std::uint64_t>(t.kernel))
+          .field("swap", static_cast<std::uint64_t>(t.swap))
+          .field("total", static_cast<std::uint64_t>(t.total()))
+          .end_object();
+    };
+    totals("secret_bytes", report->secret);
+    totals("sealed_bytes", report->sealed);
+    w.field("regions", static_cast<std::uint64_t>(report->regions.size()))
+        .field("tainted_frames", static_cast<std::uint64_t>(report->tainted_frames))
+        .field("secret_tainted_frames",
+               static_cast<std::uint64_t>(report->secret_tainted_frames))
+        .field("secret_mlocked_frames",
+               static_cast<std::uint64_t>(report->secret_mlocked_frames))
+        .field("master_key_frames",
+               static_cast<std::uint64_t>(report->master_key_frames))
+        .field("single_locked_page_only", report->single_locked_page_only());
+    w.key("cross_check")
+        .begin_object()
+        .field("scanner_hits", static_cast<std::uint64_t>(cross->scanner_hits))
+        .field("covered_hits", static_cast<std::uint64_t>(cross->covered_hits))
+        .field("needle_visible_bytes",
+               static_cast<std::uint64_t>(cross->needle_visible_bytes))
+        .field("taint_only_bytes",
+               static_cast<std::uint64_t>(cross->taint_only_bytes))
+        .field("all_hits_covered", cross->all_hits_covered())
+        .end_object();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
@@ -35,6 +164,9 @@ int main(int argc, char** argv) {
   const std::string level_name = flags.get("level", "none");
   const auto threads =
       flags.get_int("threads", 0, "KEYGUARD_SCAN_THREADS");  // 0 = auto
+  const bool json = flags.has("json");
+  std::string json_path = json ? flags.get("json", "") : "";
+  if (json_path == "1") json_path.clear();  // bare --json means stdout
 
   core::ProtectionLevel level = core::ProtectionLevel::kNone;
   for (const auto l : core::kAllProtectionLevels) {
@@ -66,43 +198,50 @@ int main(int argc, char** argv) {
     for (int i = 0; i < (connections + 1) / 2; ++i) server.open_connection();
   }
 
-  std::printf("Request recieved\n");  // the LKM's greeting, typo and all
   if (threads > 0) s.scanner().set_shards(static_cast<std::size_t>(threads));
   scan::ScanStats stats;
   const auto matches = s.scanner().scan_kernel(s.kernel(), &stats);
-  for (const auto& m : matches) {
-    std::printf(
-        "Full match found for %s of size %zu bytes at: %09zu, in page: %06u, "
-        "state: %s, processes:",
-        m.part.c_str(),
-        m.part == "PEM" ? s.pem().size()
-                        : (m.part == "d" ? s.key().d.limb_count() * 8
-                                         : s.key().p.limb_count() * 8),
-        m.phys_offset, m.frame, sim::frame_state_name(m.state));
-    if (m.owners.empty()) {
-      std::printf(" %s", m.allocated() ? "0" : "none");  // 0 == kernel
-    } else {
-      for (const auto pid : m.owners) std::printf(" %u", pid);
-    }
-    std::printf("  <- %s\n", m.provenance.c_str());
-  }
-  const auto census = scan::KeyScanner::census(matches);
-  std::printf("\n%zu matches total: %zu allocated, %zu unallocated\n",
-              census.total(), census.allocated, census.unallocated);
-  std::printf("scan: %s\n", stats.summary().c_str());
 
+  std::unique_ptr<analysis::TaintAuditor> auditor;
+  analysis::AuditReport report;
+  analysis::CrossCheck cross;
   if (taint_map) {
-    analysis::TaintAuditor auditor(*taint_map);
-    const auto report = auditor.audit(s.kernel());
-    const auto cross = auditor.cross_check(s.scanner().patterns(), matches);
-    std::printf("\n%s", analysis::TaintAuditor::format(report).c_str());
-    std::printf(
-        "cross-check: %zu/%zu scanner hits taint-covered, %zu needle-visible "
-        "bytes, %zu taint-only bytes%s\n",
-        cross.covered_hits, cross.scanner_hits, cross.needle_visible_bytes,
-        cross.taint_only_bytes,
-        cross.all_hits_covered() ? "" : "  ** UNCOVERED HITS: shadow lost a flow **");
-    s.kernel().attach_taint(nullptr);
+    auditor = std::make_unique<analysis::TaintAuditor>(*taint_map);
+    report = auditor->audit(s.kernel());
+    cross = auditor->cross_check(s.scanner().patterns(), matches);
   }
+
+  if (json) {
+    util::JsonWriter w;
+    write_json(w, s, which, connections, level_name, matches, stats,
+               auditor ? &report : nullptr, auditor ? &cross : nullptr);
+    if (json_path.empty()) {
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        return 1;
+      }
+      const auto& text = w.str();
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("JSON written to %s\n", json_path.c_str());
+    }
+  } else {
+    print_text(s, matches, stats);
+    if (auditor) {
+      std::printf("\n%s", analysis::TaintAuditor::format(report).c_str());
+      std::printf(
+          "cross-check: %zu/%zu scanner hits taint-covered, %zu needle-visible "
+          "bytes, %zu taint-only bytes%s\n",
+          cross.covered_hits, cross.scanner_hits, cross.needle_visible_bytes,
+          cross.taint_only_bytes,
+          cross.all_hits_covered() ? ""
+                                   : "  ** UNCOVERED HITS: shadow lost a flow **");
+    }
+  }
+  if (taint_map) s.kernel().attach_taint(nullptr);
   return 0;
 }

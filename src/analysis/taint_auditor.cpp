@@ -37,10 +37,29 @@ AuditReport TaintAuditor::audit(const sim::Kernel& kernel) const {
   const auto frame_states = kernel.allocator().states_snapshot();
   const auto shadow = map_.phys_shadow();
 
+  // Per-frame accumulation for the invariant's frame counts: a frame is
+  // "secret" when any plaintext-derived byte survives on it, and a
+  // "master" frame when the master key is its ONLY secret tag.
+  bool frame_open = false;
+  sim::FrameNumber cur_frame = 0;
+  bool cur_mlocked = false;
+  bool cur_secret = false;
+  bool cur_nonmaster_secret = false;
+  const auto flush_frame = [&] {
+    if (!frame_open) return;
+    ++report.tainted_frames;
+    if (cur_mlocked) ++report.mlocked_tainted_frames;
+    if (cur_secret) {
+      ++report.secret_tainted_frames;
+      if (cur_mlocked) ++report.secret_mlocked_frames;
+      if (!cur_nonmaster_secret) ++report.master_key_frames;
+    }
+    frame_open = false;
+    cur_secret = cur_nonmaster_secret = false;
+  };
+
   // RAM: maximal same-tag runs, split at frame boundaries.
   std::size_t pos = 0;
-  sim::FrameNumber last_tainted_frame = 0;
-  bool any_tainted_frame = false;
   while (pos < shadow.size()) {
     if (shadow[pos] == sim::TaintTag::kClean) {
       ++pos;
@@ -62,31 +81,45 @@ AuditReport TaintAuditor::audit(const sim::Kernel& kernel) const {
     r.provenance = describe_region(kernel, r);
     r.age = map_.epoch() - map_.frame_last_tainted(r.frame);
 
+    const bool secret = sim::taint_tag_secret(tag);
+    LocationTotals& klass = secret ? report.secret : report.sealed;
     report.bytes_by_tag[static_cast<std::size_t>(tag)] += r.length;
     switch (r.state) {
       case sim::FrameState::kUserAnon:
         report.bytes_allocated += r.length;
-        if (r.mlocked) report.bytes_mlocked += r.length;
+        klass.allocated += r.length;
+        if (r.mlocked) {
+          report.bytes_mlocked += r.length;
+          klass.mlocked += r.length;
+        }
         break;
       case sim::FrameState::kFree:
         report.bytes_unallocated += r.length;
+        klass.unallocated += r.length;
         break;
       case sim::FrameState::kPageCache:
         report.bytes_page_cache += r.length;
+        klass.page_cache += r.length;
         break;
       case sim::FrameState::kKernel:
         report.bytes_kernel += r.length;
+        klass.kernel += r.length;
         break;
     }
-    if (!any_tainted_frame || r.frame != last_tainted_frame) {
-      ++report.tainted_frames;
-      if (r.mlocked) ++report.mlocked_tainted_frames;
-      last_tainted_frame = r.frame;
-      any_tainted_frame = true;
+    if (!frame_open || r.frame != cur_frame) {
+      flush_frame();
+      frame_open = true;
+      cur_frame = r.frame;
+      cur_mlocked = r.mlocked;
+    }
+    if (secret) {
+      cur_secret = true;
+      if (tag != sim::TaintTag::kMasterKey) cur_nonmaster_secret = true;
     }
     report.regions.push_back(std::move(r));
     pos = end;
   }
+  flush_frame();
 
   // Swap: same segmentation over the device shadow, split at slot
   // boundaries. Freed-but-unscrubbed slots are reported too (slot_live ==
@@ -117,6 +150,7 @@ AuditReport TaintAuditor::audit(const sim::Kernel& kernel) const {
 
     report.bytes_by_tag[static_cast<std::size_t>(tag)] += r.length;
     report.bytes_swap += r.length;
+    (sim::taint_tag_secret(tag) ? report.secret : report.sealed).swap += r.length;
     report.regions.push_back(std::move(r));
     pos = end;
   }
@@ -182,6 +216,22 @@ std::string TaintAuditor::format(const AuditReport& report, std::size_t max_regi
        << report.bytes_by_tag[t];
   }
   os << "\n";
+  if (report.sealed.total() > 0 || report.master_key_frames > 0) {
+    os << "  secret (plaintext) " << report.secret.total() << " bytes on "
+       << report.secret_tainted_frames << " frames ("
+       << report.secret_mlocked_frames << " mlocked, "
+       << report.master_key_frames << " master-key), sealed (ciphertext) "
+       << report.sealed.total() << " bytes\n";
+    const std::size_t pool_frames =
+        report.secret_tainted_frames - report.master_key_frames;
+    os << "  bounded-locked-pages invariant: plaintext on " << pool_frames
+       << " pool frame(s) + " << report.master_key_frames
+       << " master-key frame(s): "
+       << (report.bounded_locked_pages_only(pool_frames ? pool_frames : 1)
+               ? "HOLDS at N=" + std::to_string(pool_frames ? pool_frames : 1)
+               : "violated (secret bytes off the locked set)")
+       << "\n";
+  }
   os << "  single-locked-page invariant: "
      << (report.single_locked_page_only() ? "HOLDS" : "violated") << "\n";
 

@@ -13,10 +13,14 @@
 // view sees BEYOND the needle union are exactly the partial residues the
 // paper's methodology undercounts.
 //
-// The protected-scenario invariant (single_locked_page_only) is the
-// defense's whole claim in one predicate: after setup, key material
-// exists on exactly one mlocked RAM page and nowhere else — not in freed
-// heap, not in the page cache, not on swap.
+// The protected-scenario invariant is the defense's claim in one
+// predicate. The paper's single server collapses to ONE mlocked page
+// (single_locked_page_only); the multi-tenant keystore generalizes it to
+// a tunable bound (bounded_locked_pages_only(N)): plaintext key material
+// exists on at most N mlocked pool pages plus the mlocked master-key
+// page, and nowhere else — not in freed heap, not in the page cache, not
+// on swap. Sealed blobs (TaintTag::kSealed) are ciphertext and tracked
+// separately: they may sit anywhere without violating the bound.
 #pragma once
 
 #include <array>
@@ -51,34 +55,75 @@ struct TaintedRegion {
   bool slot_live = false;  ///< slot still backs a swapped-out page
 };
 
+/// Tainted-byte totals by location class (one instance per taint class:
+/// everything, plaintext secrets, sealed ciphertext).
+struct LocationTotals {
+  std::size_t allocated = 0;    ///< kUserAnon frames (incl. mlocked)
+  std::size_t mlocked = 0;      ///< subset of allocated
+  std::size_t unallocated = 0;  ///< kFree frames — the paper's residue
+  std::size_t page_cache = 0;
+  std::size_t kernel = 0;
+  std::size_t swap = 0;  ///< live + dead slots
+
+  std::size_t total() const noexcept {
+    return allocated + unallocated + page_cache + kernel + swap;
+  }
+};
+
 /// Full-machine residue report.
 struct AuditReport {
   std::vector<TaintedRegion> regions;  ///< ascending offset, RAM then swap
 
-  // Tainted-byte totals by location class.
-  std::size_t bytes_allocated = 0;    ///< kUserAnon frames (incl. mlocked)
-  std::size_t bytes_mlocked = 0;      ///< subset of bytes_allocated
-  std::size_t bytes_unallocated = 0;  ///< kFree frames — the paper's residue
+  // Tainted-byte totals by location class, all tags (sealed included).
+  std::size_t bytes_allocated = 0;
+  std::size_t bytes_mlocked = 0;
+  std::size_t bytes_unallocated = 0;
   std::size_t bytes_page_cache = 0;
   std::size_t bytes_kernel = 0;
-  std::size_t bytes_swap = 0;  ///< live + dead slots
+  std::size_t bytes_swap = 0;
   std::array<std::size_t, sim::kTaintTagCount> bytes_by_tag{};
+
+  // The same totals split by taint class (taint_tag_secret): `secret` is
+  // plaintext-derived key material — the bytes the invariant bounds —
+  // while `sealed` is master-key ciphertext, safe wherever it sits.
+  LocationTotals secret;
+  LocationTotals sealed;
 
   std::size_t tainted_frames = 0;          ///< distinct RAM frames with taint
   std::size_t mlocked_tainted_frames = 0;  ///< subset that is mlocked
+
+  // Frame counts over SECRET taint only (the invariant's currency).
+  std::size_t secret_tainted_frames = 0;  ///< RAM frames holding secret bytes
+  std::size_t secret_mlocked_frames = 0;  ///< subset that is mlocked
+  /// Secret frames whose only secret tag is kMasterKey: the pinned master
+  /// key lives outside the pool bound (the "+1" in "N pool pages + the
+  /// master-key page").
+  std::size_t master_key_frames = 0;
 
   std::size_t total_bytes() const noexcept {
     return bytes_allocated + bytes_unallocated + bytes_page_cache + bytes_kernel +
            bytes_swap;
   }
 
-  /// The protected scenario's hard invariant: all surviving key material
-  /// sits on exactly one mlocked page — zero tainted bytes in unallocated
-  /// memory, the page cache, kernel buffers, or swap.
+  /// The bounded-working-set invariant: every byte of PLAINTEXT key
+  /// material sits on an mlocked page, those pages number at most `n`
+  /// (master-key-only pages excluded — they are the keystore's "+1"), and
+  /// nothing secret survives in unallocated memory, the page cache,
+  /// kernel buffers, or swap. Sealed ciphertext is exempt. Requires at
+  /// least one secret frame, so an empty shadow does not trivially pass.
+  bool bounded_locked_pages_only(std::size_t n) const noexcept {
+    return secret_tainted_frames >= 1 &&
+           secret_tainted_frames - master_key_frames <= n &&
+           secret_mlocked_frames == secret_tainted_frames &&
+           secret.unallocated == 0 && secret.page_cache == 0 &&
+           secret.kernel == 0 && secret.swap == 0;
+  }
+
+  /// The paper's single-server invariant: the N=1 case of the bound (no
+  /// master-key page in those scenarios, so this is exactly "one mlocked
+  /// page and nowhere else").
   bool single_locked_page_only() const noexcept {
-    return tainted_frames == 1 && mlocked_tainted_frames == 1 &&
-           bytes_unallocated == 0 && bytes_page_cache == 0 && bytes_kernel == 0 &&
-           bytes_swap == 0;
+    return bounded_locked_pages_only(1);
   }
 };
 

@@ -65,4 +65,40 @@ servers::ApacheConfig apache_config(const ProtectionProfile& profile, std::strin
   return cfg;
 }
 
+servers::SniConfig sni_config(const ProtectionProfile& profile,
+                              std::size_t pool_pages, std::string key_dir) {
+  servers::SniConfig cfg;
+  cfg.key_dir = std::move(key_dir);
+  cfg.keystore.pool_pages = pool_pages;
+  switch (profile.level) {
+    case ProtectionLevel::kNone:
+      // Baseline strawman: plaintext blobs, no scrubbing, raw frees.
+      cfg.keystore.seal_at_rest = false;
+      cfg.keystore.scrub_on_evict = false;
+      cfg.keystore.clear_temporaries = false;
+      cfg.keystore.open_keys_nocache = false;
+      break;
+    case ProtectionLevel::kApplication:
+      // The application adopts the sealed-pool discipline but links a
+      // stock library: CRT/ingest temporaries are raw-freed.
+      cfg.keystore.clear_temporaries = false;
+      cfg.keystore.open_keys_nocache = false;
+      break;
+    case ProtectionLevel::kLibrary:
+      cfg.keystore.open_keys_nocache = false;
+      break;
+    case ProtectionLevel::kKernel:
+      // zero_on_free covers residue after the fact; at-rest copies stay
+      // plaintext and the pool never scrubs (the kernel will, on free).
+      cfg.keystore.seal_at_rest = false;
+      cfg.keystore.scrub_on_evict = false;
+      cfg.keystore.clear_temporaries = false;
+      cfg.keystore.open_keys_nocache = false;
+      break;
+    case ProtectionLevel::kIntegrated:
+      break;  // every keystore default is the full defense
+  }
+  return cfg;
+}
+
 }  // namespace keyguard::core

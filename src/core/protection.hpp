@@ -21,6 +21,7 @@
 #include <string_view>
 
 #include "servers/apache_server.hpp"
+#include "servers/sni_frontend.hpp"
 #include "servers/ssh_server.hpp"
 #include "sim/kernel.hpp"
 #include "sslsim/ssl_library.hpp"
@@ -58,5 +59,14 @@ servers::SshConfig ssh_config(const ProtectionProfile& profile,
                               std::string key_path = "/etc/ssh/ssh_host_rsa_key");
 servers::ApacheConfig apache_config(const ProtectionProfile& profile,
                                     std::string key_path = "/etc/apache2/ssl/server.key");
+
+/// SNI-frontend configuration carrying the profile's measures into the
+/// multi-tenant keystore: the level toggles sealing, scrubbing, temporary
+/// discipline, and O_NOCACHE the same way it toggles the single-key
+/// patches. kKernel relies on zero-on-free alone (keys rest PLAINTEXT —
+/// the level protects unallocated memory, not allocated duplication).
+servers::SniConfig sni_config(const ProtectionProfile& profile,
+                              std::size_t pool_pages = 8,
+                              std::string key_dir = "/etc/sni");
 
 }  // namespace keyguard::core

@@ -1,0 +1,115 @@
+// Host-side multi-tenant keystore: the production shape of the defense.
+//
+// Same lifecycle as SimKeystore, built on real memory primitives: keys
+// rest SEALED (sealed_blob.hpp) in ordinary heap, the master key lives in
+// a 32-byte mlocked SecureBuffer, and plaintext exists only inside a pool
+// of at most N SecureRsaKey working copies (each one mlocked, canaried,
+// zero-on-destroy page). Eviction destroys the SecureRsaKey, which scrubs
+// the page before it returns to the allocator.
+//
+// Thread-safe: sign/decrypt pin their pool entry under the mutex, then run
+// the CRT math OUTSIDE the lock, so concurrent requests for pooled keys
+// proceed in parallel. A miss materializes (unseal + parse) under the
+// lock — misses serialize, which is the deliberate trade: the pool bound
+// is a hard invariant, never relaxed for latency. When every entry is
+// pinned by in-flight operations, further misses wait on a condition
+// variable for a pin to drop rather than exceed N.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/secure_buffer.hpp"
+#include "core/secure_rsa.hpp"
+#include "crypto/rsa.hpp"
+#include "keystore/sealed_blob.hpp"
+
+namespace keyguard::keystore {
+
+struct HostKeystoreConfig {
+  std::size_t pool_keys = 8;  ///< N: max simultaneously-plaintext keys
+  /// Master-key RNG seed — deterministic for tests and benches; real
+  /// deployments would draw from the system entropy source instead.
+  std::uint64_t master_seed = 0x6b657973746f7265ULL;
+};
+
+struct HostKeystoreStats {
+  std::uint64_t ops = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t unseals = 0;  ///< blob decryptions (== misses)
+};
+
+class Keystore {
+ public:
+  explicit Keystore(HostKeystoreConfig cfg);
+
+  Keystore(const Keystore&) = delete;
+  Keystore& operator=(const Keystore&) = delete;
+
+  /// Seals `key` into the store. The caller's copy is left untouched.
+  KeyId add_key(const crypto::RsaPrivateKey& key);
+  /// Same, then scrubs the caller's private parts (store holds the only
+  /// at-rest copy afterwards).
+  KeyId add_key_scrubbing(crypto::RsaPrivateKey& key);
+  /// Parses PEM text and seals the result; nullopt on malformed input.
+  /// The parse transients are wiped before returning.
+  std::optional<KeyId> add_pem(std::string_view pem);
+
+  const crypto::RsaPublicKey& public_key(KeyId id) const;
+
+  /// m^d mod n for key `id`: pool hit runs with NO decryption; a miss
+  /// unseals into a fresh SecureRsaKey, evicting the LRU unpinned entry
+  /// when the pool is full.
+  bn::Bignum sign(KeyId id, const bn::Bignum& m);
+  bn::Bignum decrypt(KeyId id, const bn::Bignum& c) { return sign(id, c); }
+
+  bool contains(KeyId id) const;
+  bool pooled(KeyId id) const;
+  std::size_t size() const;
+  std::size_t pooled_count() const;
+  std::size_t pool_keys() const noexcept { return cfg_.pool_keys; }
+  /// True when the master key's buffer is pinned against swap.
+  bool master_locked() const noexcept { return master_.locked(); }
+  HostKeystoreStats stats() const;
+
+  /// Empties the pool (scrubbing every working copy).
+  void evict_all();
+
+ private:
+  struct Sealed {
+    std::vector<std::byte> blob;
+    crypto::RsaPublicKey pub;
+  };
+  struct PoolEntry {
+    KeyId id;
+    secure::SecureRsaKey key;
+    unsigned pins;
+    std::uint64_t last_used;
+  };
+
+  KeyId seal_der(std::vector<std::byte>& der, crypto::RsaPublicKey pub);
+  /// Returns the entry for `id` with one pin taken; blocks while the pool
+  /// is full of pinned entries. Requires `lk` held; may release it while
+  /// waiting.
+  PoolEntry& acquire(std::unique_lock<std::mutex>& lk, KeyId id);
+
+  HostKeystoreConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable pool_cv_;
+  secure::SecureBuffer master_;
+  std::map<KeyId, Sealed> sealed_;
+  // unique_ptr for address stability: sign() holds a PoolEntry* across the
+  // unlocked CRT computation while other threads mutate the vector.
+  std::vector<std::unique_ptr<PoolEntry>> pool_;
+  KeyId next_id_ = 1;
+  std::uint64_t clock_ = 0;
+  HostKeystoreStats stats_;
+};
+
+}  // namespace keyguard::keystore

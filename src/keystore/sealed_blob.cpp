@@ -1,0 +1,75 @@
+#include "keystore/sealed_blob.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace keyguard::keystore {
+
+namespace {
+
+constexpr std::byte kMagic[4] = {std::byte{'K'}, std::byte{'S'}, std::byte{'B'},
+                                 std::byte{'1'}};
+
+void put_le64(std::byte* out, std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::byte>(v >> (8 * i));
+  }
+}
+
+std::uint64_t get_le64(const std::byte* in) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void keystream_xor(std::span<std::byte> data, std::span<const std::byte> master,
+                   std::uint64_t nonce) {
+  assert(master.size() == kMasterKeyBytes);
+  std::byte trailer[16];
+  put_le64(trailer, nonce);
+  for (std::size_t off = 0, block = 0; off < data.size();
+       off += crypto::Sha256::kDigestSize, ++block) {
+    put_le64(trailer + 8, block);
+    crypto::Sha256 h;
+    h.update(master);
+    h.update(trailer);
+    auto ks = h.finish();
+    const std::size_t n = std::min(crypto::Sha256::kDigestSize, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) data[off + i] ^= ks[i];
+    wipe(ks);
+  }
+}
+
+std::vector<std::byte> seal(std::span<const std::byte> plaintext,
+                            std::span<const std::byte> master,
+                            std::uint64_t nonce) {
+  std::vector<std::byte> blob(kSealedHeaderBytes + plaintext.size());
+  std::memcpy(blob.data(), kMagic, sizeof kMagic);
+  put_le64(blob.data() + sizeof kMagic, nonce);
+  std::memcpy(blob.data() + kSealedHeaderBytes, plaintext.data(), plaintext.size());
+  keystream_xor(std::span(blob).subspan(kSealedHeaderBytes), master, nonce);
+  return blob;
+}
+
+std::optional<std::vector<std::byte>> unseal(std::span<const std::byte> blob,
+                                             std::span<const std::byte> master) {
+  if (blob.size() < kSealedHeaderBytes) return std::nullopt;
+  if (std::memcmp(blob.data(), kMagic, sizeof kMagic) != 0) return std::nullopt;
+  const std::uint64_t nonce = get_le64(blob.data() + sizeof kMagic);
+  std::vector<std::byte> plain(blob.begin() + kSealedHeaderBytes, blob.end());
+  keystream_xor(plain, master, nonce);
+  return plain;
+}
+
+void wipe(std::span<std::byte> data) noexcept {
+  volatile std::byte* p = data.data();
+  for (std::size_t i = 0; i < data.size(); ++i) p[i] = std::byte{0};
+}
+
+}  // namespace keyguard::keystore

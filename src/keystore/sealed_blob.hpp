@@ -1,0 +1,57 @@
+// Sealed key blobs: the keystore's at-rest format.
+//
+// A multi-tenant front end cannot mlock one page per private key, so keys
+// rest in ordinary (swappable, scannable) memory as CIPHERTEXT and only
+// become plaintext inside the bounded pool. The sealing cipher is an
+// AES-CTR-shaped stream built from the repo's SHA-256 — the point is the
+// lifecycle (what is plaintext, where, for how long), not cipher strength:
+//
+//   blob      = "KSB1" || nonce_le64 || body
+//   body      = plaintext XOR keystream(master, nonce)
+//   block i   = SHA256(master || nonce_le64 || i_le64)       (32 bytes)
+//
+// XOR-stream means seal and unseal are the same transform; the nonce must
+// be unique per blob under one master key (the keystore uses the KeyId).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace keyguard::keystore {
+
+/// Store-assigned key handle; doubles as the blob's sealing nonce (unique
+/// per key under one master key by construction).
+using KeyId = std::uint64_t;
+
+/// Master key width. 32 bytes = one SHA-256 block's worth of entropy and
+/// comfortably within one mlocked page alongside nothing else.
+inline constexpr std::size_t kMasterKeyBytes = 32;
+
+/// "KSB1" magic + 8-byte little-endian nonce.
+inline constexpr std::size_t kSealedHeaderBytes = 12;
+
+/// In-place XOR with the (master, nonce) keystream. Applying it twice is
+/// the identity, so this is both the seal and the unseal primitive.
+void keystream_xor(std::span<std::byte> data, std::span<const std::byte> master,
+                   std::uint64_t nonce);
+
+/// plaintext -> header || ciphertext. `master` must be kMasterKeyBytes.
+std::vector<std::byte> seal(std::span<const std::byte> plaintext,
+                            std::span<const std::byte> master,
+                            std::uint64_t nonce);
+
+/// header || ciphertext -> plaintext. Rejects short blobs and bad magic
+/// (nullopt). The caller owns wiping the returned plaintext.
+std::optional<std::vector<std::byte>> unseal(std::span<const std::byte> blob,
+                                             std::span<const std::byte> master);
+
+/// Volatile-store zeroization for HOST-side transients (DER scratch, master
+/// copies) that live outside both the simulated kernel and core's
+/// SecureBuffer. Mirrors core/secure_zero; duplicated here so the sim-side
+/// keystore library does not link keyguard_core (which links the servers).
+void wipe(std::span<std::byte> data) noexcept;
+
+}  // namespace keyguard::keystore

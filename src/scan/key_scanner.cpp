@@ -47,6 +47,19 @@ KeyPatterns KeyPatterns::from_key(const crypto::RsaPrivateKey& key) {
   return out;
 }
 
+KeyPatterns KeyPatterns::from_keys(std::span<const crypto::RsaPrivateKey> keys) {
+  KeyPatterns out;
+  out.patterns.reserve(keys.size() * 4);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto one = from_key(keys[i]);
+    for (auto& p : one.patterns) {
+      p.name += "#" + std::to_string(i);
+      out.patterns.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
 std::vector<std::span<const std::byte>> KeyScanner::needles() const {
   std::vector<std::span<const std::byte>> out;
   out.reserve(patterns_.patterns.size());

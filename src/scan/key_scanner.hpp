@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,11 @@ struct KeyPatterns {
   /// Builds the four needles from a key: limb images of d, P, Q and the
   /// PEM text of the whole key.
   static KeyPatterns from_key(const crypto::RsaPrivateKey& key);
+
+  /// Needles for a multi-tenant key population: the same four per key,
+  /// named "d#i" / "P#i" / "Q#i" / "PEM#i" by key index. Pass DISTINCT
+  /// keys — duplicates would report every hit once per duplicate.
+  static KeyPatterns from_keys(std::span<const crypto::RsaPrivateKey> keys);
 };
 
 /// A hit in simulated physical memory.

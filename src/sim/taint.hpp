@@ -52,11 +52,27 @@ enum class TaintTag : std::uint8_t {
   kMont,     ///< BN_MONT_CTX contents (modulus copy, R^2)
   kCrt,      ///< CRT intermediates (m1, m2)
   kVault,    ///< vault/custody page material (KeyVault-style storage)
+
+  // Multi-tenant keystore (src/keystore). kSealed is CIPHERTEXT — key
+  // material encrypted under the master key. It is tracked so audits can
+  // account for at-rest blobs, but it is NOT plaintext residue: the
+  // auditor's bounded_locked_pages_only predicate excludes it.
+  kSealed,     ///< sealed key blob (master-key-encrypted DER, safe at rest)
+  kPoolKey,    ///< plaintext key material materialized into a pool page
+  kMasterKey,  ///< the keystore master key (pinned like the vault page)
 };
 
-inline constexpr std::size_t kTaintTagCount = 12;
+inline constexpr std::size_t kTaintTagCount = 15;
 
 const char* taint_tag_name(TaintTag t) noexcept;
+
+/// True for tags that are plaintext-derived secrets. kClean and kSealed
+/// are excluded: sealed blobs are ciphertext by construction, so their
+/// disclosure does not compromise the key (the master key does — and it
+/// carries its own, secret, tag).
+constexpr bool taint_tag_secret(TaintTag t) noexcept {
+  return t != TaintTag::kClean && t != TaintTag::kSealed;
+}
 
 class TaintTracker {
  public:

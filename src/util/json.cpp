@@ -1,0 +1,121 @@
+#include "util/json.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace keyguard::util {
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (need_comma_) out_ += ',';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject && !after_key_);
+  stack_.pop_back();
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Scope::kArray && !after_key_);
+  stack_.pop_back();
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject && !after_key_);
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;  // so value()'s separate() is a no-op for the key text
+  value(name);
+  out_ += ':';
+  need_comma_ = false;
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  out_ += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+  } else {
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    assert(ec == std::errc());
+    out_.append(buf, end);
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+}  // namespace keyguard::util

@@ -1,0 +1,59 @@
+// Minimal JSON emitter for machine-readable tool/bench output
+// (scanmemory_tool --json, bench_keystore_scale --json, BENCH_*.json).
+//
+// Write-only, streaming, no DOM: begin/end containers, field() inside
+// objects, value()/item-style calls inside arrays. Commas and string
+// escaping are handled; structural misuse (field() at array scope etc.)
+// is the caller's bug and trips an assert in debug builds. Doubles are
+// emitted with enough digits to round-trip; NaN/Inf become null (JSON has
+// no spelling for them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace keyguard::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The document so far; valid JSON once every container is closed.
+  const std::string& str() const noexcept { return out_; }
+  bool complete() const noexcept { return !out_.empty() && stack_.empty(); }
+
+ private:
+  void separate();
+
+  enum class Scope : std::uint8_t { kObject, kArray };
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+}  // namespace keyguard::util

@@ -1,0 +1,229 @@
+// Sim-side keystore: the measurable lifecycle. Pool pages are scrubbed on
+// eviction (bytes AND taint), residue with the defenses off lands exactly
+// where the paper says it does, and at-rest blobs are ciphertext the
+// auditor classifies as non-secret.
+#include "keystore/sim_keystore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/taint_auditor.hpp"
+#include "analysis/taint_map.hpp"
+#include "crypto/pem.hpp"
+#include "keystore/sealed_blob.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::keystore {
+namespace {
+
+using analysis::ShadowTaintMap;
+using analysis::TaintAuditor;
+using sim::TaintTag;
+
+struct Rig {
+  sim::Kernel kernel;
+  ShadowTaintMap map;
+  sim::Process* proc;
+
+  // O_NOCACHE support is on so the integrated-style configs keep key-file
+  // text out of the page cache; the kernel stays stock otherwise (no
+  // zero-on-free), so scrub failures are visible as residue.
+  explicit Rig(std::size_t mem = 16ull << 20)
+      : kernel(sim::KernelConfig{.mem_bytes = mem, .o_nocache_supported = true}),
+        map(kernel) {
+    kernel.attach_taint(&map);
+    proc = &kernel.spawn("keystore_proc");
+  }
+};
+
+std::vector<crypto::RsaPrivateKey> make_keys(std::size_t n, std::uint64_t seed = 11) {
+  util::Rng rng(seed);
+  std::vector<crypto::RsaPrivateKey> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(crypto::generate_rsa_key(rng, 512));
+  return out;
+}
+
+std::vector<KeyId> ingest_all(Rig& rig, SimKeystore& ks,
+                              const std::vector<crypto::RsaPrivateKey>& keys) {
+  std::vector<KeyId> ids;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string path = "/keys/k" + std::to_string(i) + ".pem";
+    rig.kernel.vfs().write_file(path, util::to_bytes(crypto::pem_encode_private_key(keys[i])),
+                                TaintTag::kPem);
+    const auto id = ks.ingest_pem(path);
+    EXPECT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+/// One padded encrypt/decrypt round against key `idx`, verified.
+void roundtrip(Rig& rig, SimKeystore& ks, const std::vector<KeyId>& ids,
+               std::size_t idx, util::Rng& rng) {
+  std::vector<std::byte> secret(24);
+  rng.fill_bytes(secret);
+  const auto& pub = ks.public_key(ids[idx]);
+  const auto c = crypto::pad_encrypt(rng, pub, secret);
+  ASSERT_TRUE(c.has_value());
+  const auto m = ks.private_op(ids[idx], *c);
+  const auto block = m.to_bytes_be(pub.modulus_bytes());
+  const std::vector<std::byte> tail(
+      block.end() - static_cast<std::ptrdiff_t>(secret.size()), block.end());
+  EXPECT_EQ(tail, secret);
+}
+
+TEST(SimKeystore, IngestAndPrivateOpRoundTrip) {
+  Rig rig;
+  SimKeystore ks(rig.kernel, *rig.proc, {.pool_pages = 2});
+  const auto keys = make_keys(3);
+  const auto ids = ingest_all(rig, ks, keys);
+  util::Rng rng(5);
+  for (std::size_t i = 0; i < ids.size(); ++i) roundtrip(rig, ks, ids, i, rng);
+  EXPECT_EQ(ks.stats().ingested, 3u);
+  EXPECT_EQ(ks.stats().ops, 3u);
+}
+
+TEST(SimKeystore, IngestRejectsMissingAndMalformedFiles) {
+  Rig rig;
+  SimKeystore ks(rig.kernel, *rig.proc, {});
+  EXPECT_FALSE(ks.ingest_pem("/no/such/file").has_value());
+  rig.kernel.vfs().write_file("/keys/garbage.pem", util::to_bytes("not a key"));
+  EXPECT_FALSE(ks.ingest_pem("/keys/garbage.pem").has_value());
+}
+
+TEST(SimKeystore, PoolBoundHoldsUnderChurnAndLruEvicts) {
+  Rig rig;
+  SimKeystore ks(rig.kernel, *rig.proc, {.pool_pages = 2});
+  const auto keys = make_keys(5);
+  const auto ids = ingest_all(rig, ks, keys);
+  util::Rng rng(6);
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      roundtrip(rig, ks, ids, i, rng);
+      EXPECT_LE(ks.pooled_count(), 2u);
+    }
+  }
+  EXPECT_GT(ks.stats().evictions, 0u);
+  // LRU: after touching ids[4] last, ids[4] must be pooled.
+  EXPECT_TRUE(ks.pooled(ids[4]));
+}
+
+TEST(SimKeystore, PoolHitDoesNotUnseal) {
+  Rig rig;
+  SimKeystore ks(rig.kernel, *rig.proc, {.pool_pages = 2});
+  const auto keys = make_keys(1);
+  const auto ids = ingest_all(rig, ks, keys);
+  util::Rng rng(7);
+  for (int i = 0; i < 5; ++i) roundtrip(rig, ks, ids, 0, rng);
+  EXPECT_EQ(ks.stats().unseals, 1u);
+  EXPECT_EQ(ks.stats().pool_hits, 4u);
+  EXPECT_EQ(ks.stats().pool_misses, 1u);
+}
+
+TEST(SimKeystore, EvictedSlotIsScrubbedBytesAndTaint) {
+  Rig rig;
+  SimKeystore ks(rig.kernel, *rig.proc, {.pool_pages = 1});
+  const auto keys = make_keys(2);
+  const auto ids = ingest_all(rig, ks, keys);
+  util::Rng rng(8);
+  roundtrip(rig, ks, ids, 0, rng);
+  ASSERT_TRUE(ks.pooled(ids[0]));
+  ks.evict(ids[0]);
+  EXPECT_FALSE(ks.pooled(ids[0]));
+
+  // Bytes: the slot page reads back all-zero before any reuse.
+  std::vector<std::byte> page(sim::kPageSize);
+  rig.kernel.mem_read(*rig.proc, ks.slot_page(0), page);
+  EXPECT_TRUE(std::all_of(page.begin(), page.end(),
+                          [](std::byte b) { return b == std::byte{0}; }));
+
+  // Taint: no kPoolKey bytes survive anywhere in the machine.
+  TaintAuditor auditor(rig.map);
+  const auto report = auditor.audit(rig.kernel);
+  EXPECT_EQ(report.bytes_by_tag[static_cast<std::size_t>(TaintTag::kPoolKey)], 0u);
+
+  // And the slot is immediately reusable for the other key.
+  roundtrip(rig, ks, ids, 1, rng);
+  EXPECT_TRUE(ks.pooled(ids[1]));
+}
+
+TEST(SimKeystore, NoScrubConfigLeavesResidueAfterShutdown) {
+  Rig rig;
+  auto* proc = rig.proc;
+  {
+    SimKeystore ks(rig.kernel, *proc,
+                   {.pool_pages = 1,
+                    .seal_at_rest = true,
+                    .scrub_on_evict = false,
+                    .clear_temporaries = false});
+    const auto keys = make_keys(1);
+    const auto ids = ingest_all(rig, ks, keys);
+    util::Rng rng(9);
+    roundtrip(rig, ks, ids, 0, rng);
+    ks.shutdown();  // munmaps WITHOUT scrubbing
+  }
+  TaintAuditor auditor(rig.map);
+  const auto report = auditor.audit(rig.kernel);
+  // Pool limbs and master key are now unallocated plaintext residue —
+  // exactly what scrub_on_evict exists to prevent.
+  EXPECT_GT(report.secret.unallocated, 0u);
+  EXPECT_GT(report.bytes_by_tag[static_cast<std::size_t>(TaintTag::kPoolKey)], 0u);
+  EXPECT_GT(report.bytes_by_tag[static_cast<std::size_t>(TaintTag::kMasterKey)], 0u);
+}
+
+TEST(SimKeystore, ScrubbingShutdownLeavesNoSecretBytes) {
+  Rig rig;
+  {
+    SimKeystore ks(rig.kernel, *rig.proc, {.pool_pages = 2});
+    const auto keys = make_keys(2);
+    const auto ids = ingest_all(rig, ks, keys);
+    util::Rng rng(10);
+    roundtrip(rig, ks, ids, 0, rng);
+    roundtrip(rig, ks, ids, 1, rng);
+    ks.shutdown();
+  }
+  TaintAuditor auditor(rig.map);
+  const auto report = auditor.audit(rig.kernel);
+  EXPECT_EQ(report.secret.total(), 0u)
+      << TaintAuditor::format(report);
+}
+
+TEST(SimKeystore, SealedBlobsAreCiphertextNotSecret) {
+  Rig rig;
+  SimKeystore ks(rig.kernel, *rig.proc, {.pool_pages = 2});
+  const auto keys = make_keys(4);
+  ingest_all(rig, ks, keys);
+
+  // No ops yet: the only plaintext secret in the machine is the master
+  // key on its single mlocked page; blobs are sealed heap bytes.
+  TaintAuditor auditor(rig.map);
+  const auto report = auditor.audit(rig.kernel);
+  EXPECT_GT(report.sealed.allocated, 0u);
+  EXPECT_EQ(report.secret_tainted_frames, 1u);
+  EXPECT_EQ(report.master_key_frames, 1u);
+  EXPECT_TRUE(report.bounded_locked_pages_only(2)) << TaintAuditor::format(report);
+}
+
+TEST(SimKeystore, UnsealedAtRestViolatesTheBound) {
+  Rig rig;
+  SimKeystore ks(rig.kernel, *rig.proc,
+                 {.pool_pages = 2,
+                  .seal_at_rest = false,
+                  .scrub_on_evict = true,
+                  .clear_temporaries = true});
+  const auto keys = make_keys(4);
+  const auto ids = ingest_all(rig, ks, keys);
+  util::Rng rng(12);
+  roundtrip(rig, ks, ids, 0, rng);
+
+  TaintAuditor auditor(rig.map);
+  const auto report = auditor.audit(rig.kernel);
+  // Plaintext DER blobs sit in swappable heap: secret bytes off the
+  // locked set, so no bound can hold.
+  EXPECT_GT(report.bytes_by_tag[static_cast<std::size_t>(TaintTag::kDer)], 0u);
+  EXPECT_FALSE(report.bounded_locked_pages_only(2));
+  EXPECT_FALSE(report.bounded_locked_pages_only(1000));
+}
+
+}  // namespace
+}  // namespace keyguard::keystore

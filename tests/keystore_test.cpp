@@ -1,0 +1,216 @@
+// Host-side keystore: sealed-blob format, pool bound + LRU discipline,
+// hit-path-does-no-decryption, and thread safety of the shared pool.
+#include "keystore/keystore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "crypto/pem.hpp"
+#include "keystore/sealed_blob.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::keystore {
+namespace {
+
+std::vector<crypto::RsaPrivateKey> make_keys(std::size_t n, std::uint64_t seed = 42,
+                                             std::size_t bits = 512) {
+  util::Rng rng(seed);
+  std::vector<crypto::RsaPrivateKey> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(crypto::generate_rsa_key(rng, bits));
+  return out;
+}
+
+std::vector<std::byte> test_master(std::uint64_t seed = 1) {
+  std::vector<std::byte> m(kMasterKeyBytes);
+  util::Rng rng(seed);
+  rng.fill_bytes(m);
+  return m;
+}
+
+/// signature^e mod n == m: the only check that proves the pool entry holds
+/// the RIGHT key, not just some key.
+void expect_valid_signature(const crypto::RsaPublicKey& pub, const bn::Bignum& m,
+                            const bn::Bignum& sig) {
+  EXPECT_EQ(pub.encrypt_raw(sig), m);
+}
+
+TEST(SealedBlob, RoundTrips) {
+  const auto master = test_master();
+  const std::vector<std::byte> plain = {std::byte{1}, std::byte{2}, std::byte{0},
+                                        std::byte{255}, std::byte{42}};
+  const auto blob = seal(plain, master, 7);
+  ASSERT_EQ(blob.size(), plain.size() + kSealedHeaderBytes);
+  const auto back = unseal(blob, master);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, plain);
+}
+
+TEST(SealedBlob, CiphertextDiffersFromPlaintextAndByNonce) {
+  const auto master = test_master();
+  std::vector<std::byte> plain(64, std::byte{0xAA});
+  const auto b1 = seal(plain, master, 1);
+  const auto b2 = seal(plain, master, 2);
+  EXPECT_NE(std::vector<std::byte>(b1.begin() + kSealedHeaderBytes, b1.end()), plain);
+  EXPECT_NE(b1, b2) << "nonce must diversify the keystream";
+}
+
+TEST(SealedBlob, RejectsBadMagicAndShortInput) {
+  const auto master = test_master();
+  auto blob = seal(test_master(9), master, 3);
+  blob[0] = std::byte{'X'};
+  EXPECT_FALSE(unseal(blob, master).has_value());
+  EXPECT_FALSE(unseal(std::vector<std::byte>(4), master).has_value());
+}
+
+TEST(SealedBlob, WrongMasterYieldsGarbageNotPlaintext) {
+  const auto master = test_master(1);
+  const auto other = test_master(2);
+  std::vector<std::byte> plain(128, std::byte{0x5C});
+  const auto blob = seal(plain, master, 11);
+  const auto back = unseal(blob, other);
+  ASSERT_TRUE(back.has_value());  // format is fine; contents are not
+  EXPECT_NE(*back, plain);
+}
+
+TEST(SealedBlob, KeystreamXorIsAnInvolution) {
+  const auto master = test_master();
+  std::vector<std::byte> data(100);
+  util::Rng(5).fill_bytes(data);
+  auto copy = data;
+  keystream_xor(copy, master, 21);
+  EXPECT_NE(copy, data);
+  keystream_xor(copy, master, 21);
+  EXPECT_EQ(copy, data);
+}
+
+TEST(Keystore, SignsWithTheRightKeyPerId) {
+  auto keys = make_keys(5);
+  Keystore ks({.pool_keys = 2});
+  std::vector<KeyId> ids;
+  for (const auto& k : keys) ids.push_back(ks.add_key(k));
+  EXPECT_EQ(ks.size(), 5u);
+  const bn::Bignum m(123456789);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    expect_valid_signature(keys[i].public_key(), m, ks.sign(ids[i], m));
+  }
+}
+
+TEST(Keystore, PoolNeverExceedsBound) {
+  auto keys = make_keys(6);
+  Keystore ks({.pool_keys = 2});
+  std::vector<KeyId> ids;
+  for (const auto& k : keys) ids.push_back(ks.add_key(k));
+  const bn::Bignum m(77);
+  for (int round = 0; round < 3; ++round) {
+    for (const auto id : ids) {
+      ks.sign(id, m);
+      EXPECT_LE(ks.pooled_count(), 2u);
+    }
+  }
+  EXPECT_GT(ks.stats().evictions, 0u);
+}
+
+TEST(Keystore, LruKeepsTheHotKeyPooled) {
+  auto keys = make_keys(3);
+  Keystore ks({.pool_keys = 2});
+  const KeyId hot = ks.add_key(keys[0]);
+  const KeyId a = ks.add_key(keys[1]);
+  const KeyId b = ks.add_key(keys[2]);
+  const bn::Bignum m(99);
+  ks.sign(hot, m);
+  ks.sign(a, m);   // pool = {hot, a}
+  ks.sign(hot, m); // refreshes hot
+  ks.sign(b, m);   // evicts a (LRU), not hot
+  EXPECT_TRUE(ks.pooled(hot));
+  EXPECT_TRUE(ks.pooled(b));
+  EXPECT_FALSE(ks.pooled(a));
+}
+
+TEST(Keystore, PoolHitDoesNoDecryption) {
+  auto keys = make_keys(1);
+  Keystore ks({.pool_keys = 2});
+  const KeyId id = ks.add_key(keys[0]);
+  const bn::Bignum m(1234);
+  ks.sign(id, m);
+  const auto unseals_after_first = ks.stats().unseals;
+  EXPECT_EQ(unseals_after_first, 1u);
+  for (int i = 0; i < 10; ++i) ks.sign(id, m);
+  EXPECT_EQ(ks.stats().unseals, unseals_after_first)
+      << "pool hits must serve straight from the working copy";
+  EXPECT_EQ(ks.stats().pool_hits, 10u);
+}
+
+TEST(Keystore, AddKeyScrubbingDestroysTheCallerCopy) {
+  auto keys = make_keys(1);
+  auto& key = keys[0];
+  const auto pub = key.public_key();
+  Keystore ks({.pool_keys = 1});
+  const KeyId id = ks.add_key_scrubbing(key);
+  EXPECT_TRUE(key.d.is_zero());
+  EXPECT_TRUE(key.p.is_zero());
+  EXPECT_TRUE(key.q.is_zero());
+  const bn::Bignum m(55);
+  expect_valid_signature(pub, m, ks.sign(id, m));
+}
+
+TEST(Keystore, AddPemRoundTrips) {
+  auto keys = make_keys(1, 77);
+  Keystore ks({.pool_keys = 1});
+  const auto id = ks.add_pem(crypto::pem_encode_private_key(keys[0]));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_FALSE(ks.add_pem("not a pem").has_value());
+  const bn::Bignum m(31337);
+  expect_valid_signature(keys[0].public_key(), m, ks.sign(*id, m));
+}
+
+TEST(Keystore, MasterKeyIsLockedAndEvictAllEmptiesThePool) {
+  auto keys = make_keys(2);
+  Keystore ks({.pool_keys = 2});
+  const KeyId a = ks.add_key(keys[0]);
+  const KeyId b = ks.add_key(keys[1]);
+  EXPECT_TRUE(ks.master_locked());
+  const bn::Bignum m(2);
+  ks.sign(a, m);
+  ks.sign(b, m);
+  EXPECT_EQ(ks.pooled_count(), 2u);
+  ks.evict_all();
+  EXPECT_EQ(ks.pooled_count(), 0u);
+  expect_valid_signature(keys[0].public_key(), m, ks.sign(a, m));  // re-materializes
+}
+
+// The pool is shared mutable state guarded by one mutex + pins; this is
+// the test TSan watches. More threads than pool slots forces the
+// eviction/wait paths under contention.
+TEST(Keystore, ConcurrentSigningIsRaceFreeAndCorrect) {
+  auto keys = make_keys(6, 1234);
+  Keystore ks({.pool_keys = 3});
+  std::vector<KeyId> ids;
+  for (const auto& k : keys) ids.push_back(ks.add_key(k));
+
+  constexpr int kThreads = 6;
+  constexpr int kOpsPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Rng rng(9000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const auto idx = static_cast<std::size_t>(rng.next_below(ids.size()));
+        const bn::Bignum m(rng.next_below(1u << 30) + 2);
+        const auto sig = ks.sign(ids[idx], m);
+        if (keys[idx].public_key().encrypt_raw(sig) != m) ++failures;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ks.stats().ops, static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(ks.pooled_count(), 3u);
+}
+
+}  // namespace
+}  // namespace keyguard::keystore

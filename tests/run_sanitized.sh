@@ -5,8 +5,10 @@
 #
 # ThreadSanitizer is the one that matters for the parallel sharded scanner
 # (tests/scan_parallel_test, tests/scan_boundary_test exercise the
-# ThreadPool fan-out); address/undefined cover the same binaries for
-# memory and UB bugs. CI-runnable: exits non-zero on any failure.
+# ThreadPool fan-out) and for the host keystore, whose mlocked plaintext
+# pool is shared across signing threads (keystore_test's concurrent case);
+# address/undefined cover the same binaries for memory and UB bugs.
+# CI-runnable: exits non-zero on any failure.
 set -euo pipefail
 
 SAN="${1:-thread}"
@@ -30,6 +32,10 @@ TARGETS=(
   sim_kernel_test
   analysis_taint_test
   analysis_equivalence_test
+  util_json_test
+  keystore_test
+  keystore_sim_test
+  keystore_equivalence_test
 )
 
 cmake -B "$BUILD" -S "$ROOT" \

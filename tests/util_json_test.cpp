@@ -1,0 +1,64 @@
+// JsonWriter: structure, comma placement, escaping, number formatting.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace keyguard::util {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object()
+      .field("name", "scan")
+      .field("count", std::uint64_t{3})
+      .field("ok", true)
+      .end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), R"({"name":"scan","count":3,"ok":true})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object().key("rows").begin_array();
+  for (int i = 0; i < 3; ++i) w.value(i);
+  w.end_array().key("meta").begin_object().field("n", 3).end_object().end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), R"({"rows":[0,1,2],"meta":{"n":3}})");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  JsonWriter w;
+  w.begin_array();
+  w.begin_object().field("a", 1).end_object();
+  w.begin_object().field("a", 2).end_object();
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"a":1},{"a":2}])");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object().field("s", "a\"b\\c\nd\te\x01").end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+}
+
+TEST(JsonWriter, NumbersRoundTripAndNonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(0.5)
+      .value(-3.0)
+      .value(std::int64_t{-7})
+      .value(1.0 / 0.0)
+      .end_array();
+  EXPECT_EQ(w.str(), "[0.5,-3,-7,null]");
+}
+
+TEST(JsonWriter, IncompleteUntilClosed) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+}  // namespace
+}  // namespace keyguard::util

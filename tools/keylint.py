@@ -58,6 +58,10 @@ SECRET_LABEL = re.compile(
     r"|session secret"        # recovered handshake secrets
     r"|rsa_aligned"           # the defense's vault page
     r"|key vault"             # host-side KeyVault arenas
+    r"|keystore pool slot"    # keystore plaintext working-set pages
+    r"|keystore master key"   # the keystore's pinned master-key page
+    r"|sealed key blob"       # at-rest ciphertext (raw free needs an allow:
+                              # the annotation documents WHY it is safe)
     r')[^"\n]*"'
 )
 
