@@ -27,6 +27,8 @@
 #include "common.hpp"
 #include "core/protection.hpp"
 #include "keystore/keystore.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "scan/key_scanner.hpp"
 #include "servers/sni_frontend.hpp"
 #include "util/json.hpp"
@@ -128,9 +130,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Schema v2 envelope + live metrics: every counter the keystore and
+  // scanner bump lands in the snapshot at the end of the report.
+  obs::MetricsRegistry::global().set_enabled(true);
   util::JsonWriter json;
-  json.begin_object()
-      .field("bench", "keystore_scale")
+  obs::begin_report(json, "bench_keystore_scale");
+  json.field("bench", "keystore_scale")  // alias for pre-v2 consumers
       .field("pool_pages", kPool)
       .field("key_bits", key_bits)
       .field("full_scale", s.full);
@@ -330,8 +335,10 @@ int main(int argc, char** argv) {
       .field("all_bounded", all_bounded)
       .field("scanner_hits", matches.size())
       .field("visible_plaintext_keys", visible.size())
-      .field("scan_mb_per_sec", scan_stats.mb_per_sec())
-      .end_object();
+      .field("scan_mb_per_sec", scan_stats.mb_per_sec());  // pre-v2 alias
+  json.key("scan");
+  scan_stats.write_json(json);
+  json.end_object();
 
   std::printf("traffic: %s ms/request mean, %llu hits / %llu misses / %llu "
               "evictions\n\n",
@@ -363,7 +370,9 @@ int main(int argc, char** argv) {
   ok &= shape_check(ks_stats.evictions > 0,
                     "the workload actually churns the pool (evictions happened)");
 
-  json.field("shape_checks_ok", ok).end_object();
+  json.field("shape_checks_ok", ok);
+  obs::write_metrics_field(json, obs::MetricsRegistry::global());
+  json.end_object();
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fwrite(json.str().data(), 1, json.str().size(), f);
     std::fclose(f);

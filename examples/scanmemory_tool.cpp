@@ -20,12 +20,31 @@
 //                                             full-needle matches) with
 //                                             provenance, plus the scanner/taint
 //                                             cross-check
-//                     [--json [FILE]]         machine-readable results (matches,
-//                                             census, scan stats incl. MB/s, and
-//                                             the taint report when --taint is
-//                                             given) to FILE, or stdout when the
-//                                             value is omitted/empty; replaces
-//                                             the text report
+//                     [--json [FILE]]         machine-readable results
+//                                             (schema_version 2 envelope with
+//                                             build info; matches, census, scan
+//                                             stats incl. MB/s, the taint report
+//                                             when --taint is given, metrics
+//                                             when --metrics is given) to FILE,
+//                                             or stdout when the value is
+//                                             omitted/empty; replaces the text
+//                                             report
+//                     [--metrics [FILE]]      enable the MetricsRegistry for the
+//                                             run; the snapshot is embedded in
+//                                             the --json report and, when FILE
+//                                             is given, also written there as a
+//                                             standalone report
+//                     [--trace [FILE]]        enable the Tracer and write span/
+//                                             event JSONL to FILE (default
+//                                             scanmemory_trace.jsonl) for
+//                                             tools/trace2timeline.py; a .json
+//                                             extension writes the
+//                                             chrome://tracing document instead
+//                     [--version]             print the build-info line and exit
+//                     [--help]                print this usage block and exit
+//
+// Unknown flags are an error: usage goes to stderr and the exit code is 2.
+#include <array>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -33,6 +52,10 @@
 #include "analysis/taint_auditor.hpp"
 #include "analysis/taint_map.hpp"
 #include "core/scenario.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "servers/apache_server.hpp"
 #include "servers/ssh_server.hpp"
 #include "util/flags.hpp"
@@ -41,6 +64,29 @@
 using namespace keyguard;
 
 namespace {
+
+constexpr std::array<std::string_view, 10> kKnownFlags = {
+    "server", "connections", "level",   "threads", "taint",
+    "json",   "metrics",     "trace",   "version", "help"};
+
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: scanmemory_tool [--server ssh|apache] [--connections N]\n"
+      "                       [--level none|application|library|kernel|integrated]\n"
+      "                       [--threads N] [--taint] [--json [FILE]]\n"
+      "                       [--metrics [FILE]] [--trace [FILE]]\n"
+      "                       [--version] [--help]\n"
+      "\n"
+      "Boots a simulated machine, runs the workload, and scans physical\n"
+      "memory for key copies the way the paper's scanmemory LKM did.\n"
+      "  --taint    shadow-taint residue audit + scanner cross-check\n"
+      "  --json     machine-readable report (schema_version %lld envelope)\n"
+      "  --metrics  MetricsRegistry snapshot (embedded in --json output)\n"
+      "  --trace    span/event JSONL for tools/trace2timeline.py\n"
+      "  --version  build-info line (compiler, sanitizer) and exit\n",
+      static_cast<long long>(obs::kSchemaVersion));
+}
 
 std::size_t part_bytes(const core::Scenario& s, const std::string& part) {
   if (part == "PEM") return s.pem().size();
@@ -76,10 +122,9 @@ void write_json(util::JsonWriter& w, const core::Scenario& s,
                 const std::vector<scan::MemoryMatch>& matches,
                 const scan::ScanStats& stats,
                 const analysis::AuditReport* report,
-                const analysis::CrossCheck* cross) {
-  w.begin_object()
-      .field("tool", "scanmemory")
-      .field("server", which)
+                const analysis::CrossCheck* cross, bool metrics) {
+  obs::begin_report(w, "scanmemory");
+  w.field("server", which)
       .field("connections", static_cast<std::int64_t>(connections))
       .field("level", level_name);
 
@@ -106,14 +151,8 @@ void write_json(util::JsonWriter& w, const core::Scenario& s,
       .field("unallocated", static_cast<std::uint64_t>(census.unallocated))
       .end_object();
 
-  w.key("scan")
-      .begin_object()
-      .field("bytes_scanned", static_cast<std::uint64_t>(stats.bytes_scanned))
-      .field("shards", static_cast<std::uint64_t>(stats.shard_count))
-      .field("patterns", static_cast<std::uint64_t>(stats.pattern_count))
-      .field("wall_ms", stats.wall_millis)
-      .field("mb_per_sec", stats.mb_per_sec())
-      .end_object();
+  w.key("scan");
+  stats.write_json(w);
 
   if (report) {
     w.key("taint").begin_object();
@@ -152,13 +191,46 @@ void write_json(util::JsonWriter& w, const core::Scenario& s,
         .end_object();
     w.end_object();
   }
+
+  if (metrics) {
+    obs::write_metrics_field(w, obs::MetricsRegistry::global());
+  }
   w.end_object();
+}
+
+bool write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  if (text.empty() || text.back() != '\n') std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("%s written to %s\n", what, path.c_str());
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  if (const auto unknown = flags.first_unknown(kKnownFlags)) {
+    std::fprintf(stderr, "scanmemory_tool: unknown flag --%s\n\n",
+                 unknown->c_str());
+    print_usage(stderr);
+    return 2;
+  }
+  if (flags.has("help")) {
+    print_usage(stdout);
+    return 0;
+  }
+  if (flags.has("version")) {
+    std::printf("%s\n", obs::build_info::one_line().c_str());
+    return 0;
+  }
+
   const std::string which = flags.get("server", "ssh");
   const int connections = static_cast<int>(flags.get_int("connections", 16));
   const std::string level_name = flags.get("level", "none");
@@ -167,6 +239,17 @@ int main(int argc, char** argv) {
   const bool json = flags.has("json");
   std::string json_path = json ? flags.get("json", "") : "";
   if (json_path == "1") json_path.clear();  // bare --json means stdout
+
+  const bool metrics = flags.has("metrics");
+  std::string metrics_path = metrics ? flags.get("metrics", "") : "";
+  if (metrics_path == "1") metrics_path.clear();
+  const bool trace = flags.has("trace");
+  std::string trace_path = trace ? flags.get("trace", "") : "";
+  if (trace_path == "1" || trace_path.empty()) {
+    trace_path = "scanmemory_trace.jsonl";
+  }
+  if (metrics) obs::MetricsRegistry::global().set_enabled(true);
+  if (trace) obs::Tracer::global().set_enabled(true);
 
   core::ProtectionLevel level = core::ProtectionLevel::kNone;
   for (const auto l : core::kAllProtectionLevels) {
@@ -214,22 +297,15 @@ int main(int argc, char** argv) {
   if (json) {
     util::JsonWriter w;
     write_json(w, s, which, connections, level_name, matches, stats,
-               auditor ? &report : nullptr, auditor ? &cross : nullptr);
+               auditor ? &report : nullptr, auditor ? &cross : nullptr,
+               metrics);
     if (json_path.empty()) {
       std::printf("%s\n", w.str().c_str());
-    } else {
-      std::FILE* f = std::fopen(json_path.c_str(), "w");
-      if (!f) {
-        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-        return 1;
-      }
-      const auto& text = w.str();
-      std::fwrite(text.data(), 1, text.size(), f);
-      std::fputc('\n', f);
-      std::fclose(f);
-      std::printf("JSON written to %s\n", json_path.c_str());
+    } else if (!write_text_file(json_path, w.str(), "JSON")) {
+      return 1;
     }
   } else {
+    std::printf("%s\n", obs::build_info::one_line().c_str());
     print_text(s, matches, stats);
     if (auditor) {
       std::printf("\n%s", analysis::TaintAuditor::format(report).c_str());
@@ -240,6 +316,31 @@ int main(int argc, char** argv) {
           cross.taint_only_bytes,
           cross.all_hits_covered() ? ""
                                    : "  ** UNCOVERED HITS: shadow lost a flow **");
+    }
+  }
+
+  // Standalone metrics report (separate from the main --json document).
+  if (metrics && !metrics_path.empty()) {
+    util::JsonWriter mw;
+    obs::begin_report(mw, "scanmemory.metrics");
+    obs::write_metrics_field(mw, obs::MetricsRegistry::global());
+    mw.end_object();
+    if (!write_text_file(metrics_path, mw.str(), "metrics")) return 1;
+  }
+  if (trace) {
+    // A .json extension selects the chrome://tracing document; anything
+    // else gets line-oriented JSONL for trace2timeline.py / grep.
+    std::string trace_text;
+    if (trace_path.size() >= 5 &&
+        trace_path.compare(trace_path.size() - 5, 5, ".json") == 0) {
+      util::JsonWriter tw;
+      obs::Tracer::global().write_chrome_trace(tw);
+      trace_text = tw.str();
+    } else {
+      trace_text = obs::Tracer::global().jsonl();
+    }
+    if (!write_text_file(trace_path, trace_text, "trace")) {
+      return 1;
     }
   }
   if (taint_map) s.kernel().attach_taint(nullptr);

@@ -54,6 +54,7 @@ servers::SshConfig ssh_config(const ProtectionProfile& profile, std::string key_
   cfg.ssl = profile.ssl;
   cfg.align_at_load = profile.align_at_load;
   cfg.no_reexec = profile.ssh_no_reexec;
+  cfg.protection_label = std::string(protection_name(profile.level));
   return cfg;
 }
 
@@ -62,6 +63,7 @@ servers::ApacheConfig apache_config(const ProtectionProfile& profile, std::strin
   cfg.key_path = std::move(key_path);
   cfg.ssl = profile.ssl;
   cfg.align_at_load = profile.align_at_load;
+  cfg.protection_label = std::string(protection_name(profile.level));
   return cfg;
 }
 
@@ -70,6 +72,7 @@ servers::SniConfig sni_config(const ProtectionProfile& profile,
   servers::SniConfig cfg;
   cfg.key_dir = std::move(key_dir);
   cfg.keystore.pool_pages = pool_pages;
+  cfg.protection_label = std::string(protection_name(profile.level));
   switch (profile.level) {
     case ProtectionLevel::kNone:
       // Baseline strawman: plaintext blobs, no scrubbing, raw frees.

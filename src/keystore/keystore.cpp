@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "crypto/pem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace keyguard::keystore {
@@ -51,10 +54,15 @@ const crypto::RsaPublicKey& Keystore::public_key(KeyId id) const {
 }
 
 Keystore::PoolEntry& Keystore::acquire(std::unique_lock<std::mutex>& lk, KeyId id) {
+  auto& reg = obs::MetricsRegistry::global();
+  const bool metrics_on = reg.enabled();
   for (;;) {
     for (auto& e : pool_) {
       if (e->id == id) {
         ++stats_.pool_hits;
+        if (metrics_on) {
+          reg.counter("keystore.pool_hits").add(1);
+        }
         ++e->pins;
         e->last_used = ++clock_;
         return *e;
@@ -78,11 +86,19 @@ Keystore::PoolEntry& Keystore::acquire(std::unique_lock<std::mutex>& lk, KeyId i
                                    [&](const auto& e) { return e.get() == victim; });
       pool_.erase(it);  // ~SecureRsaKey scrubs the working copy
       ++stats_.evictions;
+      if (metrics_on) {
+        reg.counter("keystore.evictions").add(1);
+      }
     }
 
     // Materialize under the lock (misses serialize; see header).
     ++stats_.pool_misses;
     ++stats_.unseals;
+    obs::Tracer::Span unseal_span(obs::Tracer::global(), "keystore.unseal");
+    if (unseal_span.live()) {
+      unseal_span.add(obs::TraceAttr::n("key", static_cast<double>(id)));
+    }
+    const auto unseal_t0 = std::chrono::steady_clock::now();
     const Sealed& s = sealed_.at(id);
     auto der = unseal(s.blob, master_.data());
     assert(der.has_value());
@@ -93,11 +109,29 @@ Keystore::PoolEntry& Keystore::acquire(std::unique_lock<std::mutex>& lk, KeyId i
         new PoolEntry{id, secure::SecureRsaKey::from_key_scrubbing(*key),
                       /*pins=*/1, ++clock_});
     pool_.push_back(std::move(entry));
+    if (metrics_on) {
+      reg.counter("keystore.pool_misses").add(1);
+      reg.counter("keystore.unseals").add(1);
+      reg.histogram("keystore.unseal_ms")
+          .record(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - unseal_t0)
+                      .count());
+      reg.gauge("keystore.pool_occupancy")
+          .set(static_cast<double>(pool_.size()));
+    }
     return *pool_.back();
   }
 }
 
 bn::Bignum Keystore::sign(KeyId id, const bn::Bignum& m) {
+  obs::Tracer::Span span(obs::Tracer::global(), "keystore.sign");
+  if (span.live()) {
+    span.add(obs::TraceAttr::n("key", static_cast<double>(id)));
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("keystore.ops").add(1);
+  }
   PoolEntry* entry = nullptr;
   {
     std::unique_lock lk(mu_);

@@ -1,10 +1,13 @@
 #include "keystore/sim_keystore.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 
 #include "crypto/pem.hpp"
 #include "keystore/sealed_blob.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/physmem.hpp"
 #include "util/rng.hpp"
 
@@ -122,13 +125,26 @@ const crypto::RsaPublicKey& SimKeystore::public_key(KeyId id) const {
 }
 
 std::size_t SimKeystore::ensure_pooled(KeyId id) {
+  auto& reg = obs::MetricsRegistry::global();
+  const bool metrics_on = reg.enabled();
   Entry& e = keys_.at(id);
   if (e.slot >= 0) {
     ++stats_.pool_hits;
+    if (metrics_on) {
+      reg.counter("sim_keystore.pool_hits").add(1);
+    }
     slots_[static_cast<std::size_t>(e.slot)].last_used = ++clock_;
     return static_cast<std::size_t>(e.slot);
   }
   ++stats_.pool_misses;
+  if (metrics_on) {
+    reg.counter("sim_keystore.pool_misses").add(1);
+  }
+  obs::Tracer::Span unseal_span(obs::Tracer::global(), "sim_keystore.unseal");
+  if (unseal_span.live()) {
+    unseal_span.add(obs::TraceAttr::n("key", static_cast<double>(id)));
+  }
+  const auto unseal_t0 = std::chrono::steady_clock::now();
 
   // Pick a slot: first empty, else evict the least recently used.
   std::size_t victim = slots_.size();
@@ -191,6 +207,15 @@ std::size_t SimKeystore::ensure_pooled(KeyId id) {
   s.last_used = ++clock_;
   e.slot = static_cast<int>(victim);
   key->scrub_private_parts();
+  if (metrics_on) {
+    const double unseal_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - unseal_t0)
+            .count();
+    reg.histogram("sim_keystore.unseal_ms").record(unseal_ms);
+    reg.gauge("sim_keystore.pool_occupancy")
+        .set(static_cast<double>(pooled_count()));
+  }
   return victim;
 }
 
@@ -198,19 +223,39 @@ bn::Bignum SimKeystore::private_op(KeyId id, const bn::Bignum& c) {
   assert(!shut_);
   const std::size_t slot = ensure_pooled(id);
   ++stats_.ops;
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("sim_keystore.ops").add(1);
+  }
   return ssl_.rsa_private_op(proc_, slots_[slot].view, c);
 }
 
 void SimKeystore::evict_slot(std::size_t s) {
   Slot& slot = slots_[s];
   if (!slot.occupant) return;
+  obs::Tracer::Span span(obs::Tracer::global(), "sim_keystore.evict");
+  if (span.live()) {
+    span.add(obs::TraceAttr::n("key", static_cast<double>(*slot.occupant)));
+    span.add(obs::TraceAttr::n("slot", static_cast<double>(s)));
+    span.add(obs::TraceAttr::b("scrub", cfg_.scrub_on_evict));
+  }
   keys_.at(*slot.occupant).slot = -1;
   if (cfg_.scrub_on_evict && slot.used_bytes > 0) {
+    obs::Tracer::Span scrub(obs::Tracer::global(), "sim_keystore.scrub");
+    if (scrub.live()) {
+      scrub.add(obs::TraceAttr::n("bytes", static_cast<double>(slot.used_bytes)));
+    }
     kernel_.mem_zero(proc_, slot.page, slot.used_bytes);
   }
   slot.occupant.reset();
   slot.view = sslsim::SimRsaKey{};
   slot.used_bytes = 0;
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("sim_keystore.evictions").add(1);
+    reg.gauge("sim_keystore.pool_occupancy")
+        .set(static_cast<double>(pooled_count()));
+  }
 }
 
 void SimKeystore::evict(KeyId id) {

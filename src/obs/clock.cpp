@@ -1,0 +1,45 @@
+#include "obs/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace keyguard::obs {
+namespace {
+
+std::atomic<bool> g_manual{false};
+std::atomic<std::uint64_t> g_manual_now{0};
+
+std::uint64_t host_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  if (g_manual.load(std::memory_order_relaxed)) {
+    return g_manual_now.load(std::memory_order_relaxed);
+  }
+  return host_now_ns();
+}
+
+void manual_clock_install(std::uint64_t start_ns) {
+  g_manual_now.store(start_ns, std::memory_order_relaxed);
+  g_manual.store(true, std::memory_order_relaxed);
+}
+
+void manual_clock_advance(std::uint64_t delta_ns) {
+  g_manual_now.fetch_add(delta_ns, std::memory_order_relaxed);
+}
+
+void manual_clock_set(std::uint64_t ns) {
+  g_manual_now.store(ns, std::memory_order_relaxed);
+}
+
+void host_clock_install() { g_manual.store(false, std::memory_order_relaxed); }
+
+bool manual_clock_active() { return g_manual.load(std::memory_order_relaxed); }
+
+}  // namespace keyguard::obs

@@ -1,0 +1,41 @@
+// The observability clock: one monotonic nanosecond source for every
+// span timestamp and exposure integral in src/obs.
+//
+// Two modes:
+//   * host (default) — std::chrono::steady_clock, for real wall-clock
+//     latency numbers in tools and benches.
+//   * manual — a caller-advanced simulated clock, so experiments that
+//     model time (one timeline slot == one second) produce bit-identical
+//     byte·second exposure integrals on every run. The golden-determinism
+//     discipline of the sim extends to the observability layer this way.
+//
+// The source is process-global and lock-free to read; switching modes is
+// rare (test/bench setup) and not meant to race with hot-path readers.
+#pragma once
+
+#include <cstdint>
+
+namespace keyguard::obs {
+
+/// Current time in nanoseconds from the active source.
+std::uint64_t now_ns();
+
+/// Switches to the manual clock, starting at `start_ns`.
+void manual_clock_install(std::uint64_t start_ns = 0);
+
+/// Advances the manual clock (no-op warning-free even if not installed —
+/// the value simply is not read until it is).
+void manual_clock_advance(std::uint64_t delta_ns);
+
+/// Absolute set, for replaying recorded timelines.
+void manual_clock_set(std::uint64_t ns);
+
+/// Back to the host steady clock.
+void host_clock_install();
+
+/// True while the manual clock is the active source.
+bool manual_clock_active();
+
+inline constexpr std::uint64_t kNsPerSec = 1'000'000'000ull;
+
+}  // namespace keyguard::obs

@@ -1,0 +1,258 @@
+#include "obs/exposure_monitor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::obs {
+namespace {
+
+/// Key index from a pattern name: "d#3" -> 3, "PEM#12" -> 12, "d" -> 0.
+/// Mirrors KeyPatterns::from_keys naming.
+std::size_t key_from_name(const std::string& name) {
+  const auto hash = name.rfind('#');
+  if (hash == std::string::npos || hash + 1 >= name.size()) {
+    return 0;
+  }
+  std::size_t key = 0;
+  for (std::size_t i = hash + 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') {
+      return 0;
+    }
+    key = key * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return key;
+}
+
+}  // namespace
+
+ExposureMonitor::ExposureMonitor(const sim::PhysicalMemory& mem,
+                                 scan::KeyPatterns patterns)
+    : mem_(mem), patterns_(std::move(patterns)) {
+  std::size_t max_key = 0;
+  pattern_key_.reserve(patterns_.patterns.size());
+  for (const auto& p : patterns_.patterns) {
+    const std::size_t key = key_from_name(p.name);
+    pattern_key_.push_back(key);
+    max_key = std::max(max_key, key);
+    max_len_ = std::max(max_len_, p.bytes.size());
+  }
+  keys_.resize(patterns_.patterns.empty() ? 0 : max_key + 1);
+  last_accrue_ns_ = now_ns();
+}
+
+void ExposureMonitor::accrue() {
+  const std::uint64_t now = now_ns();
+  if (now <= last_accrue_ns_) {
+    last_accrue_ns_ = now;
+    return;
+  }
+  const double dt =
+      static_cast<double>(now - last_accrue_ns_) / static_cast<double>(kNsPerSec);
+  last_accrue_ns_ = now;
+  for (auto& k : keys_) {
+    if (k.live_bytes != 0) {
+      k.byte_seconds += static_cast<double>(k.live_bytes) * dt;
+    }
+  }
+}
+
+bool ExposureMonitor::still_matches(std::size_t off,
+                                    std::size_t pattern) const {
+  const auto& needle = patterns_.patterns[pattern].bytes;
+  const auto window = mem_.range(off, needle.size());
+  return window.size() == needle.size() &&
+         std::memcmp(window.data(), needle.data(), needle.size()) == 0;
+}
+
+void ExposureMonitor::insert_copy(std::size_t off, std::size_t pattern) {
+  const auto [it, inserted] =
+      live_.emplace(std::make_pair(off, pattern),
+                    patterns_.patterns[pattern].bytes.size());
+  if (!inserted) {
+    return;
+  }
+  auto& k = keys_[pattern_key_[pattern]];
+  k.live_copies += 1;
+  k.live_bytes += it->second;
+  k.copies_created += 1;
+  k.peak_copies = std::max(k.peak_copies, k.live_copies);
+}
+
+void ExposureMonitor::erase_copy(
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t>::iterator it) {
+  auto& k = keys_[pattern_key_[it->first.second]];
+  k.live_copies -= 1;
+  k.live_bytes -= it->second;
+  k.copies_destroyed += 1;
+  live_.erase(it);
+}
+
+void ExposureMonitor::touch(std::size_t off, std::size_t len) {
+  if (patterns_.patterns.empty() || len == 0) {
+    return;
+  }
+  // The integral must be split at the mutation: time before it runs at
+  // the old byte counts, time after at the new ones.
+  accrue();
+
+  const std::size_t reach = max_len_ - 1;
+  const std::size_t lo = off > reach ? off - reach : 0;
+  const std::size_t end = off + len;  // first unmodified byte
+
+  // 1) Re-validate recorded copies whose byte range intersects the
+  //    dirtied range. A copy starting at o with length L intersects
+  //    [off, end) iff o < end && o + L > off; every such o is >= lo.
+  for (auto it = live_.lower_bound({lo, 0});
+       it != live_.end() && it->first.first < end;) {
+    const std::size_t o = it->first.first;
+    const std::size_t L = it->second;
+    if (o + L <= off || still_matches(o, it->first.second)) {
+      ++it;
+    } else {
+      erase_copy(it++);
+    }
+  }
+
+  // 2) Re-scan the widened window for matches the mutation created. Any
+  //    new match must include at least one modified byte, so it starts
+  //    in [lo, end); scanning [lo, end + reach) covers every candidate.
+  const auto window = mem_.range(lo, end - lo + reach);
+  for (std::size_t pi = 0; pi < patterns_.patterns.size(); ++pi) {
+    const auto& needle = patterns_.patterns[pi].bytes;
+    if (needle.empty() || needle.size() > window.size()) {
+      continue;
+    }
+    for (const std::size_t local :
+         util::find_all(window, std::span<const std::byte>(needle))) {
+      if (lo + local >= end) {
+        break;  // starts past the modified range: already recorded
+      }
+      insert_copy(lo + local, pi);
+    }
+  }
+}
+
+void ExposureMonitor::on_phys_store(std::size_t off, std::size_t len,
+                                    sim::TaintTag /*tag*/) {
+  ++events_;
+  touch(off, len);
+}
+
+void ExposureMonitor::on_phys_copy(std::size_t dst, std::size_t /*src*/,
+                                   std::size_t len) {
+  ++events_;
+  touch(dst, len);
+}
+
+void ExposureMonitor::on_phys_clear(std::size_t off, std::size_t len) {
+  ++events_;
+  touch(off, len);
+}
+
+void ExposureMonitor::on_swap_store(std::uint32_t /*slot*/,
+                                    std::size_t /*phys_src*/) {
+  // RAM is unchanged by a swap-out (the vacated frame keeps its bytes
+  // until something overwrites it — any copy there stays live, exactly
+  // as a scan would see); the slot itself is encrypted after this hook
+  // fires, so swap is tracked as traffic, not content.
+  ++events_;
+  ++swap_outs_;
+}
+
+void ExposureMonitor::on_swap_load(std::size_t phys_dst,
+                                   std::uint32_t /*slot*/) {
+  ++events_;
+  ++swap_ins_;
+  touch(phys_dst, sim::kPageSize);
+}
+
+void ExposureMonitor::on_swap_clear(std::uint32_t /*slot*/) {
+  ++events_;
+  ++swap_clears_;
+}
+
+void ExposureMonitor::resync() {
+  accrue();
+  while (!live_.empty()) {
+    erase_copy(live_.begin());
+  }
+  const auto all = mem_.all();
+  for (std::size_t pi = 0; pi < patterns_.patterns.size(); ++pi) {
+    const auto& needle = patterns_.patterns[pi].bytes;
+    if (needle.empty()) {
+      continue;
+    }
+    for (const std::size_t off :
+         util::find_all(all, std::span<const std::byte>(needle))) {
+      insert_copy(off, pi);
+    }
+  }
+}
+
+std::size_t ExposureMonitor::copy_count(std::size_t key) const {
+  return key < keys_.size() ? keys_[key].live_copies : 0;
+}
+
+std::size_t ExposureMonitor::live_bytes(std::size_t key) const {
+  return key < keys_.size() ? keys_[key].live_bytes : 0;
+}
+
+double ExposureMonitor::exposure_window(std::size_t key) {
+  accrue();
+  return key < keys_.size() ? keys_[key].byte_seconds : 0.0;
+}
+
+KeyExposure ExposureMonitor::exposure(std::size_t key) {
+  accrue();
+  return key < keys_.size() ? keys_[key] : KeyExposure{};
+}
+
+std::vector<ExposureCopy> ExposureMonitor::copies() const {
+  std::vector<ExposureCopy> out;
+  out.reserve(live_.size());
+  for (const auto& [loc, len] : live_) {
+    out.push_back(ExposureCopy{loc.first, loc.second});
+  }
+  return out;
+}
+
+void ExposureMonitor::publish(MetricsRegistry& reg) {
+  accrue();
+  std::size_t copies = 0;
+  std::size_t bytes = 0;
+  double integral = 0.0;
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    const auto& e = keys_[k];
+    copies += e.live_copies;
+    bytes += e.live_bytes;
+    integral += e.byte_seconds;
+    const std::string prefix = "exposure.key" + std::to_string(k);
+    reg.gauge(prefix + ".copies").set(static_cast<double>(e.live_copies));
+    reg.gauge(prefix + ".byte_seconds").set(e.byte_seconds);
+  }
+  reg.gauge("exposure.live_copies").set(static_cast<double>(copies));
+  reg.gauge("exposure.live_bytes").set(static_cast<double>(bytes));
+  reg.gauge("exposure.byte_seconds").set(integral);
+  reg.counter("exposure.events").add(0);  // register even when idle
+}
+
+void ExposureMonitor::sample(Tracer& tracer) {
+  accrue();
+  std::size_t copies = 0;
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    copies += keys_[k].live_copies;
+    if (keys_.size() > 1) {
+      tracer.counter("exposure.key" + std::to_string(k) + ".copies",
+                     static_cast<double>(keys_[k].live_copies));
+    }
+  }
+  tracer.counter("exposure.copies", static_cast<double>(copies));
+}
+
+}  // namespace keyguard::obs

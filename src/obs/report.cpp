@@ -1,0 +1,22 @@
+#include "obs/report.hpp"
+
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace keyguard::obs {
+
+void begin_report(util::JsonWriter& w, std::string_view tool) {
+  w.begin_object();
+  w.field("schema_version", kSchemaVersion);
+  w.field("tool", tool);
+  w.key("build");
+  build_info::write(w);
+}
+
+void write_metrics_field(util::JsonWriter& w, const MetricsRegistry& reg) {
+  w.key("metrics");
+  reg.write_snapshot(w);
+}
+
+}  // namespace keyguard::obs

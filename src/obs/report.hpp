@@ -1,0 +1,37 @@
+// The one JSON report schema shared by scanmemory_tool and every bench:
+//
+//   {
+//     "schema_version": 2,
+//     "tool": "<producer>",
+//     "build": {version, compiler, sanitizer, build_type},
+//     ... producer-specific fields (existing names kept as aliases) ...
+//     "metrics": {counters, gauges, histograms}     // optional
+//   }
+//
+// schema_version history:
+//   1 — implicit: the ad-hoc pre-observability layouts (no version field).
+//   2 — this envelope: versioned, build-stamped, with an optional
+//       MetricsRegistry snapshot under "metrics".
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace keyguard::util {
+class JsonWriter;
+}
+
+namespace keyguard::obs {
+
+class MetricsRegistry;
+
+inline constexpr std::int64_t kSchemaVersion = 2;
+
+/// Opens the report object and writes schema_version/tool/build. The
+/// caller continues with its own fields and must end_object() itself.
+void begin_report(util::JsonWriter& w, std::string_view tool);
+
+/// Writes the "metrics" field from a registry snapshot.
+void write_metrics_field(util::JsonWriter& w, const MetricsRegistry& reg);
+
+}  // namespace keyguard::obs

@@ -1,0 +1,200 @@
+#include "obs/trace.hpp"
+
+#include "obs/clock.hpp"
+#include "util/json.hpp"
+
+namespace keyguard::obs {
+
+TraceAttr TraceAttr::s(std::string_view k, std::string_view v) {
+  TraceAttr a;
+  a.key = std::string(k);
+  a.str = std::string(v);
+  a.kind = Kind::kString;
+  return a;
+}
+
+TraceAttr TraceAttr::n(std::string_view k, double v) {
+  TraceAttr a;
+  a.key = std::string(k);
+  a.num = v;
+  a.kind = Kind::kNumber;
+  return a;
+}
+
+TraceAttr TraceAttr::b(std::string_view k, bool v) {
+  TraceAttr a;
+  a.key = std::string(k);
+  a.flag = v;
+  a.kind = Kind::kBool;
+  return a;
+}
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+Tracer::Span::Span(Tracer& t, std::string_view name,
+                   std::vector<TraceAttr> args) {
+  if (!t.enabled()) {
+    return;  // inert: no clock read, no string copy
+  }
+  tracer_ = &t;
+  name_ = std::string(name);
+  t0_ = now_ns();
+  args_ = std::move(args);
+}
+
+Tracer::Span::~Span() {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  TraceEvent ev;
+  ev.name = std::move(name_);
+  ev.phase = 'X';
+  ev.ts_ns = t0_;
+  ev.dur_ns = now_ns() - t0_;
+  ev.args = std::move(args_);
+  tracer_->emit(std::move(ev));
+}
+
+void Tracer::Span::add(TraceAttr a) {
+  if (tracer_ != nullptr) {
+    args_.push_back(std::move(a));
+  }
+}
+
+void Tracer::instant(std::string_view name, std::vector<TraceAttr> args) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.phase = 'i';
+  ev.ts_ns = now_ns();
+  ev.args = std::move(args);
+  emit(std::move(ev));
+}
+
+void Tracer::counter(std::string_view name, double value) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.phase = 'C';
+  ev.ts_ns = now_ns();
+  ev.args.push_back(TraceAttr::n("value", value));
+  emit(std::move(ev));
+}
+
+void Tracer::emit(TraceEvent ev) {
+  const auto tid = tid_for(std::this_thread::get_id());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  ev.tid = tid;
+  events_.push_back(std::move(ev));
+}
+
+std::uint32_t Tracer::tid_for(std::thread::id id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) {
+    return it->second;
+  }
+  const auto tid = static_cast<std::uint32_t>(tids_.size() + 1);
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = cap;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+void Tracer::write_args(util::JsonWriter& w,
+                        const std::vector<TraceAttr>& args) {
+  w.begin_object();
+  for (const auto& a : args) {
+    switch (a.kind) {
+      case TraceAttr::Kind::kString: w.field(a.key, a.str); break;
+      case TraceAttr::Kind::kNumber: w.field(a.key, a.num); break;
+      case TraceAttr::Kind::kBool: w.field(a.key, a.flag); break;
+    }
+  }
+  w.end_object();
+}
+
+std::string Tracer::jsonl() const {
+  const auto events = snapshot();
+  std::string out;
+  for (const auto& ev : events) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.field("name", ev.name);
+    w.field("ph", std::string_view(&ev.phase, 1));
+    w.field("ts_ns", ev.ts_ns);
+    if (ev.phase == 'X') {
+      w.field("dur_ns", ev.dur_ns);
+    }
+    w.field("tid", ev.tid);
+    if (!ev.args.empty()) {
+      w.key("args");
+      write_args(w, ev.args);
+    }
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void Tracer::write_chrome_trace(util::JsonWriter& w) const {
+  const auto events = snapshot();
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& ev : events) {
+    w.begin_object();
+    w.field("name", ev.name);
+    w.field("ph", std::string_view(&ev.phase, 1));
+    w.field("ts", static_cast<double>(ev.ts_ns) / 1e3);
+    if (ev.phase == 'X') {
+      w.field("dur", static_cast<double>(ev.dur_ns) / 1e3);
+    }
+    w.field("pid", 1);
+    w.field("tid", ev.tid);
+    w.key("args");
+    write_args(w, ev.args);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace keyguard::obs

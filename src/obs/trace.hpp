@@ -1,0 +1,130 @@
+// Structured tracing: spans (begin/end), instants and counter samples,
+// stamped with the obs clock and a small per-thread id, exportable as
+// JSONL (one event per line, consumed by tools/trace2timeline.py) and as
+// a chrome://tracing / Perfetto "traceEvents" document.
+//
+// Hot-path contract mirrors MetricsRegistry: `enabled()` is one relaxed
+// atomic load, and a Span constructed while the tracer is disabled does
+// nothing at all (no clock read, no allocation). Event storage is an
+// in-memory ring guarded by a mutex — tracing is for experiments and
+// tools, not a production telemetry pipeline, so simplicity and exact
+// TSan-clean counts win over lock-free cleverness here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace keyguard::util {
+class JsonWriter;
+}
+
+namespace keyguard::obs {
+
+/// One key/value span attribute. Numbers are carried as double (enough
+/// for byte counts < 2^53 — every count in this repo), strings verbatim
+/// (JsonWriter escapes arbitrary bytes).
+struct TraceAttr {
+  enum class Kind : std::uint8_t { kString, kNumber, kBool };
+  std::string key;
+  std::string str;
+  double num = 0.0;
+  bool flag = false;
+  Kind kind = Kind::kString;
+
+  static TraceAttr s(std::string_view k, std::string_view v);
+  static TraceAttr n(std::string_view k, double v);
+  static TraceAttr b(std::string_view k, bool v);
+};
+
+/// Phases follow the chrome://tracing event format: 'X' complete span,
+/// 'i' instant, 'C' counter sample.
+struct TraceEvent {
+  std::string name;
+  char phase = 'i';
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  // complete spans only
+  std::uint32_t tid = 0;
+  std::vector<TraceAttr> args;
+};
+
+class Tracer {
+ public:
+  /// Tracers start disabled; callers opt in (tests, tools, benches).
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& global();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// RAII complete-span. Timestamps at construction, emits one 'X'
+  /// event at destruction. If the tracer was disabled at construction
+  /// the span is inert (attrs added later are dropped too).
+  class Span {
+   public:
+    Span(Tracer& t, std::string_view name, std::vector<TraceAttr> args = {});
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span();
+
+    void add(TraceAttr a);
+    bool live() const noexcept { return tracer_ != nullptr; }
+
+   private:
+    Tracer* tracer_ = nullptr;  // null when inert
+    std::string name_;
+    std::uint64_t t0_ = 0;
+    std::vector<TraceAttr> args_;
+  };
+
+  Span span(std::string_view name, std::vector<TraceAttr> args = {}) {
+    return Span(*this, name, std::move(args));
+  }
+
+  void instant(std::string_view name, std::vector<TraceAttr> args = {});
+  /// Counter sample: value attached as args {"value": v}. Rendered by
+  /// chrome://tracing as a stacked counter track.
+  void counter(std::string_view name, double value);
+  /// Raw emission (used by Span; public for replay/import tools).
+  void emit(TraceEvent ev);
+
+  std::size_t event_count() const;
+  /// Events accepted minus events dropped once `capacity` was hit.
+  std::size_t dropped() const;
+  /// Default capacity 1M events; exceeding it drops new events (and
+  /// counts them) rather than growing without bound.
+  void set_capacity(std::size_t cap);
+  std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+  /// One JSON object per line; ns-resolution fields (ts_ns, dur_ns).
+  std::string jsonl() const;
+  /// chrome://tracing document: {"traceEvents":[...]} with microsecond
+  /// "ts"/"dur" fields as the format requires.
+  void write_chrome_trace(util::JsonWriter& w) const;
+
+ private:
+  std::uint32_t tid_for(std::thread::id id);
+  static void write_args(util::JsonWriter& w, const std::vector<TraceAttr>& a);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, std::uint32_t> tids_;
+  std::size_t capacity_ = 1u << 20;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace keyguard::obs

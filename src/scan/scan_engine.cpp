@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace keyguard::scan {
@@ -78,6 +81,39 @@ std::string ScanStats::summary() const {
   return buf;
 }
 
+void ScanStats::write_json(util::JsonWriter& w) const {
+  w.begin_object();
+  w.field("bytes_scanned", static_cast<std::uint64_t>(bytes_scanned));
+  w.field("match_count", static_cast<std::uint64_t>(match_count));
+  w.field("shards", static_cast<std::uint64_t>(shard_count));
+  w.field("patterns", static_cast<std::uint64_t>(pattern_count));
+  w.field("overlap_bytes", static_cast<std::uint64_t>(overlap_bytes));
+  w.field("wall_ms", wall_millis);
+  w.field("mb_per_sec", mb_per_sec());
+  w.key("shard_list");
+  w.begin_array();
+  for (const auto& s : shards) {
+    w.begin_object();
+    w.field("index", static_cast<std::uint64_t>(s.index));
+    w.field("offset", static_cast<std::uint64_t>(s.offset));
+    w.field("bytes", static_cast<std::uint64_t>(s.bytes));
+    w.field("matches", static_cast<std::uint64_t>(s.matches));
+    w.field("wall_ms", s.millis);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void ScanStats::publish(obs::MetricsRegistry& reg) const {
+  reg.counter("scan.scans").add(1);
+  reg.counter("scan.bytes").add(bytes_scanned);
+  reg.counter("scan.matches").add(match_count);
+  reg.gauge("scan.mb_per_sec").set(mb_per_sec());
+  reg.gauge("scan.shards").set(static_cast<double>(shard_count));
+  reg.histogram("scan.wall_ms").record(wall_millis);
+}
+
 ShardPlan plan_shards(std::size_t total_bytes, std::size_t max_needle_len,
                       std::size_t requested_shards, std::size_t frame_bytes) {
   ShardPlan plan;
@@ -103,6 +139,17 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
                                    std::size_t requested_shards,
                                    std::size_t min_prefix_bytes,
                                    ScanStats* stats) {
+  // Observability gate: when both sinks are off this whole scan pays two
+  // relaxed atomic loads — the ≤5% budget bench_exposure_observatory
+  // enforces against bench_scan_throughput rides on this being cheap.
+  auto& reg = obs::MetricsRegistry::global();
+  auto& tracer = obs::Tracer::global();
+  const bool metrics_on = reg.enabled();
+  ScanStats local_stats;
+  if (stats == nullptr && metrics_on) {
+    stats = &local_stats;
+  }
+
   const auto t0 = Clock::now();
   std::size_t max_len = 0;
   std::size_t active_needles = 0;
@@ -118,6 +165,7 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
 
   util::ThreadPool::shared().parallel_for(
       plan.shard_count, [&](std::size_t i) {
+        obs::Tracer::Span span(tracer, "scan.shard");  // inert when disabled
         const auto ts = Clock::now();
         const std::size_t begin = plan.shard_begin(i);
         const std::size_t end =
@@ -128,6 +176,12 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
         scan_shard(buffer, begin, end, window_end, needles, min_prefix_bytes,
                    per_shard[i]);
         shard_millis[i] = millis_since(ts);
+        if (span.live()) {
+          span.add(obs::TraceAttr::n("shard", static_cast<double>(i)));
+          span.add(obs::TraceAttr::n("bytes", static_cast<double>(end - begin)));
+          span.add(obs::TraceAttr::n("matches",
+                                     static_cast<double>(per_shard[i].size())));
+        }
       });
 
   // Deterministic merge: shards are disjoint ascending offset ranges and
@@ -158,6 +212,9 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
           {i, begin, end - begin, per_shard[i].size(), shard_millis[i]});
     }
     stats->wall_millis = millis_since(t0);
+    if (metrics_on) {
+      stats->publish(reg);
+    }
   }
   return merged;
 }

@@ -21,6 +21,13 @@
 #include <string>
 #include <vector>
 
+namespace keyguard::util {
+class JsonWriter;
+}
+namespace keyguard::obs {
+class MetricsRegistry;
+}
+
 namespace keyguard::scan {
 
 /// Per-shard accounting for one scan.
@@ -47,6 +54,18 @@ struct ScanStats {
   /// One-line human summary, e.g.
   /// "64.0 MB in 4 shards, 4 patterns, 31.2 ms, 2051.3 MB/s".
   std::string summary() const;
+
+  /// Emits the stats as an object *value* (caller supplies the key).
+  /// Field names are the schema aliases every consumer already reads —
+  /// "bytes_scanned"/"shards"/"patterns"/"wall_ms"/"mb_per_sec" — plus
+  /// "match_count"/"overlap_bytes" and a per-shard "shard_list" array.
+  void write_json(util::JsonWriter& w) const;
+
+  /// Publishes into a registry: scan.scans / scan.bytes / scan.matches
+  /// counters, scan.mb_per_sec / scan.shards gauges, scan.wall_ms
+  /// histogram. sharded_scan calls this automatically when the global
+  /// registry is enabled.
+  void publish(obs::MetricsRegistry& reg) const;
 };
 
 /// A raw engine hit: which needle matched where. The KeyScanner layers

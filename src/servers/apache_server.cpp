@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "crypto/pem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace keyguard::servers {
 
@@ -75,6 +77,16 @@ void ApacheServer::set_concurrency(int concurrency) {
 
 bool ApacheServer::handle_request() {
   if (master_ == nullptr || workers_.empty()) return false;
+  obs::Tracer::Span span(obs::Tracer::global(), "apache.request");
+  if (span.live()) {
+    span.add(obs::TraceAttr::s("level", cfg_.protection_label));
+    span.add(obs::TraceAttr::n("workers", static_cast<double>(workers_.size())));
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("apache.requests").add(1);
+    reg.gauge("apache.workers").set(static_cast<double>(workers_.size()));
+  }
   Worker& worker = workers_[next_worker_ % workers_.size()];
   next_worker_ = (next_worker_ + 1) % workers_.size();
   auto* proc = kernel_.find_process(worker.pid);

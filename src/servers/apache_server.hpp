@@ -41,6 +41,9 @@ struct ApacheConfig {
   int spare_workers = 2;
   /// Response body churned through the worker heap per request.
   std::size_t response_bytes = 16ull << 10;
+  /// Protection level this config encodes; set by core::apache_config
+  /// and stamped onto per-request trace spans.
+  std::string protection_label = "none";
 };
 
 class ApacheServer {

@@ -1,6 +1,8 @@
 #include "servers/sni_frontend.hpp"
 
 #include "crypto/pem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace keyguard::servers {
@@ -46,6 +48,15 @@ sim::Pid SniFrontend::pid() const { return proc_ ? proc_->pid() : 0; }
 
 bool SniFrontend::handle_request(std::size_t vhost) {
   if (proc_ == nullptr || vhost >= ids_.size()) return false;
+  obs::Tracer::Span span(obs::Tracer::global(), "sni.request");
+  if (span.live()) {
+    span.add(obs::TraceAttr::s("level", cfg_.protection_label));
+    span.add(obs::TraceAttr::n("vhost", static_cast<double>(vhost)));
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("sni.requests").add(1);
+  }
   const keystore::KeyId id = ids_[vhost];
 
   // Client side: encrypt a session secret to the vhost's public key.

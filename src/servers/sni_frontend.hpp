@@ -31,6 +31,9 @@ struct SniConfig {
   std::size_t response_bytes = 8ull << 10; ///< per-request heap churn
   double hot_fraction = 0.8;               ///< share of traffic on the hot set
   keystore::SimKeystoreConfig keystore;
+  /// Protection level this config encodes; set by core::sni_config and
+  /// stamped onto per-request trace spans.
+  std::string protection_label = "none";
 };
 
 class SniFrontend {

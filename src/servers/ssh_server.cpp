@@ -2,6 +2,8 @@
 
 #include "bignum/prime.hpp"
 #include "crypto/pem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace keyguard::servers {
 
@@ -90,6 +92,15 @@ bool SshServer::handshake(sim::Process& child, sslsim::SimRsaKey& key) {
 
 std::optional<ConnectionId> SshServer::open_connection() {
   if (master_ == nullptr) return std::nullopt;
+  obs::Tracer::Span span(obs::Tracer::global(), "ssh.connection.open");
+  if (span.live()) {
+    span.add(obs::TraceAttr::s("level", cfg_.protection_label));
+    span.add(obs::TraceAttr::b("reexec", !cfg_.no_reexec));
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("ssh.connections").add(1);
+  }
   sim::Process& child = kernel_.fork(*master_, "sshd[child]");
   Connection conn;
   conn.child_pid = child.pid();
@@ -111,10 +122,24 @@ std::optional<ConnectionId> SshServer::open_connection() {
   }
   const ConnectionId id = next_id_++;
   conns_[id] = std::move(conn);
+  auto& reg2 = obs::MetricsRegistry::global();
+  if (reg2.enabled()) {
+    reg2.gauge("ssh.open_connections").set(static_cast<double>(conns_.size()));
+  }
   return id;
 }
 
 void SshServer::transfer(ConnectionId id, std::size_t bytes) {
+  obs::Tracer::Span span(obs::Tracer::global(), "ssh.transfer");
+  if (span.live()) {
+    span.add(obs::TraceAttr::s("level", cfg_.protection_label));
+    span.add(obs::TraceAttr::n("bytes", static_cast<double>(bytes)));
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("ssh.transfers").add(1);
+    reg.counter("ssh.transfer_bytes").add(bytes);
+  }
   const auto it = conns_.find(id);
   if (it == conns_.end()) return;
   auto* child = kernel_.find_process(it->second.child_pid);
@@ -152,9 +177,19 @@ void SshServer::close_connection(ConnectionId id) {
     kernel_.exit_process(*child);
   }
   conns_.erase(it);
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.gauge("ssh.open_connections").set(static_cast<double>(conns_.size()));
+  }
 }
 
 bool SshServer::handle_connection(std::size_t transfer_bytes) {
+  obs::Tracer::Span span(obs::Tracer::global(), "ssh.connection");
+  if (span.live()) {
+    span.add(obs::TraceAttr::s("level", cfg_.protection_label));
+    span.add(obs::TraceAttr::n("transfer_bytes",
+                               static_cast<double>(transfer_bytes)));
+  }
   const auto id = open_connection();
   if (!id) return false;
   if (transfer_bytes > 0) transfer(*id, transfer_bytes);

@@ -40,6 +40,9 @@ struct SshConfig {
   /// to keep the calibrated attack workloads unchanged; the ablation and
   /// cache-pressure tests turn it on.
   bool transfer_files_via_cache = false;
+  /// Protection level this config encodes ("none".."integrated"); set by
+  /// core::ssh_config and stamped onto per-connection trace spans.
+  std::string protection_label = "none";
 };
 
 /// Handle for a long-lived connection (timeline experiments keep several

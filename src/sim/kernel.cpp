@@ -4,11 +4,26 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace keyguard::sim {
 namespace {
 
 VirtAddr page_floor(VirtAddr a) { return a & ~static_cast<VirtAddr>(kPageSize - 1); }
 std::size_t page_round(std::size_t n) { return (n + kPageSize - 1) / kPageSize * kPageSize; }
+
+/// One kernel-event tick into the global registry. Disabled registry =
+/// one relaxed load; enabled = one relaxed add via a static-cached
+/// instrument reference (counter() references are stable for the
+/// registry's lifetime, so caching per call site is sound).
+#define KEYGUARD_KERNEL_COUNT(name)                                   \
+  do {                                                                \
+    auto& kg_reg = ::keyguard::obs::MetricsRegistry::global();        \
+    if (kg_reg.enabled()) {                                           \
+      static ::keyguard::obs::Counter& kg_c = kg_reg.counter(name);   \
+      kg_c.add(1);                                                    \
+    }                                                                 \
+  } while (false)
 
 }  // namespace
 
@@ -32,6 +47,7 @@ Process& Kernel::spawn(std::string name) {
 
 Process& Kernel::fork(Process& parent, std::string name) {
   assert(parent.alive_);
+  KEYGUARD_KERNEL_COUNT("kernel.forks");
   // Swapped pages fault back in before the fork duplicates the page
   // tables (real kernels share swap entries; one slot per PTE keeps this
   // model simple and changes nothing the experiments measure).
@@ -75,6 +91,7 @@ void Kernel::release_address_space(Process& p) {
 
 void Kernel::exec(Process& p) {
   assert(p.alive_);
+  KEYGUARD_KERNEL_COUNT("kernel.execs");
   release_address_space(p);
 }
 
@@ -165,6 +182,7 @@ void Kernel::crypt_slot(std::uint32_t slot) {
 
 void Kernel::swap_in(Process& p, VirtAddr page_addr, Pte& pte) {
   assert(pte.swapped && swap_.has_value());
+  KEYGUARD_KERNEL_COUNT("kernel.swap_in_pages");
   (void)page_addr;
   const auto frame = alloc_.alloc(FrameState::kUserAnon);
   assert(frame && "no memory for swap-in");
@@ -194,6 +212,7 @@ std::size_t Kernel::swap_out_pages(Process& p, std::size_t n) {
     if (pte.swapped || pte.mlocked || alloc_.refcount(pte.frame) > 1) continue;
     const auto slot = swap_->alloc_slot();
     if (!slot) break;
+    KEYGUARD_KERNEL_COUNT("kernel.swap_out_pages");
     std::memcpy(swap_->slot(*slot).data(), mem_.page(pte.frame).data(), kPageSize);
     if (taint_) {
       taint_->on_swap_store(*slot, static_cast<std::size_t>(pte.frame) * kPageSize);
@@ -229,6 +248,7 @@ FrameNumber Kernel::frame_for_write(Process& p, VirtAddr page_addr) {
     if (alloc_.refcount(pte.frame) > 1) {
       // Write fault on a shared page: copy it. This duplication is exactly
       // how key bytes multiply across forked servers.
+      KEYGUARD_KERNEL_COUNT("kernel.cow_breaks");
       const auto fresh = alloc_.alloc(FrameState::kUserAnon);
       assert(fresh && "simulated physical memory exhausted");
       const auto src = mem_.page(pte.frame);

@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace keyguard::sim {
 
@@ -90,6 +91,44 @@ class TaintTracker {
   virtual void on_swap_load(std::size_t phys_dst, std::uint32_t slot) = 0;
   /// Swap slot `slot` scrubbed to zero.
   virtual void on_swap_clear(std::uint32_t slot) = 0;
+};
+
+/// Multiplexes the single hook stream the kernel offers to several
+/// trackers (Kernel::attach_taint takes one TaintTracker; attach a
+/// fanout to run ShadowTaintMap and obs::ExposureMonitor side by side).
+/// Events forward in add() order; sinks are borrowed, not owned, and the
+/// set must not change while hooks may fire.
+class TaintFanout final : public TaintTracker {
+ public:
+  void add(TaintTracker* t) {
+    if (t != nullptr) {
+      sinks_.push_back(t);
+    }
+  }
+  void clear() noexcept { sinks_.clear(); }
+  std::size_t size() const noexcept { return sinks_.size(); }
+
+  void on_phys_store(std::size_t off, std::size_t len, TaintTag tag) override {
+    for (auto* s : sinks_) s->on_phys_store(off, len, tag);
+  }
+  void on_phys_copy(std::size_t dst, std::size_t src, std::size_t len) override {
+    for (auto* s : sinks_) s->on_phys_copy(dst, src, len);
+  }
+  void on_phys_clear(std::size_t off, std::size_t len) override {
+    for (auto* s : sinks_) s->on_phys_clear(off, len);
+  }
+  void on_swap_store(std::uint32_t slot, std::size_t phys_src) override {
+    for (auto* s : sinks_) s->on_swap_store(slot, phys_src);
+  }
+  void on_swap_load(std::size_t phys_dst, std::uint32_t slot) override {
+    for (auto* s : sinks_) s->on_swap_load(phys_dst, slot);
+  }
+  void on_swap_clear(std::uint32_t slot) override {
+    for (auto* s : sinks_) s->on_swap_clear(slot);
+  }
+
+ private:
+  std::vector<TaintTracker*> sinks_;
 };
 
 }  // namespace keyguard::sim

@@ -53,6 +53,28 @@ bool Flags::get_bool(std::string_view name, std::string_view env) const {
 
 bool Flags::has(std::string_view name) const { return values_.contains(name); }
 
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) out.push_back(name);
+  return out;
+}
+
+std::optional<std::string> Flags::first_unknown(
+    std::span<const std::string_view> known) const {
+  for (const auto& [name, value] : values_) {
+    bool found = false;
+    for (const auto k : known) {
+      if (name == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return name;
+  }
+  return std::nullopt;
+}
+
 bool env_truthy(std::string_view name) {
   const char* v = std::getenv(std::string(name).c_str());
   if (v == nullptr) return false;

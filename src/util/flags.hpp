@@ -8,8 +8,10 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace keyguard::util {
 
@@ -29,8 +31,17 @@ class Flags {
   /// Bare boolean flag presence, or truthy env var ("1", "true", "yes").
   bool get_bool(std::string_view name, std::string_view env = "") const;
 
-  /// True when any unknown positional argument was seen.
+  /// True when the flag appeared on the command line at all.
   bool has(std::string_view name) const;
+
+  /// Every flag name seen on the command line (sorted, deduplicated).
+  std::vector<std::string> names() const;
+
+  /// The first flag seen that is NOT in `known` — tools use this to
+  /// reject typos with a usage message instead of silently ignoring
+  /// them. Returns nullopt when every flag is recognized.
+  std::optional<std::string> first_unknown(
+      std::span<const std::string_view> known) const;
 
  private:
   std::map<std::string, std::string, std::less<>> values_;

@@ -62,6 +62,7 @@ JsonWriter& JsonWriter::value(std::string_view v) {
   separate();
   out_ += '"';
   for (const char c : v) {
+    const auto b = static_cast<unsigned char>(c);
     switch (c) {
       case '"': out_ += "\\\""; break;
       case '\\': out_ += "\\\\"; break;
@@ -69,9 +70,14 @@ JsonWriter& JsonWriter::value(std::string_view v) {
       case '\r': out_ += "\\r"; break;
       case '\t': out_ += "\\t"; break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        // Escape controls (<0x20, required by JSON), DEL, and every byte
+        // >= 0x80. Callers pass raw needle fragments and key material
+        // that are byte strings, not UTF-8; \u00XX keeps the document
+        // pure printable ASCII and decodes back byte-transparently
+        // (Latin-1 mapping).
+        if (b < 0x20 || b >= 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(b));
           out_ += buf;
         } else {
           out_ += c;

@@ -1,0 +1,168 @@
+// Concurrency battery for MetricsRegistry and Tracer — the binaries
+// tests/run_sanitized.sh puts under ThreadSanitizer. Totals are exact:
+// lock-cheap must not mean lossy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace keyguard::obs {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+constexpr std::size_t kOpsPerThread = 4000;
+
+void run_threads(const std::function<void(std::size_t)>& body) {
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) workers.emplace_back(body, t);
+  for (auto& w : workers) w.join();
+}
+
+TEST(MetricsConcurrency, CounterTotalsAreExact) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("conc.counter");
+  run_threads([&](std::size_t) {
+    for (std::size_t i = 0; i < kOpsPerThread; ++i) c.add(1);
+  });
+  EXPECT_EQ(c.value(), kThreads * kOpsPerThread);
+}
+
+TEST(MetricsConcurrency, RacingRegistrationYieldsOneInstrument) {
+  MetricsRegistry reg;
+  std::vector<Counter*> seen(kThreads);
+  run_threads([&](std::size_t t) {
+    // Every thread registers the same names concurrently; each add must
+    // land on the same underlying instrument.
+    for (std::size_t i = 0; i < 64; ++i) {
+      reg.counter("race." + std::to_string(i)).add(1);
+    }
+    seen[t] = &reg.counter("race.0");
+  });
+  for (const auto* p : seen) EXPECT_EQ(p, seen[0]);
+  EXPECT_EQ(reg.instrument_count(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(reg.counter("race." + std::to_string(i)).value(), kThreads);
+  }
+}
+
+TEST(MetricsConcurrency, GaugeAddIsAtomic) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("conc.gauge");
+  run_threads([&](std::size_t) {
+    for (std::size_t i = 0; i < kOpsPerThread; ++i) g.add(1.0);
+  });
+  EXPECT_DOUBLE_EQ(g.value(),
+                   static_cast<double>(kThreads * kOpsPerThread));
+}
+
+TEST(MetricsConcurrency, HistogramCountSumMinMaxExact) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("conc.hist", {10.0, 100.0, 1000.0});
+  run_threads([&](std::size_t t) {
+    for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+      h.record(static_cast<double>(t + 1));  // values 1..kThreads
+    }
+  });
+  EXPECT_EQ(h.count(), kThreads * kOpsPerThread);
+  double expected_sum = 0;
+  for (std::size_t t = 1; t <= kThreads; ++t) {
+    expected_sum += static_cast<double>(t * kOpsPerThread);
+  }
+  EXPECT_DOUBLE_EQ(h.sum(), expected_sum);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kThreads));
+  std::uint64_t bucket_total = 0;
+  for (const auto b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(MetricsConcurrency, SnapshotRacesWithWriters) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("snap.counter");
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load()) {
+      util::JsonWriter w;
+      w.begin_object();
+      reg.write_snapshot(w);
+      w.end_object();
+      ASSERT_TRUE(w.complete());
+    }
+  });
+  run_threads([&](std::size_t t) {
+    for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+      c.add(1);
+      reg.gauge("snap.g" + std::to_string(t)).set(static_cast<double>(i));
+      reg.histogram("snap.h").record(static_cast<double>(i));
+    }
+  });
+  stop.store(true);
+  snapshotter.join();
+  EXPECT_EQ(c.value(), kThreads * kOpsPerThread);
+}
+
+TEST(TracerConcurrency, EverySpanLandsExactlyOnce) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  run_threads([&](std::size_t t) {
+    for (std::size_t i = 0; i < kOpsPerThread / 4; ++i) {
+      Tracer::Span span(tracer, "conc.span");
+      if (span.live()) {
+        span.add(TraceAttr::n("thread", static_cast<double>(t)));
+      }
+    }
+  });
+  EXPECT_EQ(tracer.event_count(), kThreads * (kOpsPerThread / 4));
+  EXPECT_EQ(tracer.dropped(), 0u);
+  // Thread ids: small, dense, stable per thread.
+  const auto events = tracer.snapshot();
+  for (const auto& e : events) {
+    EXPECT_GE(e.tid, 1u);
+    EXPECT_LE(e.tid, kThreads + 8);  // main + workers, small handles
+  }
+}
+
+TEST(TracerConcurrency, CapacityDropsAreAccountedExactly) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_capacity(1000);
+  run_threads([&](std::size_t) {
+    for (std::size_t i = 0; i < kOpsPerThread / 4; ++i) tracer.instant("e");
+  });
+  const auto total = kThreads * (kOpsPerThread / 4);
+  EXPECT_EQ(tracer.event_count(), 1000u);
+  EXPECT_EQ(tracer.dropped(), total - 1000u);
+}
+
+TEST(TracerConcurrency, EnableToggleRacesAreSafe) {
+  Tracer tracer;
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    bool on = false;
+    while (!stop.load()) {
+      tracer.set_enabled(on = !on);
+    }
+  });
+  run_threads([&](std::size_t) {
+    for (std::size_t i = 0; i < kOpsPerThread / 8; ++i) {
+      Tracer::Span span(tracer, "toggle.span");
+      tracer.instant("toggle.i");
+    }
+  });
+  stop.store(true);
+  toggler.join();
+  tracer.set_enabled(true);
+  tracer.instant("final");
+  EXPECT_GE(tracer.event_count(), 1u);  // no crash, no TSan report
+}
+
+}  // namespace
+}  // namespace keyguard::obs

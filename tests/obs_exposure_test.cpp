@@ -1,0 +1,233 @@
+// ExposureMonitor: event-driven copy accounting must equal a ground-truth
+// scan at every instant, and the byte·second integral must be exact under
+// the manual clock. The eviction-storm case also reconciles the monitor
+// against the ShadowTaintMap auditor — two independent observers fed by
+// the same hooks, three-way agreement with the scanner.
+#include "obs/exposure_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/taint_auditor.hpp"
+#include "analysis/taint_map.hpp"
+#include "core/protection.hpp"
+#include "obs/clock.hpp"
+#include "servers/sni_frontend.hpp"
+#include "sim/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::obs {
+namespace {
+
+scan::KeyPatterns make_patterns(util::Rng& rng, std::size_t n_keys = 1,
+                                std::size_t len = 48) {
+  scan::KeyPatterns p;
+  for (std::size_t k = 0; k < n_keys; ++k) {
+    scan::KeyPatterns::Pattern pat;
+    pat.name = n_keys == 1 ? "d" : ("d#" + std::to_string(k));
+    pat.bytes.resize(len);
+    rng.fill_bytes(pat.bytes);
+    pat.bytes[0] = std::byte{0xA5};  // never a zero-filled false positive
+    p.patterns.push_back(std::move(pat));
+  }
+  return p;
+}
+
+bool monitor_equals_sweep(const ExposureMonitor& monitor,
+                          const sim::Kernel& kernel) {
+  scan::KeyScanner scanner(monitor.patterns());
+  const auto truth = scanner.scan_capture(kernel.memory().all());
+  const auto live = monitor.copies();
+  if (live.size() != truth.size()) return false;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (live[i].offset != truth[i].offset ||
+        monitor.patterns().patterns[live[i].pattern].name != truth[i].part) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class ExposureTest : public ::testing::Test {
+ protected:
+  void SetUp() override { manual_clock_install(0); }
+  void TearDown() override { host_clock_install(); }
+};
+
+TEST_F(ExposureTest, PlantOverwriteRecreate) {
+  sim::Kernel kernel({.mem_bytes = 4ull << 20});
+  util::Rng rng(9);
+  const auto patterns = make_patterns(rng);
+  const auto needle = patterns.patterns[0].bytes;
+  ExposureMonitor monitor(kernel.memory(), patterns);
+  kernel.attach_taint(&monitor);
+
+  auto& p = kernel.spawn("victim");
+  const auto addr = kernel.heap_alloc(p, 4096, "buf");
+  ASSERT_NE(addr, 0u);
+  EXPECT_EQ(monitor.total_copies(), 0u);
+
+  kernel.mem_write(p, addr, needle);
+  EXPECT_EQ(monitor.total_copies(), 1u);
+  EXPECT_EQ(monitor.copy_count(0), 1u);
+  EXPECT_EQ(monitor.live_bytes(0), needle.size());
+  EXPECT_TRUE(monitor_equals_sweep(monitor, kernel));
+
+  // One corrupted byte in the middle kills the copy...
+  const std::byte flip[] = {std::byte{0x00}};
+  kernel.mem_write(p, addr + 10, flip);
+  EXPECT_EQ(monitor.total_copies(), 0u);
+  EXPECT_TRUE(monitor_equals_sweep(monitor, kernel));
+
+  // ...and restoring it resurrects the copy (dirty-window rescan).
+  const std::byte orig[] = {needle[10]};
+  kernel.mem_write(p, addr + 10, orig);
+  EXPECT_EQ(monitor.total_copies(), 1u);
+  EXPECT_TRUE(monitor_equals_sweep(monitor, kernel));
+
+  kernel.heap_clear_free(p, addr);
+  EXPECT_EQ(monitor.total_copies(), 0u);
+  EXPECT_TRUE(monitor_equals_sweep(monitor, kernel));
+  const auto exp = monitor.exposure(0);
+  EXPECT_EQ(exp.copies_created, 2u);
+  EXPECT_EQ(exp.copies_destroyed, 2u);
+  kernel.attach_taint(nullptr);
+}
+
+TEST_F(ExposureTest, AdjacentCopiesAreDistinct) {
+  sim::Kernel kernel({.mem_bytes = 4ull << 20});
+  util::Rng rng(10);
+  const auto patterns = make_patterns(rng, 1, 32);
+  const auto& needle = patterns.patterns[0].bytes;
+  ExposureMonitor monitor(kernel.memory(), patterns);
+  kernel.attach_taint(&monitor);
+
+  auto& p = kernel.spawn("victim");
+  const auto addr = kernel.heap_alloc(p, 4096, "buf");
+  // Back-to-back copies: the seam-window logic must see both.
+  std::vector<std::byte> two;
+  two.insert(two.end(), needle.begin(), needle.end());
+  two.insert(two.end(), needle.begin(), needle.end());
+  kernel.mem_write(p, addr, two);
+  EXPECT_EQ(monitor.total_copies(), 2u);
+  EXPECT_TRUE(monitor_equals_sweep(monitor, kernel));
+  kernel.attach_taint(nullptr);
+}
+
+TEST_F(ExposureTest, IntegralIsExactUnderManualClock) {
+  sim::Kernel kernel({.mem_bytes = 4ull << 20});
+  util::Rng rng(11);
+  const std::size_t len = 64;
+  const auto patterns = make_patterns(rng, 1, len);
+  ExposureMonitor monitor(kernel.memory(), patterns);
+  kernel.attach_taint(&monitor);
+
+  auto& p = kernel.spawn("victim");
+  const auto addr = kernel.heap_alloc(p, 4096, "buf");
+  kernel.mem_write(p, addr, patterns.patterns[0].bytes);
+
+  manual_clock_advance(5 * kNsPerSec);
+  // One L-byte copy alive for 5 s == exactly 5 L byte·seconds.
+  EXPECT_DOUBLE_EQ(monitor.exposure_window(0), 5.0 * static_cast<double>(len));
+
+  // Destroy it; the integral stops accruing.
+  kernel.heap_clear_free(p, addr);
+  manual_clock_advance(100 * kNsPerSec);
+  EXPECT_DOUBLE_EQ(monitor.exposure_window(0), 5.0 * static_cast<double>(len));
+  EXPECT_EQ(monitor.exposure(0).peak_copies, 1u);
+  kernel.attach_taint(nullptr);
+}
+
+TEST_F(ExposureTest, ResyncPicksUpPreAttachCopies) {
+  sim::Kernel kernel({.mem_bytes = 4ull << 20});
+  util::Rng rng(12);
+  const auto patterns = make_patterns(rng);
+  auto& p = kernel.spawn("early");
+  const auto addr = kernel.heap_alloc(p, 4096, "buf");
+  kernel.mem_write(p, addr, patterns.patterns[0].bytes);  // before attach
+
+  ExposureMonitor monitor(kernel.memory(), patterns);
+  kernel.attach_taint(&monitor);
+  EXPECT_EQ(monitor.total_copies(), 0u);  // missed the write
+  monitor.resync();
+  EXPECT_EQ(monitor.total_copies(), 1u);
+  EXPECT_TRUE(monitor_equals_sweep(monitor, kernel));
+  kernel.attach_taint(nullptr);
+}
+
+TEST_F(ExposureTest, MultiKeyPatternNamesMapToKeyIndices) {
+  sim::Kernel kernel({.mem_bytes = 4ull << 20});
+  util::Rng rng(13);
+  const auto patterns = make_patterns(rng, 3);
+  ExposureMonitor monitor(kernel.memory(), patterns);
+  kernel.attach_taint(&monitor);
+  EXPECT_EQ(monitor.key_count(), 3u);
+  EXPECT_EQ(monitor.pattern_key(0), 0u);
+  EXPECT_EQ(monitor.pattern_key(2), 2u);
+
+  auto& p = kernel.spawn("victim");
+  const auto addr = kernel.heap_alloc(p, 4096, "buf");
+  kernel.mem_write(p, addr, patterns.patterns[1].bytes);
+  EXPECT_EQ(monitor.copy_count(1), 1u);
+  EXPECT_EQ(monitor.copy_count(0), 0u);
+  EXPECT_EQ(monitor.copy_count(2), 0u);
+  kernel.attach_taint(nullptr);
+}
+
+// The satellite equivalence test: an SNI keystore eviction storm with the
+// ShadowTaintMap AND the ExposureMonitor both listening through a
+// TaintFanout. At every sampled instant: monitor == scanner sweep
+// copy-for-copy, and the auditor's cross-check fully covers the same
+// scanner hits — three observers, one story.
+TEST_F(ExposureTest, EvictionStormMonitorAuditorScannerAgree) {
+  const std::size_t n_keys = 6;
+  constexpr std::size_t kPool = 2;
+  std::vector<crypto::RsaPrivateKey> keys;
+  util::Rng keygen(4242);
+  for (std::size_t i = 0; i < n_keys; ++i) {
+    keys.push_back(crypto::generate_rsa_key(keygen, 512));
+  }
+
+  const auto profile =
+      core::make_profile(core::ProtectionLevel::kIntegrated, 32ull << 20);
+  sim::Kernel kernel(profile.kernel);
+  analysis::ShadowTaintMap taint_map(kernel);
+  ExposureMonitor monitor(kernel.memory(), scan::KeyPatterns::from_keys(keys));
+  sim::TaintFanout fanout;
+  fanout.add(&taint_map);
+  fanout.add(&monitor);
+  kernel.attach_taint(&fanout);
+
+  servers::SniFrontend frontend(kernel, core::sni_config(profile, kPool),
+                                util::Rng(31));
+  ASSERT_TRUE(frontend.start(keys));
+
+  analysis::TaintAuditor auditor(taint_map);
+  scan::KeyScanner scanner(monitor.patterns());
+  std::uint64_t evictions = 0;
+  for (std::size_t r = 0; r < 18; ++r) {
+    ASSERT_TRUE(frontend.handle_request(r % n_keys));
+    manual_clock_advance(kNsPerSec);
+    if (r % 3 != 2) continue;
+
+    // Monitor vs sweep, copy for copy.
+    EXPECT_TRUE(monitor_equals_sweep(monitor, kernel)) << "request " << r;
+    // Auditor vs the same scanner hits: every needle image the scanner
+    // sees must be secret-tainted in the shadow map.
+    const auto matches = scanner.scan_kernel(kernel);
+    const auto cross = auditor.cross_check(scanner.patterns(), matches);
+    EXPECT_TRUE(cross.all_hits_covered()) << "request " << r;
+    EXPECT_EQ(cross.scanner_hits, monitor.total_copies()) << "request " << r;
+  }
+  evictions = frontend.keystore().stats().evictions;
+  EXPECT_GT(evictions, 0u);  // the storm actually stormed
+  EXPECT_GT(monitor.event_count(), 0u);
+
+  // Shutdown scrubs the pool; all three observers must converge on zero
+  // live plaintext in RAM.
+  frontend.stop();
+  EXPECT_TRUE(monitor_equals_sweep(monitor, kernel));
+  kernel.attach_taint(nullptr);
+}
+
+}  // namespace
+}  // namespace keyguard::obs

@@ -1,0 +1,133 @@
+// MetricsRegistry: instrument semantics, snapshot shape, enable gating.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/json.hpp"
+
+namespace keyguard::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("test.hits");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("test.level");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Registry, InstrumentReferencesAreStable) {
+  MetricsRegistry reg;
+  auto& a = reg.counter("same.name");
+  auto& b = reg.counter("same.name");
+  EXPECT_EQ(&a, &b);  // one instrument per name, references never move
+  reg.counter("other.name").add(1);
+  EXPECT_EQ(&reg.counter("same.name"), &a);
+  EXPECT_EQ(reg.instrument_count(), 2u);
+}
+
+TEST(Registry, DisabledIsInertButInstrumentsStillWork) {
+  MetricsRegistry reg(/*enabled=*/false);
+  EXPECT_FALSE(reg.enabled());
+  // The contract: call sites gate on enabled(); the registry itself still
+  // hands out working instruments (tests and snapshots rely on that).
+  reg.counter("c").add(3);
+  EXPECT_EQ(reg.counter("c").value(), 3u);
+  reg.set_enabled(true);
+  EXPECT_TRUE(reg.enabled());
+}
+
+TEST(Registry, GlobalStartsDisabled) {
+  // Production default: the hot paths pay one relaxed load and nothing
+  // else until a tool/bench opts in.
+  EXPECT_FALSE(MetricsRegistry::global().enabled());
+}
+
+TEST(Histogram, CountSumMinMaxMean) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  for (const double v : {0.5, 2.0, 3.0, 50.0, 500.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 111.1);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 1u);      // <= 1
+  EXPECT_EQ(buckets[1], 2u);      // <= 10
+  EXPECT_EQ(buckets[2], 1u);      // <= 100
+  EXPECT_EQ(buckets[3], 1u);      // +inf
+}
+
+TEST(Histogram, QuantilesInterpolateWithinBucket) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("q", {10.0, 20.0, 30.0});
+  // 100 samples uniform in (0, 10]: p50 lands mid-bucket.
+  for (int i = 1; i <= 100; ++i) h.record(i / 10.0);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.2);
+  EXPECT_NEAR(h.quantile(0.99), 9.9, 0.2);
+  EXPECT_EQ(h.quantile(0.0), h.quantile(0.0));  // no NaN
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("empty");
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, DefaultLatencyLadderIsAscending) {
+  const auto b = Histogram::default_latency_buckets_ms();
+  ASSERT_GE(b.size(), 4u);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(Snapshot, JsonShape) {
+  MetricsRegistry reg;
+  reg.counter("scan.hits").add(7);
+  reg.gauge("pool.occupancy").set(3);
+  reg.histogram("lat_ms", {1.0}).record(0.5);
+  util::JsonWriter w;
+  w.begin_object();
+  reg.write_snapshot(w);
+  w.end_object();
+  const auto s = w.str();
+  EXPECT_TRUE(w.complete());
+  EXPECT_NE(s.find(R"("counters":{"scan.hits":7})"), std::string::npos) << s;
+  EXPECT_NE(s.find(R"("pool.occupancy":3)"), std::string::npos) << s;
+  EXPECT_NE(s.find(R"("lat_ms":{"count":1)"), std::string::npos) << s;
+  EXPECT_NE(s.find(R"("le":"inf")"), std::string::npos) << s;  // overflow bucket
+  EXPECT_NE(s.find(R"("p95":)"), std::string::npos) << s;
+}
+
+TEST(Snapshot, ResetClearsEverything) {
+  MetricsRegistry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(5);
+  reg.histogram("h").record(5);
+  reg.reset();
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+  EXPECT_EQ(reg.instrument_count(), 3u);  // instruments survive, values don't
+}
+
+}  // namespace
+}  // namespace keyguard::obs

@@ -1,0 +1,130 @@
+// Tracer: span lifecycle, event shapes, JSONL/chrome export, gating.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/clock.hpp"
+#include "util/json.hpp"
+
+namespace keyguard::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { manual_clock_install(1000); }
+  void TearDown() override { host_clock_install(); }
+};
+
+TEST_F(TraceTest, SpanRecordsDuration) {
+  Tracer t;
+  t.set_enabled(true);
+  {
+    Tracer::Span span(t, "work");
+    EXPECT_TRUE(span.live());
+    manual_clock_advance(500);
+  }
+  ASSERT_EQ(t.event_count(), 1u);
+  const auto events = t.snapshot();
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].ts_ns, 1000u);
+  EXPECT_EQ(events[0].dur_ns, 500u);
+  EXPECT_GE(events[0].tid, 1u);
+}
+
+TEST_F(TraceTest, DisabledTracerEmitsNothingAndSpanIsInert) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  {
+    Tracer::Span span(t, "ignored");
+    EXPECT_FALSE(span.live());
+    span.add(TraceAttr::s("k", "v"));  // must be a no-op, not a crash
+  }
+  t.instant("also.ignored");
+  t.counter("nope", 1.0);
+  EXPECT_EQ(t.event_count(), 0u);
+}
+
+TEST_F(TraceTest, SpanAttrsReachTheEvent) {
+  Tracer t;
+  t.set_enabled(true);
+  {
+    auto span = t.span("attr.span", {TraceAttr::s("level", "none")});
+    span.add(TraceAttr::n("bytes", 42.0));
+    span.add(TraceAttr::b("hit", true));
+  }
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].args.size(), 3u);
+  EXPECT_EQ(events[0].args[0].key, "level");
+  EXPECT_EQ(events[0].args[1].key, "bytes");
+  EXPECT_EQ(events[0].args[2].key, "hit");
+}
+
+TEST_F(TraceTest, JsonlOneEventPerLine) {
+  Tracer t;
+  t.set_enabled(true);
+  t.instant("mark", {TraceAttr::s("note", "a\"b")});
+  t.counter("exposure.copies", 7.0);
+  const auto text = t.jsonl();
+  // Two lines, each a complete JSON object.
+  const auto first_nl = text.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  const auto line1 = text.substr(0, first_nl);
+  EXPECT_NE(line1.find(R"("name":"mark")"), std::string::npos) << line1;
+  EXPECT_NE(line1.find(R"("ph":"i")"), std::string::npos) << line1;
+  EXPECT_NE(line1.find(R"("note":"a\"b")"), std::string::npos) << line1;
+  EXPECT_NE(text.find(R"("ph":"C")"), std::string::npos);
+  EXPECT_NE(text.find(R"("value":7)"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeExportUsesMicroseconds) {
+  Tracer t;
+  t.set_enabled(true);
+  {
+    Tracer::Span span(t, "slow");
+    manual_clock_advance(2'000'000);  // 2 ms
+  }
+  util::JsonWriter w;
+  t.write_chrome_trace(w);
+  EXPECT_TRUE(w.complete());
+  const auto s = w.str();
+  EXPECT_NE(s.find(R"("traceEvents":[)"), std::string::npos) << s;
+  EXPECT_NE(s.find(R"("dur":2000)"), std::string::npos) << s;  // us, not ns
+  EXPECT_NE(s.find(R"("pid":1)"), std::string::npos) << s;
+}
+
+TEST_F(TraceTest, CapacityBoundsStorageAndCountsDrops) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_capacity(3);
+  for (int i = 0; i < 5; ++i) t.instant("e");
+  EXPECT_EQ(t.event_count(), 3u);
+  EXPECT_EQ(t.dropped(), 2u);
+  t.clear();
+  EXPECT_EQ(t.event_count(), 0u);
+  t.instant("after.clear");
+  EXPECT_EQ(t.event_count(), 1u);
+}
+
+TEST_F(TraceTest, GlobalStartsDisabled) {
+  EXPECT_FALSE(Tracer::global().enabled());
+}
+
+TEST(ObsClock, ManualClockIsDeterministic) {
+  manual_clock_install(0);
+  EXPECT_TRUE(manual_clock_active());
+  EXPECT_EQ(now_ns(), 0u);
+  manual_clock_advance(kNsPerSec);
+  EXPECT_EQ(now_ns(), kNsPerSec);
+  manual_clock_set(42);
+  EXPECT_EQ(now_ns(), 42u);
+  host_clock_install();
+  EXPECT_FALSE(manual_clock_active());
+  const auto a = now_ns();
+  const auto b = now_ns();
+  EXPECT_LE(a, b);  // host clock is monotonic
+}
+
+}  // namespace
+}  // namespace keyguard::obs

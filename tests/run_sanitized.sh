@@ -5,8 +5,10 @@
 #
 # ThreadSanitizer is the one that matters for the parallel sharded scanner
 # (tests/scan_parallel_test, tests/scan_boundary_test exercise the
-# ThreadPool fan-out) and for the host keystore, whose mlocked plaintext
-# pool is shared across signing threads (keystore_test's concurrent case);
+# ThreadPool fan-out), for the host keystore, whose mlocked plaintext
+# pool is shared across signing threads (keystore_test's concurrent case),
+# and for the observability layer (obs_concurrency_test hammers the
+# MetricsRegistry/Tracer from many threads and demands exact totals);
 # address/undefined cover the same binaries for memory and UB bugs.
 # CI-runnable: exits non-zero on any failure.
 set -euo pipefail
@@ -36,6 +38,10 @@ TARGETS=(
   keystore_test
   keystore_sim_test
   keystore_equivalence_test
+  obs_metrics_test
+  obs_trace_test
+  obs_concurrency_test
+  obs_exposure_test
 )
 
 cmake -B "$BUILD" -S "$ROOT" \

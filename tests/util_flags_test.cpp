@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdlib>
 
 namespace keyguard::util {
@@ -90,6 +91,30 @@ TEST(Flags, GetBoolEnvFallback) {
 TEST(Flags, NonFlagArgumentsIgnored) {
   const auto f = make_flags({"positional", "--x=1", "stray"});
   EXPECT_EQ(f.get_int("x", 0), 1);
+}
+
+TEST(Flags, NamesListsEveryFlagSorted) {
+  const auto f = make_flags({"--zeta", "--alpha=1", "--mid", "7"});
+  const auto n = f.names();
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0], "alpha");
+  EXPECT_EQ(n[1], "mid");
+  EXPECT_EQ(n[2], "zeta");
+  EXPECT_TRUE(make_flags({}).names().empty());
+}
+
+TEST(Flags, FirstUnknownRejectsTypos) {
+  constexpr std::array<std::string_view, 3> known = {"json", "level", "taint"};
+  EXPECT_EQ(make_flags({"--json", "--level=none"}).first_unknown(known),
+            std::nullopt);
+  const auto typo = make_flags({"--json", "--lvel=none"}).first_unknown(known);
+  ASSERT_TRUE(typo.has_value());
+  EXPECT_EQ(*typo, "lvel");
+  // Value-taking unknowns are caught too.
+  const auto extra = make_flags({"--trace", "out.jsonl"}).first_unknown(known);
+  ASSERT_TRUE(extra.has_value());
+  EXPECT_EQ(*extra, "trace");
+  EXPECT_EQ(make_flags({}).first_unknown(known), std::nullopt);
 }
 
 }  // namespace

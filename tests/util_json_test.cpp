@@ -60,5 +60,86 @@ TEST(JsonWriter, IncompleteUntilClosed) {
   EXPECT_TRUE(w.complete());
 }
 
+TEST(JsonWriter, EscapesHighBytes) {
+  // Bytes >= 0x80 escape as \u00XX (byte-transparent Latin-1 view), so
+  // raw needle fragments in trace attrs stay printable 7-bit ASCII. The
+  // old behaviour passed a SIGNED char to %04x — 0xFF printed as
+  // ￿ffff, corrupt JSON.
+  JsonWriter w;
+  w.begin_object().field("s", "\x7f\x80\xa5\xff").end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"\\u007f\\u0080\\u00a5\\u00ff\"}");
+}
+
+TEST(JsonWriter, EveryControlByteEscapes) {
+  for (int c = 1; c < 0x20; ++c) {
+    JsonWriter w;
+    w.begin_object().field("s", std::string(1, static_cast<char>(c))).end_object();
+    const auto out = w.str();
+    // No raw control byte may survive into the output.
+    for (const char ch : out) {
+      EXPECT_GE(static_cast<unsigned char>(ch), 0x20u) << "byte " << c;
+    }
+  }
+}
+
+// Minimal decoder for exactly the escapes JsonWriter emits — enough to
+// prove the encoding is lossless for arbitrary byte strings.
+std::string decode_json_string(std::string_view s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size();) {
+    if (s[i] != '\\') {
+      out.push_back(s[i++]);
+      continue;
+    }
+    const char e = s[i + 1];
+    if (e == 'u') {
+      out.push_back(static_cast<char>(
+          std::stoi(std::string(s.substr(i + 2, 4)), nullptr, 16)));
+      i += 6;
+    } else {
+      switch (e) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        default: ADD_FAILURE() << "unexpected escape " << e;
+      }
+      i += 2;
+    }
+  }
+  return out;
+}
+
+TEST(JsonWriter, FuzzRoundTripArbitraryBytes) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    const std::size_t len = next() % 64;
+    for (std::size_t i = 0; i < len; ++i) {
+      char c = static_cast<char>(next() & 0xff);
+      if (c == '\0') c = '\x01';  // value() takes a C-string-safe view
+      input.push_back(c);
+    }
+    JsonWriter w;
+    w.begin_object().field("s", input).end_object();
+    const auto out = w.str();
+    // Output must be pure printable ASCII...
+    for (const char ch : out) {
+      const auto b = static_cast<unsigned char>(ch);
+      ASSERT_TRUE(b >= 0x20 && b < 0x7f) << "trial " << trial;
+    }
+    // ...and decode back to the exact input bytes.
+    const auto body = out.substr(6, out.size() - 8);  // {"s":"..."}
+    ASSERT_EQ(decode_json_string(body), input) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace keyguard::util

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""trace2timeline — render an obs::Tracer JSONL trace as a timeline table.
+
+The ExposureMonitor samples counter-track events ('C' phase) into the
+trace: "exposure.copies" plus per-key "exposure.key<k>.copies" tracks when
+more than one key is monitored. This script folds those samples back into
+the paper's Fig. 5/6 "key copies over time" table — proof that the trace
+alone carries the timeline, no scan output needed.
+
+Usage:
+    tools/trace2timeline.py TRACE.jsonl [--counter PREFIX] [--spans]
+
+    --counter PREFIX   counter track(s) to tabulate (default "exposure.")
+    --spans            also print a span summary (count / total dur per name)
+
+Input: one JSON object per line, as written by Tracer::jsonl() or
+scanmemory_tool --trace / bench_exposure_observatory:
+    {"name":"exposure.copies","ph":"C","ts_ns":...,"tid":1,"args":{"value":N}}
+Exit code 1 when the trace holds no matching counter samples.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    events = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                print(f"{path}:{lineno}: bad JSON line: {e}", file=sys.stderr)
+    return events
+
+
+def render_counters(events, prefix):
+    """Counter samples -> one row per timestamp, one column per track."""
+    tracks = sorted(
+        {e["name"] for e in events if e.get("ph") == "C" and e["name"].startswith(prefix)}
+    )
+    if not tracks:
+        return False
+    # rows[ts][name] = last value sampled at ts (later samples win).
+    rows = defaultdict(dict)
+    for e in events:
+        if e.get("ph") == "C" and e["name"] in tracks:
+            rows[e["ts_ns"]][e["name"]] = e.get("args", {}).get("value")
+
+    headers = ["t(s)"] + [t[len(prefix):] or t for t in tracks]
+    table = []
+    for ts in sorted(rows):
+        row = [f"{ts / 1e9:.3f}".rstrip("0").rstrip(".")]
+        for t in tracks:
+            v = rows[ts].get(t)
+            row.append("-" if v is None else f"{v:g}")
+        table.append(row)
+
+    widths = [max(len(h), *(len(r[i]) for r in table)) for i, h in enumerate(headers)]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in table:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    print(f"\n{len(table)} samples x {len(tracks)} track(s)")
+    return True
+
+
+def render_spans(events):
+    spans = defaultdict(lambda: [0, 0])  # name -> [count, total_dur_ns]
+    for e in events:
+        if e.get("ph") == "X":
+            s = spans[e["name"]]
+            s[0] += 1
+            s[1] += e.get("dur_ns", 0)
+    if not spans:
+        print("no spans in trace", file=sys.stderr)
+        return
+    print("\nspan summary:")
+    name_w = max(len(n) for n in spans)
+    for name in sorted(spans):
+        count, dur = spans[name]
+        print(f"  {name.ljust(name_w)}  x{count:<6} {dur / 1e6:10.3f} ms total")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="trace JSONL file (Tracer::jsonl() output)")
+    ap.add_argument("--counter", default="exposure.",
+                    help="counter-track name prefix to tabulate")
+    ap.add_argument("--spans", action="store_true",
+                    help="also print a span summary")
+    args = ap.parse_args()
+
+    events = load_events(args.trace)
+    ok = render_counters(events, args.counter)
+    if not ok:
+        print(f"no counter samples matching prefix {args.counter!r}",
+              file=sys.stderr)
+    if args.spans:
+        render_spans(events)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
