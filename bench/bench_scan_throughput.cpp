@@ -1,20 +1,34 @@
-// Scan-throughput bench: the serial scanmemory walk vs the parallel
-// sharded engine over the same machine state.
+// Scan-throughput bench: serial scanmemory walk vs the parallel sharded
+// engine, the legacy per-needle loop vs the single-pass MultiMatcher, and
+// full sweeps vs journal-driven incremental sweeps.
 //
 // The paper's LKM took "about 5 seconds for 256 MB" — a serial linear
-// walk. The sharded scanner splits the walk across a thread pool; this
-// bench measures MB/s at 1/2/4/8 shards (plus the machine's auto
-// setting), verifies every parallel result is byte-identical to the
-// serial one, and prints the ScanStats the scanner now reports.
+// walk over four needles. This bench measures three axes over the same
+// machine state:
+//   1. shard sweep (1/2/4/8/auto): parallel speedup, byte-identity vs
+//      the serial walk;
+//   2. needle-count sweep (1/8/64/512): legacy O(needles x bytes) vs the
+//      MultiMatcher's ~one pass, byte-identity between the two;
+//   3. incremental: full sweeps vs delta sweeps rescanning only the
+//      ~0.5% of frames the DirtyFrameJournal recorded.
 //
-// Runs argument-free at 64 MB; KEYGUARD_BENCH_FULL=1 uses the paper's
-// 256 MB, KEYGUARD_BENCH_MEM_MB overrides directly.
+// Runs argument-free at 64 MB; --smoke shrinks it for CI,
+// KEYGUARD_BENCH_FULL=1 uses the paper's 256 MB, KEYGUARD_BENCH_MEM_MB
+// overrides directly. Writes a schema v2 JSON report to BENCH_scan.json
+// (--json PATH overrides); tools/check_scan_baseline.py gates CI on the
+// machine-independent speedup ratios in it.
+#include <algorithm>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "scan/dirty_journal.hpp"
 #include "scan/key_scanner.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace kgbench;
@@ -33,20 +47,51 @@ bool same_matches(const std::vector<scan::MemoryMatch>& a,
   return true;
 }
 
+bool same_raw(const std::vector<scan::RawMatch>& a,
+              const std::vector<scan::RawMatch>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].offset != b[i].offset || a[i].pattern_index != b[i].pattern_index ||
+        a[i].matched_bytes != b[i].matched_bytes || a[i].full != b[i].full) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-int main() {
-  const Scale s = scale_from_env();
-  banner("scan throughput: serial vs parallel sharded scanmemory",
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke");
+  Scale s = scale_from_env();
+  if (smoke) {
+    s.mem_bytes = std::min<std::size_t>(s.mem_bytes, 32ull << 20);
+    s.key_bits = 512;
+  }
+  const std::string json_path = flags.get("json", "BENCH_scan.json");
+
+  banner("scan throughput: shards x matcher x incremental",
          "scanning the full 256 MB took about 5 seconds (serial LKM walk)", s);
 
+  obs::MetricsRegistry::global().set_enabled(true);
+  util::JsonWriter json;
+  obs::begin_report(json, "bench_scan_throughput");
+  json.field("bench", "scan_throughput")
+      .field("smoke", smoke)
+      .field("full_scale", s.full)
+      .field("mem_mb", static_cast<std::uint64_t>(s.mem_bytes >> 20));
+
+  bool ok = true;
+
+  // ---- phase 1: shard sweep ------------------------------------------------
   // A populated machine: server churn leaves key copies in live heaps,
   // page cache, and unallocated residue, so the scan has real hits.
   auto scenario = make_scenario(core::ProtectionLevel::kNone, s, 260);
   servers::SshServer server(scenario.kernel(), scenario.ssh_config(),
                             scenario.make_rng());
   server.start();
-  ssh_churn(server, 12);
+  ssh_churn(server, smoke ? 6 : 12);
 
   auto& scanner = scenario.scanner();
   scanner.set_shards(1);
@@ -56,11 +101,13 @@ int main() {
   std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
   if (auto_shards > 8) shard_counts.push_back(auto_shards);
 
-  const int reps = std::max(3, s.perf_reps / 4);
+  const int reps = smoke ? 2 : std::max(3, s.perf_reps / 4);
   util::Table table({"shards", "MB/s mean", "MB/s max", "stddev", "speedup",
                      "matches", "identical"});
   double serial_mean = 0.0;
   bool all_identical = true;
+  json.key("shard_sweep");
+  json.begin_array();
   for (const std::size_t shards : shard_counts) {
     scanner.set_shards(shards);
     util::RunningStats mbps;
@@ -75,12 +122,21 @@ int main() {
     }
     if (shards == 1) serial_mean = mbps.mean();
     all_identical = all_identical && identical;
+    const double speedup = serial_mean > 0 ? mbps.mean() / serial_mean : 0.0;
     print_scan_stats(("shards=" + std::to_string(shards)).c_str(), stats);
     table.add_row({std::to_string(shards), util::fmt(mbps.mean(), 1),
                    util::fmt(mbps.max(), 1), util::fmt(mbps.stddev(), 1),
-                   util::fmt(serial_mean > 0 ? mbps.mean() / serial_mean : 0.0),
-                   std::to_string(match_count), identical ? "yes" : "NO"});
+                   util::fmt(speedup), std::to_string(match_count),
+                   identical ? "yes" : "NO"});
+    json.begin_object();
+    json.field("shards", static_cast<std::uint64_t>(shards));
+    json.field("mb_per_sec", mbps.mean());
+    json.field("speedup", speedup);
+    json.field("matches", static_cast<std::uint64_t>(match_count));
+    json.field("identical", identical);
+    json.end_object();
   }
+  json.end_array();
 
   std::printf("%s\n", table.render().c_str());
   std::printf("%s\n", table.render_tsv().c_str());
@@ -88,21 +144,180 @@ int main() {
               std::thread::hardware_concurrency(),
               util::ThreadPool::shared().size());
 
-  bool ok = true;
   ok &= shape_check(all_identical,
                     "parallel match lists byte-identical to the serial walk "
                     "at every shard count");
   ok &= shape_check(!serial_matches.empty(),
                     "workload left key copies for the scan to find");
-  // Speedup is hardware-dependent (a 1-core container cannot beat the
-  // serial walk), so it is reported above but only checked when the
-  // machine has the cores to parallelize.
+  // Parallel speedup is hardware-dependent (a 1-core container cannot beat
+  // the serial walk), so it is reported but only checked with the cores
+  // to parallelize. Matcher and incremental speedups below are algorithmic
+  // ratios and are checked everywhere.
   if (std::thread::hardware_concurrency() >= 4) {
     scanner.set_shards(4);
     scan::ScanStats stats;
     (void)scanner.scan_kernel(scenario.kernel(), &stats);
     ok &= shape_check(stats.mb_per_sec() > serial_mean,
                       "4-shard scan beats the serial walk on this hardware");
+  }
+
+  // ---- phase 2: needle-count sweep ----------------------------------------
+  // Synthetic buffer + synthetic 32-byte needles so the needle count is a
+  // free axis. Serial (1 shard) on both sides: the legacy/multi ratio is
+  // then a property of the matchers, not of the machine's core count.
+  {
+    const std::size_t buf_bytes = smoke ? (4ull << 20) : (8ull << 20);
+    util::Rng rng(9001);
+    std::vector<std::byte> buffer(buf_bytes);
+    rng.fill_bytes(buffer);
+
+    const int nreps = smoke ? 2 : 3;
+    util::Table ntable({"needles", "legacy ms", "multi ms", "speedup",
+                        "matches", "identical"});
+    double speedup_at_64 = 0.0;
+    bool needle_identical = true;
+    json.key("needle_sweep");
+    json.begin_array();
+    for (const std::size_t count : {1u, 8u, 64u, 512u}) {
+      std::vector<std::vector<std::byte>> needles(count);
+      std::vector<std::span<const std::byte>> views;
+      views.reserve(count);
+      for (auto& n : needles) {
+        n.resize(32);
+        rng.fill_bytes(n);
+      }
+      for (const auto& n : needles) views.emplace_back(n);
+      // Plant ~4 copies of a sample of needles so matches exist.
+      for (std::size_t p = 0; p < 4 * std::min<std::size_t>(count, 32); ++p) {
+        const auto& n = needles[rng.next_below(count)];
+        const std::size_t off = rng.next_below(buffer.size() - n.size());
+        std::copy(n.begin(), n.end(), buffer.begin() + off);
+      }
+      util::RunningStats legacy_ms;
+      util::RunningStats multi_ms;
+      std::vector<scan::RawMatch> legacy;
+      std::vector<scan::RawMatch> multi;
+      bool identical = true;
+      for (int r = 0; r < nreps; ++r) {
+        scan::ScanStats ls;
+        legacy = scan::sharded_scan(buffer, views, 1, 0, &ls,
+                                    scan::MatcherKind::kLegacy);
+        legacy_ms.add(ls.wall_millis);
+        scan::ScanStats ms;
+        multi = scan::sharded_scan(buffer, views, 1, 0, &ms,
+                                   scan::MatcherKind::kMulti);
+        multi_ms.add(ms.wall_millis);
+        identical = identical && same_raw(legacy, multi);
+      }
+      needle_identical = needle_identical && identical;
+      const double speedup =
+          multi_ms.mean() > 0 ? legacy_ms.mean() / multi_ms.mean() : 0.0;
+      if (count == 64) speedup_at_64 = speedup;
+      ntable.add_row({std::to_string(count), util::fmt(legacy_ms.mean(), 2),
+                      util::fmt(multi_ms.mean(), 2), util::fmt(speedup),
+                      std::to_string(legacy.size()),
+                      identical ? "yes" : "NO"});
+      json.begin_object();
+      json.field("needles", static_cast<std::uint64_t>(count));
+      json.field("legacy_ms", legacy_ms.mean());
+      json.field("multi_ms", multi_ms.mean());
+      json.field("speedup", speedup);
+      json.field("matches", static_cast<std::uint64_t>(legacy.size()));
+      json.field("identical", identical);
+      json.end_object();
+    }
+    json.end_array();
+    std::printf("needle-count sweep (serial, %zu MB, 32-byte needles):\n%s\n%s\n",
+                buf_bytes >> 20, ntable.render().c_str(),
+                ntable.render_tsv().c_str());
+    ok &= shape_check(needle_identical,
+                      "MultiMatcher results byte-identical to the legacy loop "
+                      "at every needle count");
+    ok &= shape_check(speedup_at_64 >= 4.0,
+                      "single-pass matcher >= 4x the legacy loop at 64 needles "
+                      "(got " + util::fmt(speedup_at_64) + "x)");
+  }
+
+  // ---- phase 3: incremental sweeps ----------------------------------------
+  // Journal-driven delta sweeps against full sweeps of the same kernel:
+  // each round dirties ~0.5% of frames through ordinary kernel writes,
+  // then both sweep flavours run and must agree exactly.
+  {
+    auto& kernel = scenario.kernel();
+    scan::DirtyFrameJournal journal(kernel.memory().all().size());
+    kernel.attach_taint(&journal);
+    scanner.set_shards(0);  // auto: the production configuration
+
+    scan::SweepCache cache;
+    scanner.scan_kernel_incremental(kernel, journal, cache);  // prime
+
+    auto& churner = kernel.spawn("churner");
+    const std::size_t total_frames = journal.frame_count();
+    const std::size_t dirty_target = std::max<std::size_t>(1, total_frames / 200);
+    const sim::VirtAddr span_addr =
+        kernel.mmap_anon(churner, dirty_target * sim::kPageSize, false);
+
+    util::Rng rng(1234);
+    util::RunningStats full_ms;
+    util::RunningStats incr_ms;
+    util::RunningStats dirty_frames;
+    bool incr_identical = true;
+    const int irounds = smoke ? 3 : 5;
+    for (int round = 0; round < irounds; ++round) {
+      std::vector<std::byte> noise(64);
+      for (std::size_t f = 0; f < dirty_target; ++f) {
+        rng.fill_bytes(noise);
+        kernel.mem_write(churner, span_addr + f * sim::kPageSize +
+                                      rng.next_below(sim::kPageSize - noise.size()),
+                         noise);
+      }
+      scan::ScanStats istats;
+      const auto incr =
+          scanner.scan_kernel_incremental(kernel, journal, cache, &istats);
+      incr_ms.add(istats.wall_millis);
+      dirty_frames.add(static_cast<double>(istats.dirty_frames));
+      scan::ScanStats fstats;
+      const auto full = scanner.scan_kernel(kernel, &fstats);
+      full_ms.add(fstats.wall_millis);
+      incr_identical = incr_identical && same_matches(incr, full);
+      print_scan_stats(("incremental round " + std::to_string(round)).c_str(),
+                       istats);
+    }
+    const double incr_speedup =
+        incr_ms.mean() > 0 ? full_ms.mean() / incr_ms.mean() : 0.0;
+    const double dirty_fraction =
+        dirty_frames.mean() / static_cast<double>(total_frames);
+    std::printf("\nincremental: full %.2f ms vs delta %.2f ms (%.1fx) at "
+                "%.2f%% dirty frames\n\n",
+                full_ms.mean(), incr_ms.mean(), incr_speedup,
+                100.0 * dirty_fraction);
+    json.key("incremental");
+    json.begin_object();
+    json.field("full_ms", full_ms.mean());
+    json.field("incremental_ms", incr_ms.mean());
+    json.field("speedup", incr_speedup);
+    json.field("dirty_frames", dirty_frames.mean());
+    json.field("dirty_fraction", dirty_fraction);
+    json.field("identical", incr_identical);
+    json.end_object();
+    ok &= shape_check(incr_identical,
+                      "incremental sweeps byte-identical to fresh full sweeps "
+                      "every round");
+    ok &= shape_check(incr_speedup >= 10.0,
+                      "delta sweep >= 10x a full sweep at <= 1% dirty frames "
+                      "(got " + util::fmt(incr_speedup) + "x)");
+    kernel.attach_taint(nullptr);
+  }
+
+  json.field("shape_checks_ok", ok);
+  obs::write_metrics_field(json, obs::MetricsRegistry::global());
+  json.end_object();
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fwrite(json.str().data(), 1, json.str().size(), f);
+    std::fclose(f);
+    std::printf("JSON written to %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path.c_str());
   }
   return ok ? 0 : 1;
 }

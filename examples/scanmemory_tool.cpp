@@ -12,6 +12,22 @@
 //                     [--threads N]           scan shard count; 1 reproduces the
 //                                             LKM's serial walk, 0 = auto; also
 //                                             via KEYGUARD_SCAN_THREADS
+//                     [--matcher auto|legacy|multi]
+//                                             pattern-matching engine: legacy
+//                                             reproduces the LKM's per-needle
+//                                             walk, multi forces the
+//                                             single-pass MultiMatcher, auto
+//                                             (default) picks by needle count;
+//                                             also via KEYGUARD_SCAN_MATCHER
+//                     [--incremental]         attach a DirtyFrameJournal before
+//                                             the workload, prime a sweep
+//                                             cache after the main traffic,
+//                                             run a follow-up burst, and
+//                                             report the DELTA sweep (only
+//                                             dirty frames are rescanned);
+//                                             the scan stats carry the
+//                                             incremental flag and the
+//                                             dirty-frame count
 //                     [--taint]               attach a shadow-taint map before
 //                                             the workload and append the
 //                                             residue audit the LKM could never
@@ -44,10 +60,12 @@
 //                     [--help]                print this usage block and exit
 //
 // Unknown flags are an error: usage goes to stderr and the exit code is 2.
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/taint_auditor.hpp"
 #include "analysis/taint_map.hpp"
@@ -56,8 +74,10 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "scan/dirty_journal.hpp"
 #include "servers/apache_server.hpp"
 #include "servers/ssh_server.hpp"
+#include "sim/taint.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
 
@@ -65,21 +85,25 @@ using namespace keyguard;
 
 namespace {
 
-constexpr std::array<std::string_view, 10> kKnownFlags = {
-    "server", "connections", "level",   "threads", "taint",
-    "json",   "metrics",     "trace",   "version", "help"};
+constexpr std::array<std::string_view, 12> kKnownFlags = {
+    "server",  "connections", "level",   "threads",     "matcher", "incremental",
+    "taint",   "json",        "metrics", "trace",       "version", "help"};
 
 void print_usage(std::FILE* out) {
   std::fprintf(
       out,
       "usage: scanmemory_tool [--server ssh|apache] [--connections N]\n"
       "                       [--level none|application|library|kernel|integrated]\n"
-      "                       [--threads N] [--taint] [--json [FILE]]\n"
+      "                       [--threads N] [--matcher auto|legacy|multi]\n"
+      "                       [--incremental] [--taint] [--json [FILE]]\n"
       "                       [--metrics [FILE]] [--trace [FILE]]\n"
       "                       [--version] [--help]\n"
       "\n"
       "Boots a simulated machine, runs the workload, and scans physical\n"
       "memory for key copies the way the paper's scanmemory LKM did.\n"
+      "  --matcher      legacy per-needle walk, single-pass multi, or auto\n"
+      "  --incremental  prime a sweep cache, run follow-up traffic, report\n"
+      "                 the delta sweep (dirty frames only)\n"
       "  --taint    shadow-taint residue audit + scanner cross-check\n"
       "  --json     machine-readable report (schema_version %lld envelope)\n"
       "  --metrics  MetricsRegistry snapshot (embedded in --json output)\n"
@@ -236,6 +260,19 @@ int main(int argc, char** argv) {
   const std::string level_name = flags.get("level", "none");
   const auto threads =
       flags.get_int("threads", 0, "KEYGUARD_SCAN_THREADS");  // 0 = auto
+  const std::string matcher_name = flags.get("matcher", "auto");
+  scan::MatcherKind matcher = scan::MatcherKind::kAuto;
+  if (matcher_name == "legacy") {
+    matcher = scan::MatcherKind::kLegacy;
+  } else if (matcher_name == "multi") {
+    matcher = scan::MatcherKind::kMulti;
+  } else if (matcher_name != "auto") {
+    std::fprintf(stderr, "scanmemory_tool: bad --matcher value '%s'\n\n",
+                 matcher_name.c_str());
+    print_usage(stderr);
+    return 2;
+  }
+  const bool incremental = flags.has("incremental");
   const bool json = flags.has("json");
   std::string json_path = json ? flags.get("json", "") : "";
   if (json_path == "1") json_path.clear();  // bare --json means stdout
@@ -262,28 +299,62 @@ int main(int argc, char** argv) {
   cfg.seed = 260;
   core::Scenario s(cfg);
 
-  // The shadow must observe the whole workload, so attach it first.
+  // Trackers must observe the whole workload, so attach them first. A
+  // fanout multiplexes the kernel's single hook slot when both the shadow
+  // taint map and the incremental journal are requested.
   std::unique_ptr<analysis::ShadowTaintMap> taint_map;
+  std::unique_ptr<scan::DirtyFrameJournal> journal;
+  sim::TaintFanout fanout;
   if (flags.has("taint")) {
     taint_map = std::make_unique<analysis::ShadowTaintMap>(s.kernel());
-    s.kernel().attach_taint(taint_map.get());
+    fanout.add(taint_map.get());
   }
+  if (incremental) {
+    journal = std::make_unique<scan::DirtyFrameJournal>(cfg.mem_bytes);
+    fanout.add(journal.get());
+  }
+  if (fanout.size() > 0) s.kernel().attach_taint(&fanout);
 
+  // Keep the server alive across the scan so --incremental can push a
+  // follow-up burst between the priming sweep and the delta sweep.
+  std::unique_ptr<servers::ApacheServer> apache;
+  std::unique_ptr<servers::SshServer> ssh;
+  const auto run_traffic = [&](int n) {
+    if (apache) {
+      for (int i = 0; i < n; ++i) apache->handle_request();
+    } else {
+      for (int i = 0; i < n / 2; ++i) ssh->handle_connection(8 << 10);
+      for (int i = 0; i < (n + 1) / 2; ++i) ssh->open_connection();
+    }
+  };
   if (which == "apache") {
-    servers::ApacheServer server(s.kernel(), s.apache_config(), s.make_rng());
-    server.start();
-    server.set_concurrency(8);
-    for (int i = 0; i < connections; ++i) server.handle_request();
+    apache = std::make_unique<servers::ApacheServer>(
+        s.kernel(), s.apache_config(), s.make_rng());
+    apache->start();
+    apache->set_concurrency(8);
   } else {
-    servers::SshServer server(s.kernel(), s.ssh_config(), s.make_rng());
-    server.start();
-    for (int i = 0; i < connections / 2; ++i) server.handle_connection(8 << 10);
-    for (int i = 0; i < (connections + 1) / 2; ++i) server.open_connection();
+    ssh = std::make_unique<servers::SshServer>(s.kernel(), s.ssh_config(),
+                                               s.make_rng());
+    ssh->start();
   }
+  run_traffic(connections);
 
   if (threads > 0) s.scanner().set_shards(static_cast<std::size_t>(threads));
+  s.scanner().set_matcher(matcher);
   scan::ScanStats stats;
-  const auto matches = s.scanner().scan_kernel(s.kernel(), &stats);
+  std::vector<scan::MemoryMatch> matches;
+  if (incremental) {
+    // Prime the cache off the main workload, dirty a small frame set with
+    // a follow-up burst, then report the delta sweep — the part the LKM
+    // would have re-walked all of RAM for.
+    scan::SweepCache cache;
+    (void)s.scanner().scan_kernel_incremental(s.kernel(), *journal, cache);
+    run_traffic(std::max(1, connections / 8));
+    matches = s.scanner().scan_kernel_incremental(s.kernel(), *journal, cache,
+                                                  &stats);
+  } else {
+    matches = s.scanner().scan_kernel(s.kernel(), &stats);
+  }
 
   std::unique_ptr<analysis::TaintAuditor> auditor;
   analysis::AuditReport report;
@@ -343,6 +414,6 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (taint_map) s.kernel().attach_taint(nullptr);
+  if (fanout.size() > 0) s.kernel().attach_taint(nullptr);
   return 0;
 }

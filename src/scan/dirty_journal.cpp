@@ -1,0 +1,81 @@
+#include "scan/dirty_journal.hpp"
+
+#include <algorithm>
+
+namespace keyguard::scan {
+
+DirtyFrameJournal::DirtyFrameJournal(std::size_t phys_bytes,
+                                     std::size_t frame_bytes)
+    : frame_bytes_(frame_bytes == 0 ? sim::kPageSize : frame_bytes) {
+  dirty_.assign((phys_bytes + frame_bytes_ - 1) / frame_bytes_, 0);
+}
+
+void DirtyFrameJournal::mark_range(std::size_t off, std::size_t len) {
+  if (len == 0 || dirty_.empty()) return;
+  ++store_events_;
+  const std::size_t first = off / frame_bytes_;
+  const std::size_t last = (off + len - 1) / frame_bytes_;
+  for (std::size_t f = first; f <= last && f < dirty_.size(); ++f) {
+    if (dirty_[f] == 0) {
+      dirty_[f] = 1;
+      ++dirty_count_;
+    }
+  }
+}
+
+void DirtyFrameJournal::on_phys_store(std::size_t off, std::size_t len,
+                                      sim::TaintTag /*tag*/) {
+  // Tag is irrelevant here: a kClean store still CHANGES bytes (that is
+  // precisely how churn erases residue), so the frame must be rescanned.
+  mark_range(off, len);
+}
+
+void DirtyFrameJournal::on_phys_copy(std::size_t dst, std::size_t /*src*/,
+                                     std::size_t len) {
+  mark_range(dst, len);  // only the destination's bytes changed
+}
+
+void DirtyFrameJournal::on_phys_clear(std::size_t off, std::size_t len) {
+  mark_range(off, len);
+}
+
+void DirtyFrameJournal::on_swap_store(std::uint32_t /*slot*/,
+                                      std::size_t /*phys_src*/) {
+  ++swap_slot_events_;  // page copied OUT: RAM bytes unchanged
+}
+
+void DirtyFrameJournal::on_swap_load(std::size_t phys_dst,
+                                     std::uint32_t /*slot*/) {
+  mark_range(phys_dst, frame_bytes_);  // a whole page landed in RAM
+}
+
+void DirtyFrameJournal::on_swap_clear(std::uint32_t /*slot*/) {
+  ++swap_slot_events_;  // slot scrub: RAM bytes unchanged
+}
+
+std::vector<std::size_t> DirtyFrameJournal::drain() {
+  auto out = snapshot();
+  clear();
+  return out;
+}
+
+std::vector<std::size_t> DirtyFrameJournal::snapshot() const {
+  std::vector<std::size_t> out;
+  out.reserve(dirty_count_);
+  for (std::size_t f = 0; f < dirty_.size(); ++f) {
+    if (dirty_[f] != 0) out.push_back(f);
+  }
+  return out;
+}
+
+void DirtyFrameJournal::mark_all() {
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{1});
+  dirty_count_ = dirty_.size();
+}
+
+void DirtyFrameJournal::clear() {
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+  dirty_count_ = 0;
+}
+
+}  // namespace keyguard::scan

@@ -1,8 +1,11 @@
 #include "scan/key_scanner.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <iterator>
 
 #include "crypto/pem.hpp"
+#include "obs/metrics.hpp"
 #include "sslsim/ssl_library.hpp"
 #include "util/bytes.hpp"
 #include "util/flags.hpp"
@@ -74,17 +77,22 @@ std::size_t KeyScanner::effective_shards() const {
   return util::ThreadPool::shared().size() + 1;  // workers + calling thread
 }
 
-std::vector<MemoryMatch> KeyScanner::scan_kernel(const sim::Kernel& kernel,
-                                                 ScanStats* stats) const {
-  // Byte scan first — the O(memory) part, sharded across the pool. The
-  // worker threads touch only the immutable byte span; frame metadata is
-  // resolved afterwards on this thread from a single-pass snapshot, so
-  // the allocator is never read concurrently.
-  const auto raw =
-      sharded_scan(kernel.memory().all(), needles(), effective_shards(),
-                   /*min_prefix_bytes=*/0, stats);
-  const auto frame_states = kernel.allocator().states_snapshot();
+MatcherKind KeyScanner::effective_matcher() const {
+  if (matcher_ != MatcherKind::kAuto) return matcher_;
+  const auto env = util::env_string("KEYGUARD_SCAN_MATCHER");
+  if (env == "legacy") return MatcherKind::kLegacy;
+  if (env == "multi") return MatcherKind::kMulti;
+  return MatcherKind::kAuto;  // unset / "auto" / unrecognized
+}
 
+std::vector<MemoryMatch> KeyScanner::resolve_raw(
+    const sim::Kernel& kernel, std::span<const RawMatch> raw) const {
+  // Metadata is resolved on the calling thread from a single-pass
+  // snapshot, so the allocator is never read concurrently — and it is
+  // resolved EVERY sweep, because frame state and owners change without
+  // any byte changing (fork shares a frame, exit orphans it, free
+  // reclassifies it).
+  const auto frame_states = kernel.allocator().states_snapshot();
   std::vector<MemoryMatch> matches;
   matches.reserve(raw.size());
   for (const auto& r : raw) {
@@ -101,10 +109,148 @@ std::vector<MemoryMatch> KeyScanner::scan_kernel(const sim::Kernel& kernel,
   return matches;
 }
 
+std::vector<MemoryMatch> KeyScanner::scan_kernel(const sim::Kernel& kernel,
+                                                 ScanStats* stats) const {
+  // Byte scan first — the O(memory) part, sharded across the pool over
+  // an immutable byte span.
+  const auto raw =
+      sharded_scan(kernel.memory().all(), needles(), effective_shards(),
+                   /*min_prefix_bytes=*/0, stats, effective_matcher());
+  return resolve_raw(kernel, raw);
+}
+
+std::vector<MemoryMatch> KeyScanner::scan_kernel_incremental(
+    const sim::Kernel& kernel, DirtyFrameJournal& journal, SweepCache& cache,
+    ScanStats* stats) const {
+  const auto buffer = kernel.memory().all();
+  if (!cache.primed || cache.phys_bytes != buffer.size()) {
+    // Prime: one full sweep populates the cache; everything the journal
+    // accumulated so far is covered by it, so the backlog is discarded.
+    cache.raw = sharded_scan(buffer, needles(), effective_shards(),
+                             /*min_prefix_bytes=*/0, stats, effective_matcher());
+    cache.phys_bytes = buffer.size();
+    cache.primed = true;
+    journal.drain();
+    return resolve_raw(kernel, cache.raw);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto dirty = journal.drain();
+  const auto needle_views = needles();
+  std::size_t max_len = 0;
+  std::size_t active_needles = 0;
+  for (const auto n : needle_views) {
+    if (n.empty()) continue;
+    ++active_needles;
+    max_len = std::max(max_len, n.size());
+  }
+  const std::size_t reach = max_len > 0 ? max_len - 1 : 0;
+  const MatcherKind resolved =
+      resolve_matcher(effective_matcher(), active_needles);
+  const std::size_t frame_bytes = journal.frame_bytes();
+
+  // Coalesce dirty frames into affected byte intervals. A dirty byte run
+  // [d0, d1) can create/destroy matches whose FIRST byte lies in
+  // [d0 - (max_len-1), d1) only — a match starting earlier ends before d0
+  // and overlaps no changed byte (DESIGN.md §8). Left-extending by
+  // `reach` and merging adjacent runs keeps the intervals disjoint and
+  // ascending.
+  struct Interval {
+    std::size_t lo;
+    std::size_t hi;  // exclusive
+  };
+  std::vector<Interval> affected;
+  for (std::size_t i = 0; i < dirty.size();) {
+    std::size_t j = i + 1;
+    while (j < dirty.size() && dirty[j] == dirty[j - 1] + 1) ++j;
+    const std::size_t d0 = dirty[i] * frame_bytes;
+    const std::size_t d1 = std::min(buffer.size(), dirty[j - 1] * frame_bytes + frame_bytes);
+    const std::size_t lo = d0 >= reach ? d0 - reach : 0;
+    if (!affected.empty() && lo <= affected.back().hi) {
+      affected.back().hi = std::max(affected.back().hi, d1);
+    } else {
+      affected.push_back({lo, d1});
+    }
+    i = j;
+  }
+
+  // Drop cached matches whose offset falls inside any affected interval —
+  // they are exactly the ones the rescan below re-derives (or proves
+  // gone). Both lists are sorted, so one forward walk suffices.
+  std::vector<RawMatch> survivors;
+  survivors.reserve(cache.raw.size());
+  {
+    std::size_t ai = 0;
+    for (const auto& r : cache.raw) {
+      while (ai < affected.size() && affected[ai].hi <= r.offset) ++ai;
+      const bool inside =
+          ai < affected.size() && r.offset >= affected[ai].lo;
+      if (!inside) survivors.push_back(r);
+    }
+  }
+
+  // Rescan each affected interval with the standard seam window on the
+  // right: matches may START inside and continue past hi, so the window
+  // extends `reach` bytes (bounded by the true end of memory) while only
+  // first-byte-inside hits are kept — identical attribution to a shard
+  // seam. Intervals are ascending and scan_range appends sorted runs, so
+  // `fresh` comes out globally (offset, pattern)-sorted.
+  std::vector<RawMatch> fresh;
+  std::size_t rescanned_bytes = 0;
+  if (stats != nullptr) stats->shards.clear();
+  for (std::size_t wi = 0; wi < affected.size(); ++wi) {
+    const auto [lo, hi] = affected[wi];
+    const std::size_t window_end = std::min(buffer.size(), hi + reach);
+    const auto tw = std::chrono::steady_clock::now();
+    const std::size_t before = fresh.size();
+    scan_range(buffer, lo, hi, window_end, needle_views,
+               /*min_prefix_bytes=*/0, resolved, fresh);
+    rescanned_bytes += hi - lo;
+    if (stats != nullptr) {
+      const double ms = std::max(
+          0.0, std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - tw)
+                   .count());
+      stats->shards.push_back({wi, lo, hi - lo, fresh.size() - before, ms});
+    }
+  }
+
+  // Splice: survivors (outside every interval) and fresh (inside one)
+  // interleave by offset; a single merge restores the serial walk's
+  // (offset, pattern_index) order.
+  std::vector<RawMatch> next;
+  next.reserve(survivors.size() + fresh.size());
+  std::merge(survivors.begin(), survivors.end(), fresh.begin(), fresh.end(),
+             std::back_inserter(next),
+             [](const RawMatch& a, const RawMatch& b) {
+               return a.offset != b.offset ? a.offset < b.offset
+                                           : a.pattern_index < b.pattern_index;
+             });
+  cache.raw = std::move(next);
+
+  if (stats != nullptr) {
+    stats->bytes_scanned = rescanned_bytes;
+    stats->match_count = cache.raw.size();
+    stats->shard_count = affected.size();
+    stats->overlap_bytes = reach;
+    stats->pattern_count = active_needles;
+    stats->matcher = resolved;
+    stats->incremental = true;
+    stats->dirty_frames = dirty.size();
+    stats->wall_millis = std::max(
+        0.0, std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count());
+    auto& reg = obs::MetricsRegistry::global();
+    if (reg.enabled()) stats->publish(reg);
+  }
+  return resolve_raw(kernel, cache.raw);
+}
+
 std::vector<CaptureMatch> KeyScanner::scan_capture(
     std::span<const std::byte> capture, ScanStats* stats) const {
   const auto raw = sharded_scan(capture, needles(), effective_shards(),
-                                /*min_prefix_bytes=*/0, stats);
+                                /*min_prefix_bytes=*/0, stats, effective_matcher());
   std::vector<CaptureMatch> matches;
   matches.reserve(raw.size());
   for (const auto& r : raw) {
@@ -116,8 +262,8 @@ std::vector<CaptureMatch> KeyScanner::scan_capture(
 std::vector<PartialMatch> KeyScanner::scan_capture_prefix(
     std::span<const std::byte> capture, std::size_t min_bytes,
     ScanStats* stats) const {
-  const auto raw =
-      sharded_scan(capture, needles(), effective_shards(), min_bytes, stats);
+  const auto raw = sharded_scan(capture, needles(), effective_shards(),
+                                min_bytes, stats, effective_matcher());
   std::vector<PartialMatch> matches;
   matches.reserve(raw.size());
   for (const auto& r : raw) {

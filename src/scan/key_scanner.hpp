@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "crypto/rsa.hpp"
+#include "scan/dirty_journal.hpp"
 #include "scan/scan_engine.hpp"
 #include "sim/kernel.hpp"
 
@@ -92,6 +93,21 @@ struct Census {
   std::size_t total() const noexcept { return allocated + unallocated; }
 };
 
+/// Carry-over state for incremental sweeps: the previous sweep's raw byte
+/// hits. Owned by the caller (one cache per scanned kernel); an empty or
+/// size-mismatched cache makes the next sweep a full prime.
+struct SweepCache {
+  std::vector<RawMatch> raw;    ///< previous sweep, (offset, pattern)-sorted
+  std::size_t phys_bytes = 0;   ///< memory size the cache was built against
+  bool primed = false;
+
+  void invalidate() noexcept {
+    raw.clear();
+    phys_bytes = 0;
+    primed = false;
+  }
+};
+
 class KeyScanner {
  public:
   explicit KeyScanner(KeyPatterns patterns) : patterns_(std::move(patterns)) {}
@@ -107,12 +123,37 @@ class KeyScanner {
   void set_shards(std::size_t shards) noexcept { shards_ = shards; }
   std::size_t shards() const noexcept { return shards_; }
 
+  /// Inner-loop matcher. kAuto (the default) picks the single-pass
+  /// MultiMatcher at/above kMultiMatcherMinNeedles active needles and the
+  /// legacy walk below it; KEYGUARD_SCAN_MATCHER=legacy|multi|auto
+  /// overrides kAuto. Results are byte-identical at every setting.
+  void set_matcher(MatcherKind m) noexcept { matcher_ = m; }
+  MatcherKind matcher() const noexcept { return matcher_; }
+
   /// Full physical-memory scan with frame classification and reverse-map
   /// owner attribution (scanmemory's procfile_read). Matches are in
   /// ascending (phys_offset, pattern) order. `stats`, when non-null,
   /// receives shard/throughput metrics for the byte-scan portion.
   std::vector<MemoryMatch> scan_kernel(const sim::Kernel& kernel,
                                        ScanStats* stats = nullptr) const;
+
+  /// Incremental sweep: byte-identical to scan_kernel but the byte scan
+  /// covers only the frames `journal` recorded dirty since the last sweep
+  /// (each extended by a max_needle_len-1 seam window on the left and
+  /// rescanned with the same window on the right), splicing fresh hits
+  /// into `cache`. An unprimed or size-mismatched cache triggers a full
+  /// priming sweep. Frame metadata (state, owners, provenance) is
+  /// re-resolved for EVERY match each call — it can change without a byte
+  /// changing (fork, exit, free). For incremental sweeps `stats` reports
+  /// the delta cost: bytes_scanned is rescanned window bytes, shards are
+  /// the rescan windows, incremental/dirty_frames are set, match_count is
+  /// the full current total. Equivalence with a fresh scan_kernel is
+  /// enforced by tests/scan_incremental_test.cpp; DESIGN.md §8 has the
+  /// exactness argument.
+  std::vector<MemoryMatch> scan_kernel_incremental(const sim::Kernel& kernel,
+                                                   DirtyFrameJournal& journal,
+                                                   SweepCache& cache,
+                                                   ScanStats* stats = nullptr) const;
 
   /// Scan of a disclosed byte buffer (what the attacker greps on the USB
   /// stick / dump file).
@@ -146,9 +187,15 @@ class KeyScanner {
   std::vector<std::span<const std::byte>> needles() const;
   /// shards_ resolved against the machine/env for an actual scan.
   std::size_t effective_shards() const;
+  /// matcher_ with the KEYGUARD_SCAN_MATCHER env applied to kAuto.
+  MatcherKind effective_matcher() const;
+  /// Layers frame state / owners / provenance onto raw engine hits.
+  std::vector<MemoryMatch> resolve_raw(const sim::Kernel& kernel,
+                                       std::span<const RawMatch> raw) const;
 
   KeyPatterns patterns_;
   std::size_t shards_ = 0;  // 0 = auto
+  MatcherKind matcher_ = MatcherKind::kAuto;
 };
 
 }  // namespace keyguard::scan

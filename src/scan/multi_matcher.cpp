@@ -1,0 +1,150 @@
+#include "scan/multi_matcher.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace keyguard::scan {
+
+namespace {
+
+/// Loads up to 8 bytes starting at p as a comparison image. Built with
+/// memcpy on both the needle (at compile time) and the buffer (at scan
+/// time), so the comparison is byte-order-agnostic.
+inline std::uint64_t load_image(const unsigned char* p, std::size_t n) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, n);
+  return v;
+}
+
+}  // namespace
+
+MultiMatcher::MultiMatcher(std::span<const std::span<const std::byte>> needles,
+                           std::size_t min_prefix_bytes)
+    : min_prefix_(min_prefix_bytes) {
+  entries_.reserve(needles.size());
+  for (std::size_t pi = 0; pi < needles.size(); ++pi) {
+    const auto needle = needles[pi];
+    if (needle.empty()) continue;
+    if (min_prefix_ > 0 && needle.size() < min_prefix_) continue;
+    Entry e;
+    e.bytes = needle.data();
+    e.len = static_cast<std::uint32_t>(needle.size());
+    e.match_len = static_cast<std::uint32_t>(
+        min_prefix_ > 0 ? min_prefix_ : needle.size());
+    e.pattern_index = static_cast<std::uint32_t>(pi);
+    const std::size_t cmp = std::min<std::size_t>(8, e.match_len);
+    e.prefix = load_image(reinterpret_cast<const unsigned char*>(needle.data()), cmp);
+    unsigned char ones[8] = {};
+    // keylint: allow(raw-memset) — builds the 0xFF compare mask, no secret
+    std::memset(ones, 0xFF, cmp);
+    e.mask = load_image(ones, 8);
+    entries_.push_back(e);
+  }
+  // Group by first byte; needle order inside each bucket keeps the
+  // per-position emit order equal to the legacy loop's pattern order.
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     const auto ab = std::to_integer<unsigned>(a.bytes[0]);
+                     const auto bb = std::to_integer<unsigned>(b.bytes[0]);
+                     return ab != bb ? ab < bb
+                                     : a.pattern_index < b.pattern_index;
+                   });
+  std::size_t i = 0;
+  for (unsigned b = 0; b < 256; ++b) {
+    bucket_begin_[b] = static_cast<std::uint32_t>(i);
+    while (i < entries_.size() &&
+           std::to_integer<unsigned>(entries_[i].bytes[0]) == b) {
+      ++i;
+    }
+    bucket_end_[b] = static_cast<std::uint32_t>(i);
+  }
+  // Two-byte-prefix bitmap. A needle whose required length is >= 2 pins
+  // its exact (b0, b1) pair; a required length of 1 admits any second
+  // byte, so all 256 pairs for b0 are set — no false negatives either way.
+  for (const Entry& e : entries_) {
+    const unsigned b0 = std::to_integer<unsigned>(e.bytes[0]);
+    if (e.match_len >= 2) {
+      const unsigned idx = b0 | (std::to_integer<unsigned>(e.bytes[1]) << 8);
+      pair_bits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    } else {
+      for (unsigned b1 = 0; b1 < 256; ++b1) {
+        const unsigned idx = b0 | (b1 << 8);
+        pair_bits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+      }
+    }
+  }
+}
+
+void MultiMatcher::check_candidate(const unsigned char* base,
+                                   std::size_t buf_size, std::size_t pos,
+                                   std::size_t window_end,
+                                   std::vector<RawMatch>& out) const {
+  // Try the bucket's needles in pattern order so ties at the same offset
+  // come out in the legacy loop's order.
+  const unsigned char b = base[pos];
+  std::uint32_t ei = bucket_begin_[b];
+  const std::uint32_t ee = bucket_end_[b];
+  if (ei == ee) return;  // pair hit from a different first byte's needle
+  const std::uint64_t have8 = pos + 8 <= buf_size
+                                  ? load_image(base + pos, 8)
+                                  : load_image(base + pos, buf_size - pos);
+  for (; ei < ee; ++ei) {
+    const Entry& e = entries_[ei];
+    // The whole compared span must fit inside the window — the same
+    // rule find_all applies to the legacy walk, which is what makes a
+    // shard's seam-overlap attribution bit-identical.
+    if (pos + e.match_len > window_end) continue;
+    if (((have8 ^ e.prefix) & e.mask) != 0) continue;
+    const std::size_t cmp = std::min<std::size_t>(8, e.match_len);
+    if (e.match_len > cmp &&
+        std::memcmp(base + pos + cmp,
+                    reinterpret_cast<const unsigned char*>(e.bytes) + cmp,
+                    e.match_len - cmp) != 0) {
+      continue;
+    }
+    if (min_prefix_ == 0) {
+      out.push_back({pos, e.pattern_index, e.len, true});
+    } else {
+      // Extend while the needle keeps agreeing, bounded by the window
+      // exactly like the legacy prefix path (only the true end of the
+      // buffer can truncate extension — seam windows are sized so).
+      std::size_t len = e.match_len;
+      const auto* nb = reinterpret_cast<const unsigned char*>(e.bytes);
+      while (len < e.len && pos + len < window_end &&
+             base[pos + len] == nb[len]) {
+        ++len;
+      }
+      out.push_back({pos, e.pattern_index, len, len == e.len});
+    }
+  }
+}
+
+void MultiMatcher::scan(std::span<const std::byte> buffer, std::size_t begin,
+                        std::size_t end, std::size_t window_end,
+                        std::vector<RawMatch>& out) const {
+  if (entries_.empty() || begin >= end) return;
+  const auto* base = reinterpret_cast<const unsigned char*>(buffer.data());
+  const std::size_t limit = std::min(end, window_end);
+  // Hot loop: one 16-bit pair lookup per position. The second byte may
+  // lie past the window (but inside the buffer) — a false positive there
+  // is rejected by check_candidate's window test, never a false negative.
+  const std::size_t pair_limit =
+      std::min(limit, buffer.size() > 0 ? buffer.size() - 1 : 0);
+  std::size_t pos = begin;
+  while (pos < pair_limit) {
+    const unsigned idx =
+        static_cast<unsigned>(base[pos]) |
+        (static_cast<unsigned>(base[pos + 1]) << 8);
+    if ((pair_bits_[idx >> 6] & (std::uint64_t{1} << (idx & 63))) != 0) {
+      check_candidate(base, buffer.size(), pos, window_end, out);
+    }
+    ++pos;
+  }
+  // Final buffer byte (no second byte to pair with): only needles with a
+  // required length of 1 can still match; the bucket walk sorts it out.
+  for (; pos < limit; ++pos) {
+    check_candidate(base, buffer.size(), pos, window_end, out);
+  }
+}
+
+}  // namespace keyguard::scan

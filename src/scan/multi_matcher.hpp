@@ -1,0 +1,84 @@
+// Single-pass multi-pattern matcher.
+//
+// The legacy engine runs the LKM's memchr-then-memcmp loop once per
+// needle, so a sweep over P patterns costs O(P × bytes) — ruinous for the
+// multi-tenant workloads PR 3 made common (1000 vhosts = 4000 needles).
+// This matcher walks the buffer ONCE: a 65536-bit two-byte-prefix bitmap
+// rejects almost every position with one predictable branch (P needles
+// occupy ~P of 65536 pairs, so the skip branch is taken >99% of the time
+// and predicts near-perfectly — a one-byte starter table mispredicts
+// ~P/256 of the time, which dominates the walk), a 256-entry first-byte
+// dispatch table maps survivors to the bucket of needles starting with
+// that byte, an 8-byte SWAR prefix filter ((load ^ prefix) & mask, built
+// with memcpy so it is endian-neutral) rejects accidental pair hits in
+// one compare, and only survivors of THAT pay a memcmp of the tail. Cost
+// is ~one pass plus work proportional to real candidate hits,
+// independent of needle count. Needles whose required match length is 1
+// set every pair for their first byte, so the bitmap never produces a
+// false negative.
+//
+// Equivalence contract: for the same (begin, end, window_end) window the
+// output is offset-for-offset identical to the legacy per-needle walk —
+// positions are visited ascending and each bucket keeps needle order, so
+// matches emerge already (offset, pattern_index)-sorted, which is exactly
+// the order scan_shard's final sort produces. Prefix mode (the LKM's
+// partial-match path) replicates the same extend-while-agreeing loop with
+// the same window bounds. tests/scan_matcher_test.cpp fuzzes both modes
+// against the legacy oracle.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "scan/scan_engine.hpp"
+
+namespace keyguard::scan {
+
+class MultiMatcher {
+ public:
+  /// Compiles the dispatch table. `needles` views must outlive the
+  /// matcher. min_prefix_bytes == 0 selects exact whole-needle matching;
+  /// > 0 selects the LKM's partial path (needles shorter than the minimum
+  /// are skipped, hits extend while bytes keep agreeing).
+  MultiMatcher(std::span<const std::span<const std::byte>> needles,
+               std::size_t min_prefix_bytes = 0);
+
+  /// Needles that survived the empty/too-short filter.
+  std::size_t active_needles() const noexcept { return entries_.size(); }
+
+  /// Scans buffer bytes [begin, window_end) and appends every match whose
+  /// FIRST byte lies in [begin, end), in (offset, pattern_index) order.
+  /// Thread-safe: const over immutable tables, so sharded_scan shares one
+  /// instance across all chunks.
+  void scan(std::span<const std::byte> buffer, std::size_t begin,
+            std::size_t end, std::size_t window_end,
+            std::vector<RawMatch>& out) const;
+
+ private:
+  struct Entry {
+    std::uint64_t prefix = 0;       ///< first cmp_len bytes (memcpy image)
+    std::uint64_t mask = 0;         ///< 0xFF per prefix byte (memcpy image)
+    const std::byte* bytes = nullptr;  ///< full needle
+    std::uint32_t len = 0;          ///< full needle length
+    std::uint32_t match_len = 0;    ///< len (exact) or min_prefix (prefix mode)
+    std::uint32_t pattern_index = 0;
+  };
+
+  /// Emits every needle matching at `pos` (bucket walk + SWAR + tail).
+  void check_candidate(const unsigned char* base, std::size_t buf_size,
+                       std::size_t pos, std::size_t window_end,
+                       std::vector<RawMatch>& out) const;
+
+  std::size_t min_prefix_ = 0;
+  std::vector<Entry> entries_;  ///< grouped by first byte, needle-ordered
+  std::array<std::uint32_t, 256> bucket_begin_{};  ///< index into entries_
+  std::array<std::uint32_t, 256> bucket_end_{};
+  /// Bit (b0 | b1<<8) set iff some needle requires first bytes b0,b1 (or
+  /// requires only b0 and may be followed by anything). 8 KB, L1-resident.
+  std::array<std::uint64_t, 1024> pair_bits_{};
+};
+
+}  // namespace keyguard::scan

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "scan/multi_matcher.hpp"
 #include "util/bytes.hpp"
 #include "util/json.hpp"
 #include "util/thread_pool.hpp"
@@ -17,31 +19,38 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 double millis_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  // Clamped: steady_clock is monotonic, but a zero-width interval must
+  // never turn into a negative duration through double rounding.
+  return std::max(
+      0.0, std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
 }
 
-/// Scans one shard's window and appends hits whose first byte lies inside
-/// the payload [begin, end). Output is (offset, pattern_index)-sorted
-/// because needles are iterated in order and find_all returns ascending
-/// offsets; the final merge only has to concatenate shards.
-void scan_shard(std::span<const std::byte> buffer, std::size_t begin,
-                std::size_t end, std::size_t window_end,
-                std::span<const std::span<const std::byte>> needles,
-                std::size_t min_prefix_bytes, std::vector<RawMatch>& out) {
+/// Legacy reference walk (the LKM's loop): scans one window per needle and
+/// appends hits whose first byte lies inside the payload [begin, end).
+/// The appended region is (offset, pattern_index)-sorted before returning,
+/// so concatenating consecutive windows preserves the serial walk's order.
+void legacy_scan(std::span<const std::byte> buffer, std::size_t begin,
+                 std::size_t end, std::size_t window_end,
+                 std::span<const std::span<const std::byte>> needles,
+                 std::size_t min_prefix_bytes, std::vector<RawMatch>& out) {
+  const std::size_t base = out.size();
   const auto window = buffer.subspan(begin, window_end - begin);
+  std::vector<std::size_t> hits;  // reused across needles, one allocation
   for (std::size_t pi = 0; pi < needles.size(); ++pi) {
     const auto needle = needles[pi];
     if (needle.empty()) continue;
     if (min_prefix_bytes == 0) {
-      for (const std::size_t local : util::find_all(window, needle)) {
+      util::find_all_into(window, needle, hits);
+      for (const std::size_t local : hits) {
         const std::size_t offset = begin + local;
-        if (offset >= end) break;  // first byte in the next shard's payload
+        if (offset >= end) break;  // first byte in the next window's payload
         out.push_back({offset, pi, needle.size(), true});
       }
     } else {
       if (needle.size() < min_prefix_bytes) continue;
       const auto prefix = needle.first(min_prefix_bytes);
-      for (const std::size_t local : util::find_all(window, prefix)) {
+      util::find_all_into(window, prefix, hits);
+      for (const std::size_t local : hits) {
         const std::size_t offset = begin + local;
         if (offset >= end) break;
         // Extend while the needle keeps agreeing (the LKM compared the
@@ -57,13 +66,53 @@ void scan_shard(std::span<const std::byte> buffer, std::size_t begin,
       }
     }
   }
-  std::sort(out.begin(), out.end(), [](const RawMatch& a, const RawMatch& b) {
-    return a.offset != b.offset ? a.offset < b.offset
-                                : a.pattern_index < b.pattern_index;
-  });
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+            [](const RawMatch& a, const RawMatch& b) {
+              return a.offset != b.offset ? a.offset < b.offset
+                                          : a.pattern_index < b.pattern_index;
+            });
+}
+
+/// Dispatches one window to the selected matcher. `mm` non-null means the
+/// single-pass matcher; null means the legacy reference walk.
+void scan_window(std::span<const std::byte> buffer, std::size_t begin,
+                 std::size_t end, std::size_t window_end,
+                 std::span<const std::span<const std::byte>> needles,
+                 std::size_t min_prefix_bytes, const MultiMatcher* mm,
+                 std::vector<RawMatch>& out) {
+  if (begin >= end) return;
+  if (mm != nullptr) {
+    mm->scan(buffer, begin, end, window_end, out);
+  } else {
+    legacy_scan(buffer, begin, end, window_end, needles, min_prefix_bytes, out);
+  }
 }
 
 }  // namespace
+
+const char* matcher_name(MatcherKind k) noexcept {
+  switch (k) {
+    case MatcherKind::kAuto:
+      return "auto";
+    case MatcherKind::kLegacy:
+      return "legacy";
+    case MatcherKind::kMulti:
+      return "multi";
+  }
+  return "legacy";
+}
+
+MatcherKind resolve_matcher(MatcherKind requested,
+                            std::size_t active_needles) noexcept {
+  if (requested != MatcherKind::kAuto) return requested;
+  return active_needles >= kMultiMatcherMinNeedles ? MatcherKind::kMulti
+                                                   : MatcherKind::kLegacy;
+}
+
+double ShardStats::mb_per_sec() const {
+  if (millis <= 0.0) return 0.0;  // sub-tick shard: report 0, not inf
+  return (static_cast<double>(bytes) / (1024.0 * 1024.0)) / (millis / 1000.0);
+}
 
 double ScanStats::mb_per_sec() const {
   if (wall_millis <= 0.0) return 0.0;
@@ -72,12 +121,14 @@ double ScanStats::mb_per_sec() const {
 }
 
 std::string ScanStats::summary() const {
-  char buf[160];
+  char buf[200];
   std::snprintf(buf, sizeof(buf),
-                "%.1f MB in %zu shard%s, %zu patterns, %.2f ms, %.1f MB/s",
+                "%.1f MB in %zu shard%s, %zu patterns, %.2f ms, %.1f MB/s "
+                "[%s%s]",
                 static_cast<double>(bytes_scanned) / (1024.0 * 1024.0),
                 shard_count, shard_count == 1 ? "" : "s", pattern_count,
-                wall_millis, mb_per_sec());
+                wall_millis, mb_per_sec(), matcher_name(matcher),
+                incremental ? ", incremental" : "");
   return buf;
 }
 
@@ -90,6 +141,9 @@ void ScanStats::write_json(util::JsonWriter& w) const {
   w.field("overlap_bytes", static_cast<std::uint64_t>(overlap_bytes));
   w.field("wall_ms", wall_millis);
   w.field("mb_per_sec", mb_per_sec());
+  w.field("matcher", matcher_name(matcher));
+  w.field("incremental", incremental);
+  w.field("dirty_frames", static_cast<std::uint64_t>(dirty_frames));
   w.key("shard_list");
   w.begin_array();
   for (const auto& s : shards) {
@@ -99,6 +153,7 @@ void ScanStats::write_json(util::JsonWriter& w) const {
     w.field("bytes", static_cast<std::uint64_t>(s.bytes));
     w.field("matches", static_cast<std::uint64_t>(s.matches));
     w.field("wall_ms", s.millis);
+    w.field("mb_per_sec", s.mb_per_sec());
     w.end_object();
   }
   w.end_array();
@@ -112,6 +167,10 @@ void ScanStats::publish(obs::MetricsRegistry& reg) const {
   reg.gauge("scan.mb_per_sec").set(mb_per_sec());
   reg.gauge("scan.shards").set(static_cast<double>(shard_count));
   reg.histogram("scan.wall_ms").record(wall_millis);
+  if (incremental) {
+    reg.counter("scan.incremental_scans").add(1);
+    reg.gauge("scan.dirty_frames").set(static_cast<double>(dirty_frames));
+  }
 }
 
 ShardPlan plan_shards(std::size_t total_bytes, std::size_t max_needle_len,
@@ -134,11 +193,31 @@ ShardPlan plan_shards(std::size_t total_bytes, std::size_t max_needle_len,
   return plan;
 }
 
+void scan_range(std::span<const std::byte> buffer, std::size_t begin,
+                std::size_t end, std::size_t window_end,
+                std::span<const std::span<const std::byte>> needles,
+                std::size_t min_prefix_bytes, MatcherKind matcher,
+                std::vector<RawMatch>& out) {
+  std::size_t active = 0;
+  for (const auto n : needles) {
+    if (n.empty() || (min_prefix_bytes > 0 && n.size() < min_prefix_bytes)) continue;
+    ++active;
+  }
+  if (resolve_matcher(matcher, active) == MatcherKind::kMulti) {
+    const MultiMatcher mm(needles, min_prefix_bytes);
+    scan_window(buffer, begin, end, window_end, needles, min_prefix_bytes, &mm,
+                out);
+  } else {
+    scan_window(buffer, begin, end, window_end, needles, min_prefix_bytes,
+                nullptr, out);
+  }
+}
+
 std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
                                    std::span<const std::span<const std::byte>> needles,
                                    std::size_t requested_shards,
                                    std::size_t min_prefix_bytes,
-                                   ScanStats* stats) {
+                                   ScanStats* stats, MatcherKind matcher) {
   // Observability gate: when both sinks are off this whole scan pays two
   // relaxed atomic loads — the ≤5% budget bench_exposure_observatory
   // enforces against bench_scan_throughput rides on this being cheap.
@@ -159,30 +238,79 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
     max_len = std::max(max_len, n.size());
   }
 
+  const MatcherKind resolved = resolve_matcher(matcher, active_needles);
+  // One dispatch table shared by every chunk: MultiMatcher::scan is const
+  // over immutable state, so concurrent chunks read it without locking.
+  std::optional<MultiMatcher> multi;
+  if (resolved == MatcherKind::kMulti) multi.emplace(needles, min_prefix_bytes);
+  const MultiMatcher* mm = multi ? &*multi : nullptr;
+
   const ShardPlan plan = plan_shards(buffer.size(), max_len, requested_shards);
   std::vector<std::vector<RawMatch>> per_shard(plan.shard_count);
   std::vector<double> shard_millis(plan.shard_count, 0.0);
 
-  util::ThreadPool::shared().parallel_for(
-      plan.shard_count, [&](std::size_t i) {
-        obs::Tracer::Span span(tracer, "scan.shard");  // inert when disabled
-        const auto ts = Clock::now();
-        const std::size_t begin = plan.shard_begin(i);
-        const std::size_t end =
-            std::min(buffer.size(), begin + (plan.shard_count == 1
-                                                 ? buffer.size()
-                                                 : plan.shard_bytes));
-        const std::size_t window_end = std::min(buffer.size(), end + plan.overlap);
-        scan_shard(buffer, begin, end, window_end, needles, min_prefix_bytes,
-                   per_shard[i]);
-        shard_millis[i] = millis_since(ts);
-        if (span.live()) {
-          span.add(obs::TraceAttr::n("shard", static_cast<double>(i)));
-          span.add(obs::TraceAttr::n("bytes", static_cast<double>(end - begin)));
-          span.add(obs::TraceAttr::n("matches",
-                                     static_cast<double>(per_shard[i].size())));
-        }
-      });
+  if (plan.shard_count == 1) {
+    // Serial oracle: one thread, one window, no chunking — the reference
+    // both the equivalence tests and the bench speedup columns compare to.
+    obs::Tracer::Span span(tracer, "scan.shard");  // inert when disabled
+    const auto ts = Clock::now();
+    scan_window(buffer, 0, buffer.size(), buffer.size(), needles,
+                min_prefix_bytes, mm, per_shard[0]);
+    shard_millis[0] = millis_since(ts);
+    if (span.live()) {
+      span.add(obs::TraceAttr::n("shard", 0.0));
+      span.add(obs::TraceAttr::n("bytes", static_cast<double>(buffer.size())));
+      span.add(obs::TraceAttr::n("matches",
+                                 static_cast<double>(per_shard[0].size())));
+    }
+  } else {
+    // Work-stealing chunks: split every shard's payload into ~1 MiB runs of
+    // whole frames and let pool workers claim them from a shared counter,
+    // so one match-dense shard is spread across idle threads instead of
+    // bounding wall time. Chunks inherit the shard seam rule — each scans
+    // `overlap` bytes past its end and keeps only first-byte-inside hits —
+    // so the reduction below is byte-identical to unchunked shards.
+    constexpr std::size_t kChunkBytes = 1u << 20;
+    struct Chunk {
+      std::size_t shard;
+      std::size_t begin;
+      std::size_t end;
+    };
+    std::vector<Chunk> chunks;
+    for (std::size_t i = 0; i < plan.shard_count; ++i) {
+      const std::size_t begin = plan.shard_begin(i);
+      const std::size_t end = std::min(buffer.size(), begin + plan.shard_bytes);
+      for (std::size_t cb = begin; cb < end; cb += kChunkBytes) {
+        chunks.push_back({i, cb, std::min(end, cb + kChunkBytes)});
+      }
+    }
+    std::vector<std::vector<RawMatch>> per_chunk(chunks.size());
+    std::vector<double> chunk_millis(chunks.size(), 0.0);
+    util::ThreadPool::shared().parallel_for(chunks.size(), [&](std::size_t ci) {
+      obs::Tracer::Span span(tracer, "scan.chunk");  // inert when disabled
+      const auto ts = Clock::now();
+      const Chunk& c = chunks[ci];
+      const std::size_t window_end = std::min(buffer.size(), c.end + plan.overlap);
+      scan_window(buffer, c.begin, c.end, window_end, needles,
+                  min_prefix_bytes, mm, per_chunk[ci]);
+      chunk_millis[ci] = millis_since(ts);
+      if (span.live()) {
+        span.add(obs::TraceAttr::n("shard", static_cast<double>(c.shard)));
+        span.add(obs::TraceAttr::n("bytes", static_cast<double>(c.end - c.begin)));
+        span.add(obs::TraceAttr::n("matches",
+                                   static_cast<double>(per_chunk[ci].size())));
+      }
+    });
+    // Reduce chunks into shards after the join (single-threaded, no races).
+    // Chunks were emitted shard-by-shard in ascending offset order and each
+    // chunk's list is already sorted, so appending in index order rebuilds
+    // exactly the per-shard lists the unchunked scan would produce.
+    for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+      auto& dst = per_shard[chunks[ci].shard];
+      dst.insert(dst.end(), per_chunk[ci].begin(), per_chunk[ci].end());
+      shard_millis[chunks[ci].shard] += chunk_millis[ci];
+    }
+  }
 
   // Deterministic merge: shards are disjoint ascending offset ranges and
   // each shard's list is already (offset, pattern_index)-sorted, so plain
@@ -201,6 +329,9 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
     stats->shard_count = plan.shard_count;
     stats->overlap_bytes = plan.overlap;
     stats->pattern_count = active_needles;
+    stats->matcher = resolved;
+    stats->incremental = false;
+    stats->dirty_frames = 0;
     stats->shards.clear();
     stats->shards.reserve(plan.shard_count);
     for (std::size_t i = 0; i < plan.shard_count; ++i) {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,13 +31,41 @@ class MetricsRegistry;
 
 namespace keyguard::scan {
 
-/// Per-shard accounting for one scan.
+/// Which inner-loop matcher a scan uses. Results are bit-identical at
+/// every setting — the legacy loop is kept as the reference oracle and
+/// the fuzz battery in tests/scan_matcher_test.cpp enforces equivalence.
+enum class MatcherKind : std::uint8_t {
+  kAuto = 0,  ///< legacy below kMultiMatcherMinNeedles, multi at/above it
+  kLegacy,    ///< per-needle memchr-then-memcmp walk (the LKM's loop)
+  kMulti,     ///< single-pass MultiMatcher (first-byte dispatch + SWAR)
+};
+
+/// "auto" / "legacy" / "multi" — the names the JSON envelope and the
+/// KEYGUARD_SCAN_MATCHER environment override use.
+const char* matcher_name(MatcherKind k) noexcept;
+
+/// Needle count at which kAuto switches to the single-pass matcher. Below
+/// it, P memchr passes are cheaper than the per-byte dispatch loop.
+inline constexpr std::size_t kMultiMatcherMinNeedles = 8;
+
+/// Resolves kAuto against the active (non-skipped) needle count.
+MatcherKind resolve_matcher(MatcherKind requested,
+                            std::size_t active_needles) noexcept;
+
+/// Per-shard accounting for one scan. With the chunked scheduler a
+/// shard's frames may be scanned by several threads; `millis` is the sum
+/// of its chunks' wall times (CPU-time-like), so mb_per_sec() reports
+/// per-shard scan cost rather than elapsed wall time.
 struct ShardStats {
   std::size_t index = 0;    ///< shard number, 0-based
   std::size_t offset = 0;   ///< first payload byte
   std::size_t bytes = 0;    ///< payload bytes (overlap window excluded)
   std::size_t matches = 0;  ///< hits attributed to this shard
-  double millis = 0.0;      ///< wall time of this shard's scan
+  double millis = 0.0;      ///< summed chunk wall time of this shard
+
+  /// Guarded against zero/sub-tick timings: returns 0 instead of inf/nan
+  /// when the clock was too coarse to time the shard.
+  double mb_per_sec() const;
 };
 
 /// Aggregate scan metrics, reported by KeyScanner::scan_kernel /
@@ -48,8 +77,15 @@ struct ScanStats {
   std::size_t overlap_bytes = 0;  ///< per-shard seam window
   std::size_t pattern_count = 0;  ///< needles actually searched
   double wall_millis = 0.0;       ///< end-to-end, including the merge
+  MatcherKind matcher = MatcherKind::kLegacy;  ///< matcher actually used
+  /// Delta sweep (KeyScanner::scan_kernel_incremental): bytes_scanned is
+  /// the rescanned window total, shards lists the rescan windows, and
+  /// dirty_frames counts the frames the journal reported.
+  bool incremental = false;
+  std::size_t dirty_frames = 0;
   std::vector<ShardStats> shards;
 
+  /// Guarded like ShardStats::mb_per_sec — 0 when wall time measured 0.
   double mb_per_sec() const;
   /// One-line human summary, e.g.
   /// "64.0 MB in 4 shards, 4 patterns, 31.2 ms, 2051.3 MB/s".
@@ -107,10 +143,29 @@ ShardPlan plan_shards(std::size_t total_bytes, std::size_t max_needle_len,
 /// `full` flags complete matches.
 ///
 /// `stats`, when non-null, receives per-shard and aggregate metrics.
+///
+/// Scheduling: when more than one shard is requested, each shard's frames
+/// are split into ~1 MiB chunks claimed dynamically from the thread
+/// pool's shared counter, so one match-dense shard no longer bounds wall
+/// time (the chunks of a slow shard are stolen by idle workers). A
+/// single-shard request stays a true serial walk — the timing oracle the
+/// benches compare against.
 std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
                                    std::span<const std::span<const std::byte>> needles,
                                    std::size_t requested_shards,
                                    std::size_t min_prefix_bytes = 0,
-                                   ScanStats* stats = nullptr);
+                                   ScanStats* stats = nullptr,
+                                   MatcherKind matcher = MatcherKind::kAuto);
+
+/// Single-window scan primitive shared by sharded_scan's chunks and the
+/// incremental delta path: scans buffer bytes [begin, window_end) and
+/// appends matches whose FIRST byte lies in [begin, end), in
+/// (offset, pattern_index) order. kAuto resolves against the active
+/// needle count; kLegacy is the reference per-needle walk.
+void scan_range(std::span<const std::byte> buffer, std::size_t begin,
+                std::size_t end, std::size_t window_end,
+                std::span<const std::span<const std::byte>> needles,
+                std::size_t min_prefix_bytes, MatcherKind matcher,
+                std::vector<RawMatch>& out);
 
 }  // namespace keyguard::scan

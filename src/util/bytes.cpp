@@ -1,5 +1,6 @@
 #include "util/bytes.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace keyguard::util {
@@ -21,14 +22,29 @@ std::size_t find_first(std::span<const std::byte> haystack,
   return npos;
 }
 
+void find_all_into(std::span<const std::byte> haystack,
+                   std::span<const std::byte> needle,
+                   std::vector<std::size_t>& out) {
+  out.clear();
+  if (needle.empty() || haystack.size() < needle.size()) return;
+  if (out.capacity() == 0) {
+    // Key needles are long and hits are sparse, so a small density-based
+    // reserve covers almost every scan window in one allocation; dense
+    // pathological inputs (runs of one byte) just fall back to doubling.
+    const std::size_t guess = 4 + haystack.size() / (8 * needle.size());
+    out.reserve(std::min<std::size_t>(guess, 64));
+  }
+  std::size_t pos = 0;
+  while ((pos = find_first(haystack, needle, pos)) != npos) {
+    out.push_back(pos);
+    ++pos;
+  }
+}
+
 std::vector<std::size_t> find_all(std::span<const std::byte> haystack,
                                   std::span<const std::byte> needle) {
   std::vector<std::size_t> hits;
-  std::size_t pos = 0;
-  while ((pos = find_first(haystack, needle, pos)) != npos) {
-    hits.push_back(pos);
-    ++pos;
-  }
+  find_all_into(haystack, needle, hits);
   return hits;
 }
 

@@ -16,6 +16,15 @@ namespace keyguard::util {
 std::vector<std::size_t> find_all(std::span<const std::byte> haystack,
                                   std::span<const std::byte> needle);
 
+/// find_all into a caller-owned vector: `out` is cleared and refilled, so
+/// a loop that scans many windows can reuse one vector's capacity instead
+/// of allocating per call (the scan engine's per-needle inner loop does).
+/// A fresh (capacity-0) vector gets a density-based reserve so the common
+/// sparse-hit case settles in one allocation.
+void find_all_into(std::span<const std::byte> haystack,
+                   std::span<const std::byte> needle,
+                   std::vector<std::size_t>& out);
+
 /// First occurrence at or after `from`; returns npos when absent.
 std::size_t find_first(std::span<const std::byte> haystack,
                        std::span<const std::byte> needle,

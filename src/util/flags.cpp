@@ -89,4 +89,9 @@ std::int64_t env_int(std::string_view name, std::int64_t def) {
   return parsed.value_or(def);
 }
 
+std::string env_string(std::string_view name, std::string_view def) {
+  const char* v = std::getenv(std::string(name).c_str());
+  return v == nullptr ? std::string(def) : std::string(v);
+}
+
 }  // namespace keyguard::util

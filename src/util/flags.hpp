@@ -53,4 +53,7 @@ bool env_truthy(std::string_view name);
 /// Integer from environment, or `def`.
 std::int64_t env_int(std::string_view name, std::int64_t def);
 
+/// Raw string from environment, or `def` when unset.
+std::string env_string(std::string_view name, std::string_view def = "");
+
 }  // namespace keyguard::util

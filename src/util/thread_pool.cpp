@@ -72,13 +72,25 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
+  parallel_for_blocks(n, 1, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+void ThreadPool::parallel_for_blocks(
+    std::size_t n, std::size_t block,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+  if (block == 0) block = 1;
+  const std::size_t blocks = (n + block - 1) / block;
+  if (workers_.empty() || blocks == 1) {
+    for (std::size_t b = 0; b < n; b += block) {
+      body(b, std::min(n, b + block));
+    }
     return;
   }
 
-  // All participants claim iterations from one counter; the caller blocks
+  // All participants claim blocks from one counter; the caller blocks
   // until every helper it enlisted has drained out.
   struct ForState {
     std::atomic<std::size_t> next{0};
@@ -87,12 +99,15 @@ void ThreadPool::parallel_for(std::size_t n,
     std::condition_variable done;
   } st;
 
-  auto run_share = [&st, &body, n] {
-    std::size_t i;
-    while ((i = st.next.fetch_add(1, std::memory_order_relaxed)) < n) body(i);
+  auto run_share = [&st, &body, n, block, blocks] {
+    std::size_t b;
+    while ((b = st.next.fetch_add(1, std::memory_order_relaxed)) < blocks) {
+      const std::size_t begin = b * block;
+      body(begin, std::min(n, begin + block));
+    }
   };
 
-  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  const std::size_t helpers = std::min(workers_.size(), blocks - 1);
   st.helpers_active.store(helpers, std::memory_order_relaxed);
   for (std::size_t h = 0; h < helpers; ++h) {
     submit([&st, run_share] {

@@ -43,6 +43,15 @@ class ThreadPool {
   /// not throw.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Work-stealing variant for fine-grained loops: participants claim
+  /// `block`-sized index ranges [begin, end) from the shared counter, so
+  /// per-iteration claim overhead amortizes over the block while a slow
+  /// range still only delays one claimant. The scan engine feeds its
+  /// shard *chunks* through this so one dense shard no longer bounds
+  /// wall time. block == 0 is treated as 1; `body` must not throw.
+  void parallel_for_blocks(std::size_t n, std::size_t block,
+                           const std::function<void(std::size_t, std::size_t)>& body);
+
   /// Process-wide pool, created on first use and sized for the machine
   /// (KEYGUARD_POOL_WORKERS overrides the worker count).
   static ThreadPool& shared();

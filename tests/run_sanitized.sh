@@ -28,6 +28,8 @@ TARGETS=(
   scan_test
   scan_parallel_test
   scan_boundary_test
+  scan_matcher_test
+  scan_incremental_test
   scan_hunter_test
   sim_physmem_test
   sim_page_alloc_test

@@ -1,0 +1,306 @@
+// Matcher-equivalence battery: the single-pass MultiMatcher must be
+// byte-for-byte identical to the legacy per-needle walk — same offsets,
+// same (offset, pattern_index) order, same matched_bytes/full flags — in
+// exact AND prefix mode, over adversarial needle sets (shared first
+// bytes, shared 8-byte SWAR prefixes, needle-is-prefix-of-needle,
+// overlapping self-similar needles, duplicates) and randomized windows.
+// The legacy loop is the oracle; any divergence is a MultiMatcher bug.
+#include "scan/multi_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scan/scan_engine.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::scan {
+namespace {
+
+using Needles = std::vector<std::vector<std::byte>>;
+
+std::vector<std::span<const std::byte>> views(const Needles& n) {
+  std::vector<std::span<const std::byte>> out;
+  out.reserve(n.size());
+  for (const auto& v : n) out.emplace_back(v);
+  return out;
+}
+
+void expect_same_raw(const std::vector<RawMatch>& legacy,
+                     const std::vector<RawMatch>& multi,
+                     const std::string& label) {
+  ASSERT_EQ(legacy.size(), multi.size()) << label;
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].offset, multi[i].offset) << label << ", match " << i;
+    EXPECT_EQ(legacy[i].pattern_index, multi[i].pattern_index)
+        << label << ", match " << i;
+    EXPECT_EQ(legacy[i].matched_bytes, multi[i].matched_bytes)
+        << label << ", match " << i;
+    EXPECT_EQ(legacy[i].full, multi[i].full) << label << ", match " << i;
+  }
+}
+
+/// Runs both matchers over the same window and compares outputs.
+void check_window(std::span<const std::byte> buffer, std::size_t begin,
+                  std::size_t end, std::size_t window_end, const Needles& n,
+                  std::size_t min_prefix, const std::string& label) {
+  const auto nv = views(n);
+  std::vector<RawMatch> legacy;
+  std::vector<RawMatch> multi;
+  scan_range(buffer, begin, end, window_end, nv, min_prefix,
+             MatcherKind::kLegacy, legacy);
+  scan_range(buffer, begin, end, window_end, nv, min_prefix,
+             MatcherKind::kMulti, multi);
+  expect_same_raw(legacy, multi, label);
+}
+
+void check_full_buffer(std::span<const std::byte> buffer, const Needles& n,
+                       std::size_t min_prefix, const std::string& label) {
+  check_window(buffer, 0, buffer.size(), buffer.size(), n, min_prefix, label);
+}
+
+TEST(MatcherResolve, AutoThresholdAndNames) {
+  EXPECT_EQ(resolve_matcher(MatcherKind::kAuto, 0), MatcherKind::kLegacy);
+  EXPECT_EQ(resolve_matcher(MatcherKind::kAuto, kMultiMatcherMinNeedles - 1),
+            MatcherKind::kLegacy);
+  EXPECT_EQ(resolve_matcher(MatcherKind::kAuto, kMultiMatcherMinNeedles),
+            MatcherKind::kMulti);
+  EXPECT_EQ(resolve_matcher(MatcherKind::kLegacy, 1000), MatcherKind::kLegacy);
+  EXPECT_EQ(resolve_matcher(MatcherKind::kMulti, 1), MatcherKind::kMulti);
+  EXPECT_STREQ(matcher_name(MatcherKind::kAuto), "auto");
+  EXPECT_STREQ(matcher_name(MatcherKind::kLegacy), "legacy");
+  EXPECT_STREQ(matcher_name(MatcherKind::kMulti), "multi");
+}
+
+TEST(MultiMatcherEquivalence, SharedFirstBytes) {
+  // Every needle starts with 'K': one bucket holds them all, and the SWAR
+  // filter is the only thing separating candidates.
+  Needles n;
+  for (const char* s : {"KEY-ALPHA", "KEY-BETA", "KEYRING", "K", "KA", "KEY"}) {
+    n.push_back(util::to_bytes(s));
+  }
+  std::vector<std::byte> hay(8192, std::byte{'x'});
+  util::Rng rng(101);
+  for (int i = 0; i < 200; ++i) {
+    const auto& pick = n[rng.next_below(n.size())];
+    const std::size_t off = rng.next_below(hay.size() - pick.size());
+    std::copy(pick.begin(), pick.end(), hay.begin() + off);
+  }
+  check_full_buffer(hay, n, 0, "shared first bytes");
+}
+
+TEST(MultiMatcherEquivalence, SharedEightBytePrefixes) {
+  // Identical first 8 bytes: the SWAR filter passes every bucket entry and
+  // only the memcmp tail separates them — the worst case for the filter.
+  Needles n;
+  for (const char* s :
+       {"PREFIX00-tailA", "PREFIX00-tailB", "PREFIX00", "PREFIX00-tailA-longer",
+        "PREFIX00-x"}) {
+    n.push_back(util::to_bytes(s));
+  }
+  std::vector<std::byte> hay(4096, std::byte{0});
+  util::Rng rng(202);
+  rng.fill_bytes(hay);
+  for (int i = 0; i < 60; ++i) {
+    const auto& pick = n[rng.next_below(n.size())];
+    const std::size_t off = rng.next_below(hay.size() - pick.size());
+    std::copy(pick.begin(), pick.end(), hay.begin() + off);
+  }
+  check_full_buffer(hay, n, 0, "shared 8-byte prefixes");
+}
+
+TEST(MultiMatcherEquivalence, NeedleIsPrefixOfNeedle) {
+  // "secret" ⊂ "secret-key" ⊂ "secret-key-material": every long-needle hit
+  // must also report each shorter needle at the same offset, in needle
+  // order (the tie-break the engine's contract documents).
+  Needles n;
+  n.push_back(util::to_bytes("secret-key-material"));
+  n.push_back(util::to_bytes("secret"));
+  n.push_back(util::to_bytes("secret-key"));
+  std::vector<std::byte> hay(4096, std::byte{'.'});
+  const auto longest = n[0];
+  for (const std::size_t off : {10u, 500u, 1000u, 4000u}) {
+    std::copy(longest.begin(), longest.end(), hay.begin() + off);
+  }
+  const auto shortest = n[1];
+  std::copy(shortest.begin(), shortest.end(), hay.begin() + 2000);
+  check_full_buffer(hay, n, 0, "needle prefix of needle");
+}
+
+TEST(MultiMatcherEquivalence, OverlappingSelfSimilarNeedles) {
+  // Runs of a repeated byte: overlapping self-matches at every offset, the
+  // densest hit pattern possible.
+  Needles n;
+  n.push_back(std::vector<std::byte>(8, std::byte{0xAA}));
+  n.push_back(std::vector<std::byte>(12, std::byte{0xAA}));
+  n.push_back(std::vector<std::byte>(4, std::byte{0xAA}));
+  n.push_back(util::to_bytes("ababab"));
+  n.push_back(util::to_bytes("abab"));
+  std::vector<std::byte> hay(2048, std::byte{0xAA});
+  for (std::size_t i = 1024; i + 2 <= 1536; i += 2) {
+    hay[i] = std::byte{'a'};
+    hay[i + 1] = std::byte{'b'};
+  }
+  check_full_buffer(hay, n, 0, "self-similar needles");
+}
+
+TEST(MultiMatcherEquivalence, DuplicateAndDegenerateNeedles) {
+  // Duplicates must both report (distinct pattern indices); empty needles
+  // are skipped by both paths.
+  Needles n;
+  n.push_back(util::to_bytes("dup"));
+  n.push_back(util::to_bytes("dup"));
+  n.push_back({});  // empty: skipped
+  n.push_back(util::to_bytes("d"));
+  std::vector<std::byte> hay = util::to_bytes("xxdupxxdxxdupdup");
+  check_full_buffer(hay, n, 0, "duplicates");
+}
+
+TEST(MultiMatcherEquivalence, PrefixModeAcrossSwarBoundary) {
+  // min_prefix below, at, and above the 8-byte SWAR width; needles shorter
+  // than the minimum are skipped by both paths.
+  Needles n;
+  n.push_back(util::to_bytes("LONG-NEEDLE-ONE-abcdef"));
+  n.push_back(util::to_bytes("LONG-NEEDLE-TWO-abcdef"));
+  n.push_back(util::to_bytes("LONG-NEEDLE"));   // shares the long prefix
+  n.push_back(util::to_bytes("short"));         // skipped when min_prefix > 5
+  std::vector<std::byte> hay(4096, std::byte{'-'});
+  util::Rng rng(303);
+  for (int i = 0; i < 40; ++i) {
+    const auto& pick = n[rng.next_below(n.size())];
+    if (pick.empty()) continue;
+    const std::size_t off = rng.next_below(hay.size() - pick.size());
+    std::copy(pick.begin(), pick.end(), hay.begin() + off);
+    // Mutate one tail byte half the time so partial (non-full) extensions
+    // exist alongside full matches.
+    if (rng.next_below(2) == 0 && pick.size() > 12) {
+      hay[off + pick.size() - 3] = std::byte{'?'};
+    }
+  }
+  for (const std::size_t min_prefix : {4u, 8u, 11u, 16u}) {
+    check_full_buffer(hay, n, min_prefix,
+                      "prefix mode, min=" + std::to_string(min_prefix));
+  }
+}
+
+TEST(MultiMatcherEquivalence, RandomizedWindowsFuzz) {
+  // Randomized buffers, adversarial needle families, and random
+  // (begin, end, window_end) triples — the seam-window semantics both
+  // matchers must share.
+  util::Rng rng(8675309);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t size = 512 + rng.next_below(8192);
+    std::vector<std::byte> hay(size);
+    rng.fill_bytes(hay);
+    // Low-entropy overlay so accidental partial matches are common.
+    for (std::size_t i = 0; i < size; ++i) {
+      if (rng.next_below(4) == 0) hay[i] = std::byte(rng.next_below(4));
+    }
+    Needles n;
+    const std::size_t count = 1 + rng.next_below(24);
+    for (std::size_t k = 0; k < count; ++k) {
+      std::vector<std::byte> needle(1 + rng.next_below(40));
+      switch (rng.next_below(4)) {
+        case 0:  // random bytes
+          rng.fill_bytes(needle);
+          break;
+        case 1:  // low-entropy (collides with the overlay)
+          for (auto& b : needle) b = std::byte(rng.next_below(4));
+          break;
+        case 2:  // substring of the haystack: guaranteed hits
+          if (needle.size() < size) {
+            const std::size_t at = rng.next_below(size - needle.size());
+            std::copy(hay.begin() + at, hay.begin() + at + needle.size(),
+                      needle.begin());
+          }
+          break;
+        default:  // prefix of an earlier needle
+          if (!n.empty()) {
+            const auto& prev = n[rng.next_below(n.size())];
+            needle.assign(prev.begin(),
+                          prev.begin() + 1 + rng.next_below(prev.size()));
+          } else {
+            rng.fill_bytes(needle);
+          }
+          break;
+      }
+      n.push_back(std::move(needle));
+    }
+    // Plant a few guaranteed full hits.
+    for (int p = 0; p < 6; ++p) {
+      const auto& pick = n[rng.next_below(n.size())];
+      if (pick.empty() || pick.size() >= size) continue;
+      const std::size_t off = rng.next_below(size - pick.size());
+      std::copy(pick.begin(), pick.end(), hay.begin() + off);
+    }
+    const std::size_t begin = rng.next_below(size);
+    const std::size_t end = begin + 1 + rng.next_below(size - begin);
+    const std::size_t window_end = end + rng.next_below(size - end + 1);
+    const std::size_t min_prefix = rng.next_below(3) == 0 ? 4 + rng.next_below(12) : 0;
+    check_window(hay, begin, end, window_end, n, min_prefix,
+                 "fuzz round " + std::to_string(round));
+    check_full_buffer(hay, n, min_prefix,
+                      "fuzz round " + std::to_string(round) + " (full)");
+  }
+}
+
+TEST(MultiMatcherEquivalence, ShardedScanLegacyVsMultiAllShardCounts) {
+  // End-to-end through sharded_scan: forced-legacy and forced-multi runs
+  // must agree at every shard count, and both report the matcher used.
+  util::Rng rng(424242);
+  std::vector<std::byte> hay(3 * 4096 + 777);
+  rng.fill_bytes(hay);
+  Needles n;
+  for (int k = 0; k < 16; ++k) {
+    std::vector<std::byte> needle(8 + rng.next_below(24));
+    rng.fill_bytes(needle);
+    n.push_back(std::move(needle));
+  }
+  for (int p = 0; p < 24; ++p) {
+    const auto& pick = n[rng.next_below(n.size())];
+    const std::size_t off = rng.next_below(hay.size() - pick.size());
+    std::copy(pick.begin(), pick.end(), hay.begin() + off);
+  }
+  const auto nv = views(n);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    ScanStats legacy_stats;
+    ScanStats multi_stats;
+    const auto legacy = sharded_scan(hay, nv, shards, 0, &legacy_stats,
+                                     MatcherKind::kLegacy);
+    const auto multi = sharded_scan(hay, nv, shards, 0, &multi_stats,
+                                    MatcherKind::kMulti);
+    expect_same_raw(legacy, multi, "sharded, " + std::to_string(shards));
+    EXPECT_EQ(legacy_stats.matcher, MatcherKind::kLegacy);
+    EXPECT_EQ(multi_stats.matcher, MatcherKind::kMulti);
+    // 16 needles ≥ threshold: kAuto must resolve to the multi matcher and
+    // still match the oracle.
+    ScanStats auto_stats;
+    const auto aut = sharded_scan(hay, nv, shards, 0, &auto_stats,
+                                  MatcherKind::kAuto);
+    expect_same_raw(legacy, aut, "sharded auto, " + std::to_string(shards));
+    EXPECT_EQ(auto_stats.matcher, MatcherKind::kMulti);
+  }
+}
+
+TEST(MultiMatcherEquivalence, NeedleAtVeryEndAndPartialSwarLoad) {
+  // Hits in the last 8 bytes of the buffer exercise the partial SWAR load.
+  Needles n;
+  n.push_back(util::to_bytes("endmark"));
+  n.push_back(util::to_bytes("end"));
+  n.push_back(util::to_bytes("k"));
+  std::vector<std::byte> hay(256, std::byte{'z'});
+  const auto m0 = n[0];
+  std::copy(m0.begin(), m0.end(), hay.end() - static_cast<std::ptrdiff_t>(m0.size()));
+  hay[255] = std::byte{'k'};
+  check_full_buffer(hay, n, 0, "buffer end");
+  // Tiny buffers, smaller than 8 bytes.
+  const auto tiny = util::to_bytes("endk");
+  check_full_buffer(tiny, n, 0, "tiny buffer");
+}
+
+}  // namespace
+}  // namespace keyguard::scan

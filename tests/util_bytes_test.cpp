@@ -68,6 +68,43 @@ TEST(FindAll, RandomPlantedNeedles) {
   EXPECT_EQ(hits[2], 4000u);
 }
 
+TEST(FindAllInto, MatchesFindAllAndReusesCapacity) {
+  std::vector<std::byte> hay(8192, std::byte{0});
+  const auto needle = to_bytes("needle!");
+  for (const std::size_t off : {0u, 100u, 101u, 4000u, 8185u}) {
+    std::copy(needle.begin(), needle.end(), hay.begin() + off);
+  }
+  std::vector<std::size_t> hits;
+  find_all_into(hay, needle, hits);
+  EXPECT_EQ(hits, find_all(hay, needle));
+  const std::size_t cap = hits.capacity();
+  // Re-running over the same window reuses the vector: cleared, refilled,
+  // no reallocation.
+  find_all_into(hay, needle, hits);
+  EXPECT_EQ(hits, find_all(hay, needle));
+  EXPECT_EQ(hits.capacity(), cap);
+}
+
+TEST(FindAllInto, ClearsStaleContentsAndHandlesNoMatch) {
+  std::vector<std::size_t> hits = {7, 8, 9};
+  const std::vector<std::byte> hay(64, std::byte{0x55});
+  find_all_into(hay, to_bytes("missing"), hits);
+  EXPECT_TRUE(hits.empty());
+  find_all_into(hay, {}, hits);  // empty needle: no hits, no crash
+  EXPECT_TRUE(hits.empty());
+  find_all_into({}, to_bytes("x"), hits);  // needle longer than haystack
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(FindAllInto, DenseOverlappingHitsStillComplete) {
+  const std::vector<std::byte> hay(512, std::byte{0xAA});
+  const std::vector<std::byte> needle(8, std::byte{0xAA});
+  std::vector<std::size_t> hits;
+  find_all_into(hay, needle, hits);
+  ASSERT_EQ(hits.size(), 512u - 8u + 1u);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], i);
+}
+
 TEST(AllZero, Basics) {
   std::vector<std::byte> z(16, std::byte{0});
   EXPECT_TRUE(all_zero(z));

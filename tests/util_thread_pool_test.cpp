@@ -71,5 +71,44 @@ TEST(ThreadPool, SharedPoolSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
 }
 
+TEST(ThreadPool, ParallelForBlocksCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1003;  // not a multiple of any block size below
+  for (const std::size_t block : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for_blocks(kN, block, [&](std::size_t begin, std::size_t end) {
+      ASSERT_LE(end, kN);
+      ASSERT_LT(begin, end);
+      ASSERT_LE(end - begin, block);
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "block " << block << ", index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForBlocksZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  std::size_t sum = 0;  // no atomics needed: everything runs on this thread
+  pool.parallel_for_blocks(100, 9, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 100u * 99u / 2u);
+  pool.parallel_for_blocks(0, 4, [&](std::size_t, std::size_t) { sum = 0; });
+  EXPECT_EQ(sum, 100u * 99u / 2u);  // n == 0: body never runs
+}
+
+TEST(ThreadPool, ParallelForBlocksZeroBlockTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> n{0};
+  pool.parallel_for_blocks(25, 0, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(end, begin + 1);
+    n.fetch_add(end - begin);
+  });
+  EXPECT_EQ(n.load(), 25u);
+}
+
 }  // namespace
 }  // namespace keyguard::util

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate bench_scan_throughput output against the committed scan baseline.
+
+CI machines differ wildly in absolute MB/s, so the baseline stores only
+RATIOS, which are machine-independent to first order:
+
+  * needle_sweep speedups — legacy_ms / multi_ms at a fixed needle count
+    is dominated by the number of per-needle passes the legacy loop
+    makes, not by the host's memory bandwidth.
+  * incremental speedup — full_ms / incremental_ms at a fixed dirty
+    fraction is dominated by the rescanned-bytes ratio.
+
+The committed numbers in bench/baselines/BENCH_scan_baseline.json are
+deliberately conservative (floors well under locally measured values) so
+scheduler noise on shared runners cannot trip the gate; a real
+regression — the single-pass matcher losing its asymptotic edge, or the
+delta path rescanning more than the dirty set — lands far below them.
+
+The `identical` flags are correctness, not performance: any false means
+the optimised path diverged from the legacy oracle and fails the run
+regardless of speed.
+
+Usage:
+  tools/check_scan_baseline.py BENCH_scan.json [--baseline FILE]
+                               [--tolerance 0.10]
+
+Exit codes: 0 ok, 1 regression or correctness failure, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "bench" / "baselines" / "BENCH_scan_baseline.json"
+)
+
+
+def load(path: str | pathlib.Path) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_scan_baseline: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="BENCH_scan.json produced by bench_scan_throughput")
+    ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                    help="committed baseline (default: bench/baselines/)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="allowed fractional regression (default: baseline's)")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+    tol = args.tolerance if args.tolerance is not None else base.get("tolerance", 0.10)
+
+    failures: list[str] = []
+    checks: list[tuple[str, str]] = []
+
+    # Correctness first: every equivalence flag in the run must hold.
+    for row in cur.get("shard_sweep", []):
+        if not row.get("identical", False):
+            failures.append(f"shard_sweep shards={row.get('shards')}: results "
+                            "diverged from the serial oracle")
+    for row in cur.get("needle_sweep", []):
+        if not row.get("identical", False):
+            failures.append(f"needle_sweep needles={row.get('needles')}: "
+                            "MultiMatcher diverged from the legacy loop")
+    inc = cur.get("incremental", {})
+    if not inc.get("identical", False):
+        failures.append("incremental: delta sweep diverged from a fresh full sweep")
+
+    # Ratio gates. Keys in the baseline name the needle counts to gate;
+    # counts below the auto threshold stay ungated (legacy regime).
+    cur_by_needles = {row.get("needles"): row for row in cur.get("needle_sweep", [])}
+    for needles_str, floor in base.get("needle_sweep", {}).items():
+        needles = int(needles_str)
+        row = cur_by_needles.get(needles)
+        if row is None:
+            failures.append(f"needle_sweep: run has no needles={needles} row")
+            continue
+        got = float(row.get("speedup", 0.0))
+        need = floor * (1.0 - tol)
+        checks.append((f"needles={needles}: multi speedup {got:.2f}x "
+                       f"(baseline {floor:.2f}x, gate {need:.2f}x)",
+                       "ok" if got >= need else "REGRESSION"))
+        if got < need:
+            failures.append(f"needle_sweep needles={needles}: speedup {got:.2f}x "
+                            f"< {need:.2f}x ({floor:.2f}x - {tol:.0%})")
+
+    floor = float(base.get("incremental", 0.0))
+    got = float(inc.get("speedup", 0.0))
+    need = floor * (1.0 - tol)
+    checks.append((f"incremental: delta speedup {got:.2f}x "
+                   f"(baseline {floor:.2f}x, gate {need:.2f}x)",
+                   "ok" if got >= need else "REGRESSION"))
+    if got < need:
+        failures.append(f"incremental: speedup {got:.2f}x < {need:.2f}x "
+                        f"({floor:.2f}x - {tol:.0%})")
+
+    for line, verdict in checks:
+        print(f"  [{verdict}] {line}")
+    if failures:
+        print("check_scan_baseline: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("check_scan_baseline: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
