@@ -5,7 +5,18 @@
 // location, matched part, page frame, frame class, owning pids.
 //
 // Usage:
-//   ./scanmemory_tool [--server ssh|apache]   workload to run (default ssh)
+//   ./scanmemory_tool [--server ssh|apache|sni]
+//                                             workload to run (default ssh);
+//                                             sni boots the multi-tenant SNI
+//                                             frontend instead of a single-key
+//                                             server and scans for EVERY
+//                                             vhost key
+//                     [--backend mlocked|encrypted]
+//                                             keystore pool discipline for
+//                                             --server sni: the N-page mlocked
+//                                             pool or the encrypted-at-rest
+//                                             pool with a W-page working set
+//                                             (default mlocked)
 //                     [--connections N]       connections/requests (default 16)
 //                     [--level none|application|library|kernel|integrated]
 //                                             protection profile (default none)
@@ -69,6 +80,7 @@
 
 #include "analysis/taint_auditor.hpp"
 #include "analysis/taint_map.hpp"
+#include "core/protection.hpp"
 #include "core/scenario.hpp"
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
@@ -76,6 +88,7 @@
 #include "obs/trace.hpp"
 #include "scan/dirty_journal.hpp"
 #include "servers/apache_server.hpp"
+#include "servers/sni_frontend.hpp"
 #include "servers/ssh_server.hpp"
 #include "sim/taint.hpp"
 #include "util/flags.hpp"
@@ -85,14 +98,16 @@ using namespace keyguard;
 
 namespace {
 
-constexpr std::array<std::string_view, 12> kKnownFlags = {
-    "server",  "connections", "level",   "threads",     "matcher", "incremental",
-    "taint",   "json",        "metrics", "trace",       "version", "help"};
+constexpr std::array<std::string_view, 13> kKnownFlags = {
+    "server",  "backend", "connections", "level",   "threads", "matcher",
+    "incremental", "taint", "json",      "metrics", "trace",   "version",
+    "help"};
 
 void print_usage(std::FILE* out) {
   std::fprintf(
       out,
-      "usage: scanmemory_tool [--server ssh|apache] [--connections N]\n"
+      "usage: scanmemory_tool [--server ssh|apache|sni] [--connections N]\n"
+      "                       [--backend mlocked|encrypted]\n"
       "                       [--level none|application|library|kernel|integrated]\n"
       "                       [--threads N] [--matcher auto|legacy|multi]\n"
       "                       [--incremental] [--taint] [--json [FILE]]\n"
@@ -101,6 +116,8 @@ void print_usage(std::FILE* out) {
       "\n"
       "Boots a simulated machine, runs the workload, and scans physical\n"
       "memory for key copies the way the paper's scanmemory LKM did.\n"
+      "  --backend      --server sni pool discipline: mlocked N-page pool or\n"
+      "                 the encrypted-at-rest pool (W-page working set)\n"
       "  --matcher      legacy per-needle walk, single-pass multi, or auto\n"
       "  --incremental  prime a sweep cache, run follow-up traffic, report\n"
       "                 the delta sweep (dirty frames only)\n"
@@ -112,20 +129,25 @@ void print_usage(std::FILE* out) {
       static_cast<long long>(obs::kSchemaVersion));
 }
 
-std::size_t part_bytes(const core::Scenario& s, const std::string& part) {
-  if (part == "PEM") return s.pem().size();
-  if (part == "d") return s.key().d.limb_count() * 8;
-  return s.key().p.limb_count() * 8;
+/// Needle length for a match, looked up in the ACTIVE pattern set (the
+/// multi-key sni scan names parts "d#3"/"P#3"/..., so the old
+/// scenario-key lookup would not resolve them).
+std::size_t part_bytes(const scan::KeyPatterns& patterns, const std::string& part) {
+  for (const auto& p : patterns.patterns) {
+    if (p.name == part) return p.bytes.size();
+  }
+  return 0;
 }
 
-void print_text(const core::Scenario& s, const std::vector<scan::MemoryMatch>& matches,
+void print_text(const scan::KeyPatterns& patterns,
+                const std::vector<scan::MemoryMatch>& matches,
                 const scan::ScanStats& stats) {
   std::printf("Request recieved\n");  // the LKM's greeting, typo and all
   for (const auto& m : matches) {
     std::printf(
         "Full match found for %s of size %zu bytes at: %09zu, in page: %06u, "
         "state: %s, processes:",
-        m.part.c_str(), part_bytes(s, m.part), m.phys_offset, m.frame,
+        m.part.c_str(), part_bytes(patterns, m.part), m.phys_offset, m.frame,
         sim::frame_state_name(m.state));
     if (m.owners.empty()) {
       std::printf(" %s", m.allocated() ? "0" : "none");  // 0 == kernel
@@ -140,15 +162,16 @@ void print_text(const core::Scenario& s, const std::vector<scan::MemoryMatch>& m
   std::printf("scan: %s\n", stats.summary().c_str());
 }
 
-void write_json(util::JsonWriter& w, const core::Scenario& s,
-                const std::string& which, int connections,
-                const std::string& level_name,
+void write_json(util::JsonWriter& w, const scan::KeyPatterns& patterns,
+                const std::string& which, const std::string& backend,
+                int connections, const std::string& level_name,
                 const std::vector<scan::MemoryMatch>& matches,
                 const scan::ScanStats& stats,
                 const analysis::AuditReport* report,
                 const analysis::CrossCheck* cross, bool metrics) {
   obs::begin_report(w, "scanmemory");
   w.field("server", which)
+      .field("backend", backend)
       .field("connections", static_cast<std::int64_t>(connections))
       .field("level", level_name);
 
@@ -156,7 +179,7 @@ void write_json(util::JsonWriter& w, const core::Scenario& s,
   for (const auto& m : matches) {
     w.begin_object()
         .field("part", m.part)
-        .field("bytes", static_cast<std::uint64_t>(part_bytes(s, m.part)))
+        .field("bytes", static_cast<std::uint64_t>(part_bytes(patterns, m.part)))
         .field("phys_offset", static_cast<std::uint64_t>(m.phys_offset))
         .field("frame", static_cast<std::uint64_t>(m.frame))
         .field("state", sim::frame_state_name(m.state))
@@ -256,6 +279,19 @@ int main(int argc, char** argv) {
   }
 
   const std::string which = flags.get("server", "ssh");
+  if (which != "ssh" && which != "apache" && which != "sni") {
+    std::fprintf(stderr, "scanmemory_tool: bad --server value '%s'\n\n",
+                 which.c_str());
+    print_usage(stderr);
+    return 2;
+  }
+  const std::string backend_name = flags.get("backend", "mlocked");
+  if (backend_name != "mlocked" && backend_name != "encrypted") {
+    std::fprintf(stderr, "scanmemory_tool: bad --backend value '%s'\n\n",
+                 backend_name.c_str());
+    print_usage(stderr);
+    return 2;
+  }
   const int connections = static_cast<int>(flags.get_int("connections", 16));
   const std::string level_name = flags.get("level", "none");
   const auto threads =
@@ -319,9 +355,13 @@ int main(int argc, char** argv) {
   // follow-up burst between the priming sweep and the delta sweep.
   std::unique_ptr<servers::ApacheServer> apache;
   std::unique_ptr<servers::SshServer> ssh;
+  std::unique_ptr<servers::SniFrontend> sni;
+  std::unique_ptr<scan::KeyScanner> sni_scanner;
   const auto run_traffic = [&](int n) {
     if (apache) {
       for (int i = 0; i < n; ++i) apache->handle_request();
+    } else if (sni) {
+      for (int i = 0; i < n; ++i) sni->handle_request();
     } else {
       for (int i = 0; i < n / 2; ++i) ssh->handle_connection(8 << 10);
       for (int i = 0; i < (n + 1) / 2; ++i) ssh->open_connection();
@@ -332,6 +372,29 @@ int main(int argc, char** argv) {
         s.kernel(), s.apache_config(), s.make_rng());
     apache->start();
     apache->set_concurrency(8);
+  } else if (which == "sni") {
+    // Multi-tenant workload: a few distinct keys cycled over the vhost
+    // population, scanned with per-key needles instead of the scenario
+    // key's. The pool discipline comes from --backend.
+    auto sni_cfg = core::sni_config(s.profile(), /*pool_pages=*/8);
+    sni_cfg.backend = backend_name == "encrypted"
+                          ? keystore::PoolBackend::kEncrypted
+                          : keystore::PoolBackend::kMlocked;
+    util::Rng keygen(cfg.seed + 7);
+    std::vector<crypto::RsaPrivateKey> distinct;
+    for (int i = 0; i < 6; ++i) {
+      distinct.push_back(crypto::generate_rsa_key(keygen, 512));
+    }
+    std::vector<crypto::RsaPrivateKey> vhosts;
+    for (int i = 0; i < 12; ++i) vhosts.push_back(distinct[i % distinct.size()]);
+    sni = std::make_unique<servers::SniFrontend>(s.kernel(), sni_cfg,
+                                                 s.make_rng());
+    if (!sni->start(vhosts)) {
+      std::fprintf(stderr, "scanmemory_tool: sni frontend failed to start\n");
+      return 1;
+    }
+    sni_scanner = std::make_unique<scan::KeyScanner>(
+        scan::KeyPatterns::from_keys(distinct));
   } else {
     ssh = std::make_unique<servers::SshServer>(s.kernel(), s.ssh_config(),
                                                s.make_rng());
@@ -339,8 +402,9 @@ int main(int argc, char** argv) {
   }
   run_traffic(connections);
 
-  if (threads > 0) s.scanner().set_shards(static_cast<std::size_t>(threads));
-  s.scanner().set_matcher(matcher);
+  scan::KeyScanner& scanner = sni_scanner ? *sni_scanner : s.scanner();
+  if (threads > 0) scanner.set_shards(static_cast<std::size_t>(threads));
+  scanner.set_matcher(matcher);
   scan::ScanStats stats;
   std::vector<scan::MemoryMatch> matches;
   if (incremental) {
@@ -348,12 +412,12 @@ int main(int argc, char** argv) {
     // a follow-up burst, then report the delta sweep — the part the LKM
     // would have re-walked all of RAM for.
     scan::SweepCache cache;
-    (void)s.scanner().scan_kernel_incremental(s.kernel(), *journal, cache);
+    (void)scanner.scan_kernel_incremental(s.kernel(), *journal, cache);
     run_traffic(std::max(1, connections / 8));
-    matches = s.scanner().scan_kernel_incremental(s.kernel(), *journal, cache,
-                                                  &stats);
+    matches = scanner.scan_kernel_incremental(s.kernel(), *journal, cache,
+                                              &stats);
   } else {
-    matches = s.scanner().scan_kernel(s.kernel(), &stats);
+    matches = scanner.scan_kernel(s.kernel(), &stats);
   }
 
   std::unique_ptr<analysis::TaintAuditor> auditor;
@@ -362,14 +426,15 @@ int main(int argc, char** argv) {
   if (taint_map) {
     auditor = std::make_unique<analysis::TaintAuditor>(*taint_map);
     report = auditor->audit(s.kernel());
-    cross = auditor->cross_check(s.scanner().patterns(), matches);
+    cross = auditor->cross_check(scanner.patterns(), matches);
   }
 
   if (json) {
     util::JsonWriter w;
-    write_json(w, s, which, connections, level_name, matches, stats,
-               auditor ? &report : nullptr, auditor ? &cross : nullptr,
-               metrics);
+    write_json(w, scanner.patterns(), which,
+               sni ? backend_name : std::string("n/a"), connections,
+               level_name, matches, stats, auditor ? &report : nullptr,
+               auditor ? &cross : nullptr, metrics);
     if (json_path.empty()) {
       std::printf("%s\n", w.str().c_str());
     } else if (!write_text_file(json_path, w.str(), "JSON")) {
@@ -377,7 +442,7 @@ int main(int argc, char** argv) {
     }
   } else {
     std::printf("%s\n", obs::build_info::one_line().c_str());
-    print_text(s, matches, stats);
+    print_text(scanner.patterns(), matches, stats);
     if (auditor) {
       std::printf("\n%s", analysis::TaintAuditor::format(report).c_str());
       std::printf(

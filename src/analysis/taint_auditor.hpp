@@ -105,18 +105,27 @@ struct AuditReport {
            bytes_swap;
   }
 
-  /// The bounded-working-set invariant: every byte of PLAINTEXT key
-  /// material sits on an mlocked page, those pages number at most `n`
-  /// (master-key-only pages excluded — they are the keystore's "+1"), and
-  /// nothing secret survives in unallocated memory, the page cache,
-  /// kernel buffers, or swap. Sealed ciphertext is exempt. Requires at
-  /// least one secret frame, so an empty shadow does not trivially pass.
-  bool bounded_locked_pages_only(std::size_t n) const noexcept {
-    return secret_tainted_frames >= 1 &&
-           secret_tainted_frames - master_key_frames <= n &&
+  /// The encrypted-backend generalization: every byte of PLAINTEXT key
+  /// material sits on an mlocked page, those pages number at most `w`
+  /// (master-key-only pages excluded), and nothing secret survives in
+  /// unallocated memory, the page cache, kernel buffers, or swap. Sealed
+  /// ciphertext is exempt. Unlike bounded_locked_pages_only there is NO
+  /// >= 1 floor: for an encrypted-at-rest pool an EMPTY working set —
+  /// every page re-encrypted, the machine fully amnesiac — is the
+  /// backend's best state, not a vacuous pass.
+  bool bounded_plaintext_working_set(std::size_t w) const noexcept {
+    return secret_tainted_frames - master_key_frames <= w &&
            secret_mlocked_frames == secret_tainted_frames &&
            secret.unallocated == 0 && secret.page_cache == 0 &&
            secret.kernel == 0 && secret.swap == 0;
+  }
+
+  /// The bounded-working-set invariant: bounded_plaintext_working_set(n)
+  /// plus at least one secret frame, so an empty shadow does not trivially
+  /// pass (the mlocked pool always holds its master key, so "no secrets at
+  /// all" there means the shadow lost a flow).
+  bool bounded_locked_pages_only(std::size_t n) const noexcept {
+    return secret_tainted_frames >= 1 && bounded_plaintext_working_set(n);
   }
 
   /// The paper's single-server invariant: the N=1 case of the bound (no

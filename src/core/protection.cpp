@@ -72,6 +72,7 @@ servers::SniConfig sni_config(const ProtectionProfile& profile,
   servers::SniConfig cfg;
   cfg.key_dir = std::move(key_dir);
   cfg.keystore.pool_pages = pool_pages;
+  cfg.encrypted.pool_pages = pool_pages;
   cfg.protection_label = std::string(protection_name(profile.level));
   switch (profile.level) {
     case ProtectionLevel::kNone:
@@ -101,6 +102,12 @@ servers::SniConfig sni_config(const ProtectionProfile& profile,
     case ProtectionLevel::kIntegrated:
       break;  // every keystore default is the full defense
   }
+  // The encrypted backend shares the level's scrub/temporary/nocache
+  // discipline (sealing is not optional there — ciphertext at rest IS the
+  // backend, so there is no seal_at_rest knob to mirror).
+  cfg.encrypted.scrub_on_evict = cfg.keystore.scrub_on_evict;
+  cfg.encrypted.clear_temporaries = cfg.keystore.clear_temporaries;
+  cfg.encrypted.open_keys_nocache = cfg.keystore.open_keys_nocache;
   return cfg;
 }
 

@@ -1,0 +1,60 @@
+// Keystore backend selection for the sim-side multi-tenant servers.
+//
+// The SNI frontend (and the tools/benches built on it) can route private
+// operations through either pool discipline:
+//
+//   kMlocked    SimKeystore — N plaintext limb pages, all mlocked, LRU +
+//               scrub; the PR-3 bound bounded_locked_pages_only(N).
+//   kEncrypted  EncryptedPoolKeystore — N pool pages CIPHERTEXT in RAM,
+//               at most W transiently decrypted (mlocked while plaintext);
+//               the tighter bound bounded_plaintext_working_set(W).
+//
+// SimBackend is the small seam both implement. try_private_op is
+// deliberately optional-returning: the encrypted backend is fail-closed
+// (corrupt blob or powered-off domain refuses), and the frontend must
+// surface that as a failed handshake, never as a plaintext fallback.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bignum/bignum.hpp"
+#include "crypto/rsa.hpp"
+#include "keystore/sealed_blob.hpp"
+
+namespace keyguard::keystore {
+
+enum class PoolBackend { kMlocked, kEncrypted };
+
+inline const char* pool_backend_name(PoolBackend b) noexcept {
+  return b == PoolBackend::kEncrypted ? "encrypted" : "mlocked";
+}
+
+class SimBackend {
+ public:
+  virtual ~SimBackend() = default;
+
+  /// Loads + seals a PEM key file through the kernel; nullopt on missing
+  /// or malformed input.
+  virtual std::optional<KeyId> ingest_pem(const std::string& vfs_path) = 0;
+
+  /// Public half (host-side copy; public material is not secret).
+  virtual const crypto::RsaPublicKey& public_key(KeyId id) const = 0;
+
+  /// m = c^d mod N, fail-closed: nullopt when the key cannot be
+  /// materialized (encrypted backend with a corrupt blob or dead domain).
+  virtual std::optional<bn::Bignum> try_private_op(KeyId id,
+                                                   const bn::Bignum& c) = 0;
+
+  /// Scrubs and releases everything; must run before the owning process
+  /// exits. Idempotent.
+  virtual void shutdown() = 0;
+
+  /// The backend's plaintext-page bound: N for the mlocked pool, W for
+  /// the encrypted pool's working set.
+  virtual std::size_t plaintext_page_bound() const = 0;
+
+  virtual const char* backend_name() const = 0;
+};
+
+}  // namespace keyguard::keystore

@@ -11,6 +11,19 @@ namespace {
 
 constexpr std::byte kMagic[4] = {std::byte{'K'}, std::byte{'S'}, std::byte{'B'},
                                  std::byte{'1'}};
+constexpr std::byte kAuthMagic[4] = {std::byte{'K'}, std::byte{'S'},
+                                     std::byte{'B'}, std::byte{'2'}};
+
+/// Constant-time tag comparison — a timing-dependent memcmp would be the
+/// one cryptographic sin the sim should not model.
+bool ct_equal(std::span<const std::byte> a, std::span<const std::byte> b) {
+  if (a.size() != b.size()) return false;
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<unsigned>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
 
 void put_le64(std::byte* out, std::uint64_t v) {
   for (std::size_t i = 0; i < 8; ++i) {
@@ -64,6 +77,67 @@ std::optional<std::vector<std::byte>> unseal(std::span<const std::byte> blob,
   const std::uint64_t nonce = get_le64(blob.data() + sizeof kMagic);
   std::vector<std::byte> plain(blob.begin() + kSealedHeaderBytes, blob.end());
   keystream_xor(plain, master, nonce);
+  return plain;
+}
+
+std::optional<std::vector<std::byte>> seal_authenticated(
+    std::span<const std::byte> plaintext, sim::CoprocessorDomain& domain,
+    std::uint64_t nonce) {
+  std::vector<std::byte> blob(kSealedHeaderBytes + plaintext.size() +
+                              kAuthTagBytes);
+  std::memcpy(blob.data(), kAuthMagic, sizeof kAuthMagic);
+  put_le64(blob.data() + sizeof kAuthMagic, nonce);
+  const auto body = std::span(blob).subspan(kSealedHeaderBytes, plaintext.size());
+  std::vector<std::byte> ks(plaintext.size());
+  if (!domain.keystream(nonce, ks)) return std::nullopt;
+  for (std::size_t i = 0; i < plaintext.size(); ++i) {
+    body[i] = plaintext[i] ^ ks[i];
+  }
+  wipe(ks);
+  const auto tag = domain.mac(nonce, body);
+  if (!tag) {
+    wipe(blob);  // half-built ciphertext without a key to reopen it
+    return std::nullopt;
+  }
+  std::memcpy(blob.data() + kSealedHeaderBytes + plaintext.size(), tag->data(),
+              kAuthTagBytes);
+  return blob;
+}
+
+std::optional<std::uint64_t> authenticated_nonce(std::span<const std::byte> blob) {
+  if (blob.size() < kSealedHeaderBytes + kAuthTagBytes) return std::nullopt;
+  if (std::memcmp(blob.data(), kAuthMagic, sizeof kAuthMagic) != 0) {
+    return std::nullopt;
+  }
+  return get_le64(blob.data() + sizeof kAuthMagic);
+}
+
+std::optional<std::vector<std::byte>> unseal_authenticated(
+    std::span<const std::byte> blob, sim::CoprocessorDomain& domain,
+    std::span<const std::byte> keystream) {
+  // Verify EVERYTHING before touching the keystream: fail-closed means no
+  // partial plaintext exists on any rejection path.
+  const auto nonce = authenticated_nonce(blob);
+  if (!nonce) return std::nullopt;
+  const auto ct = blob.subspan(kSealedHeaderBytes,
+                               blob.size() - kSealedHeaderBytes - kAuthTagBytes);
+  const auto tag = blob.subspan(blob.size() - kAuthTagBytes);
+  const auto expect = domain.mac(*nonce, ct);
+  if (!expect) return std::nullopt;  // domain off: refuse, never fall back
+  if (!ct_equal(tag, *expect)) return std::nullopt;
+
+  std::vector<std::byte> plain(ct.begin(), ct.end());
+  if (keystream.size() >= ct.size()) {
+    for (std::size_t i = 0; i < plain.size(); ++i) plain[i] ^= keystream[i];
+  } else {
+    std::vector<std::byte> ks(ct.size());
+    if (!domain.keystream(*nonce, ks)) {
+      wipe(plain);
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < plain.size(); ++i) plain[i] ^= ks[i];
+    wipe(ks);
+  }
   return plain;
 }
 

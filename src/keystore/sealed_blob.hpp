@@ -12,6 +12,17 @@
 //
 // XOR-stream means seal and unseal are the same transform; the nonce must
 // be unique per blob under one master key (the keystore uses the KeyId).
+// The encrypted-at-rest backend uses the AUTHENTICATED variant instead:
+//
+//   blob = "KSB2" || nonce_le64 || ciphertext || tag(32 bytes)
+//
+// with both the CTR keystream and the tag produced by a CoprocessorDomain
+// (sim/coprocessor.hpp) whose key is outside scannable memory. Encrypt-
+// then-MAC, and unseal_authenticated verifies the tag BEFORE decrypting a
+// single byte, so a corrupted blob (any bit of header, nonce, ciphertext,
+// or tag) or an unavailable domain yields nullopt with no partial
+// plaintext ever materialized — the fail-closed requirement from
+// "Security Through Amnesia".
 #pragma once
 
 #include <cstddef>
@@ -19,6 +30,8 @@
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "sim/coprocessor.hpp"
 
 namespace keyguard::keystore {
 
@@ -47,6 +60,33 @@ std::vector<std::byte> seal(std::span<const std::byte> plaintext,
 /// (nullopt). The caller owns wiping the returned plaintext.
 std::optional<std::vector<std::byte>> unseal(std::span<const std::byte> blob,
                                              std::span<const std::byte> master);
+
+/// Trailing MAC width of the authenticated ("KSB2") format.
+inline constexpr std::size_t kAuthTagBytes = sim::CoprocessorDomain::kTagBytes;
+
+/// plaintext -> "KSB2" || nonce || ciphertext || tag, keyed entirely inside
+/// `domain`. nullopt when the domain is powered off (nothing is sealed
+/// under a key that no longer exists).
+std::optional<std::vector<std::byte>> seal_authenticated(
+    std::span<const std::byte> plaintext, sim::CoprocessorDomain& domain,
+    std::uint64_t nonce);
+
+/// Authenticated unseal: magic, length, and tag are checked (constant-time
+/// compare) BEFORE any keystream is applied; every failure — truncation,
+/// bad magic, any flipped bit, powered-off domain — returns nullopt
+/// without materializing a byte of plaintext. When `keystream` is
+/// non-empty it must be (at least) the ciphertext-length prefix of the
+/// domain's CTR stream for the blob's nonce; the decrypt then skips its
+/// own domain round trip — the batched-unseal fast path. Tag verification
+/// ALWAYS goes to the domain.
+std::optional<std::vector<std::byte>> unseal_authenticated(
+    std::span<const std::byte> blob, sim::CoprocessorDomain& domain,
+    std::span<const std::byte> keystream = {});
+
+/// Nonce stored in an authenticated blob header (nullopt when the blob is
+/// too short or mis-tagged as KSB1/garbage). Format inspection only — no
+/// authenticity implied.
+std::optional<std::uint64_t> authenticated_nonce(std::span<const std::byte> blob);
 
 /// Volatile-store zeroization for HOST-side transients (DER scratch, master
 /// copies) that live outside both the simulated kernel and core's

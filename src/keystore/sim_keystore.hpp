@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "crypto/rsa.hpp"
+#include "keystore/backend.hpp"
 #include "keystore/sealed_blob.hpp"
 #include "sim/kernel.hpp"
 #include "sslsim/ssl_library.hpp"
@@ -58,11 +59,11 @@ struct SimKeystoreStats {
   std::uint64_t unseals = 0;     ///< blob decryptions (== misses)
 };
 
-class SimKeystore {
+class SimKeystore final : public SimBackend {
  public:
   /// Maps the master page and the N pool pages (all mlocked) in `proc`.
   SimKeystore(sim::Kernel& kernel, sim::Process& proc, SimKeystoreConfig cfg);
-  ~SimKeystore();
+  ~SimKeystore() override;
 
   SimKeystore(const SimKeystore&) = delete;
   SimKeystore& operator=(const SimKeystore&) = delete;
@@ -71,15 +72,26 @@ class SimKeystore {
   /// seals it, and stores the blob in heap. The plaintext transients (PEM
   /// buffer, host DER scratch) are scrubbed per config. Returns nullopt on
   /// missing/malformed file.
-  std::optional<KeyId> ingest_pem(const std::string& vfs_path);
+  std::optional<KeyId> ingest_pem(const std::string& vfs_path) override;
 
   /// Public half (host-side copy; public material is not secret).
-  const crypto::RsaPublicKey& public_key(KeyId id) const;
+  const crypto::RsaPublicKey& public_key(KeyId id) const override;
 
   /// m = c^d mod N for key `id`: materializes the key into a pool slot if
   /// needed (LRU eviction + scrub when full), then runs the CRT private op
   /// through the simulated SSL library.
   bn::Bignum private_op(KeyId id, const bn::Bignum& c);
+
+  /// SimBackend shape of private_op. The mlocked pool can always
+  /// materialize (the master key is local), so this never refuses.
+  std::optional<bn::Bignum> try_private_op(KeyId id, const bn::Bignum& c) override {
+    return private_op(id, c);
+  }
+
+  std::size_t plaintext_page_bound() const override { return cfg_.pool_pages; }
+  const char* backend_name() const override {
+    return pool_backend_name(PoolBackend::kMlocked);
+  }
 
   /// Drops `id` from the pool (scrub per config). No-op when not pooled.
   void evict(KeyId id);
@@ -89,7 +101,7 @@ class SimKeystore {
   /// Evicts the pool, scrubs + unmaps master and pool pages, and frees the
   /// at-rest blobs. Idempotent; called by the destructor. Must run before
   /// the owning process exits.
-  void shutdown();
+  void shutdown() override;
 
   bool pooled(KeyId id) const;
   std::size_t pooled_count() const;

@@ -21,7 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "keystore/backend.hpp"
+#include "keystore/encrypted_keystore.hpp"
 #include "keystore/sim_keystore.hpp"
+#include "sim/coprocessor.hpp"
 #include "util/rng.hpp"
 
 namespace keyguard::servers {
@@ -30,7 +33,13 @@ struct SniConfig {
   std::string key_dir = "/etc/sni";        ///< one PEM file per vhost
   std::size_t response_bytes = 8ull << 10; ///< per-request heap churn
   double hot_fraction = 0.8;               ///< share of traffic on the hot set
+  /// Pool discipline: kMlocked routes through SimKeystore (`keystore`),
+  /// kEncrypted through EncryptedPoolKeystore (`encrypted` + a private
+  /// CoprocessorDomain seeded with `domain_seed`).
+  keystore::PoolBackend backend = keystore::PoolBackend::kMlocked;
   keystore::SimKeystoreConfig keystore;
+  keystore::EncryptedKeystoreConfig encrypted;
+  std::uint64_t domain_seed = 0x636f70726f63ULL;
   /// Protection level this config encodes; set by core::sni_config and
   /// stamped onto per-request trace spans.
   std::string protection_label = "none";
@@ -55,20 +64,32 @@ class SniFrontend {
   std::size_t vhost_count() const noexcept { return ids_.size(); }
   std::uint64_t total_handshakes() const noexcept { return handshakes_; }
 
-  /// Full handshake + response churn for one vhost. False on bad decrypt.
+  /// Full handshake + response churn for one vhost. False on bad decrypt
+  /// OR a fail-closed keystore refusal — never a plaintext fallback.
   bool handle_request(std::size_t vhost);
   /// Same, vhost drawn from the skewed popularity distribution.
   bool handle_request();
 
+  /// The active pool backend (either discipline).
+  keystore::SimBackend& backend() { return *backend_; }
+  /// mlocked-backend accessor; only valid when backend == kMlocked.
   keystore::SimKeystore& keystore() { return *keystore_; }
   const keystore::SimKeystore& keystore() const { return *keystore_; }
+  /// encrypted-backend accessor; only valid when backend == kEncrypted.
+  keystore::EncryptedPoolKeystore& encrypted_keystore() { return *enc_keystore_; }
+  const keystore::EncryptedPoolKeystore& encrypted_keystore() const {
+    return *enc_keystore_;
+  }
 
  private:
   sim::Kernel& kernel_;
   SniConfig cfg_;
   util::Rng rng_;
   sim::Process* proc_ = nullptr;
+  std::optional<sim::CoprocessorDomain> domain_;
   std::optional<keystore::SimKeystore> keystore_;
+  std::optional<keystore::EncryptedPoolKeystore> enc_keystore_;
+  keystore::SimBackend* backend_ = nullptr;
   std::vector<keystore::KeyId> ids_;  ///< vhost index -> key id
   std::uint64_t handshakes_ = 0;
 };

@@ -1,0 +1,287 @@
+// Batched CTR unseal: the oracle battery.
+//
+// private_op_batch() queues every cold unseal's keystream need into ONE
+// CoprocessorDomain round trip. Correctness claim: for ANY batch size and
+// ANY interleaving of ids, the batched store is bit-identical — results,
+// pool membership, slot page bytes — to a twin store driven one op at a
+// time, while making strictly fewer domain crossings. Two rigs with
+// same-seeded domains make that claim mechanically checkable.
+#include "keystore/encrypted_keystore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/taint_map.hpp"
+#include "crypto/pem.hpp"
+#include "keystore/sealed_blob.hpp"
+#include "sim/coprocessor.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace keyguard::keystore {
+namespace {
+
+using sim::CoprocessorDomain;
+using sim::TaintTag;
+
+TEST(CoprocessorBatch, KeystreamBatchMatchesSequentialBitForBit) {
+  CoprocessorDomain a(0xb0);
+  CoprocessorDomain b(0xb0);  // same seed: an independent oracle
+  util::Rng rng(31);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t n = 1 + rng.next_below(6);
+    std::vector<std::vector<std::byte>> batch_out(n);
+    std::vector<std::uint64_t> nonces(n), firsts(n);
+    std::vector<CoprocessorDomain::KeystreamRequest> reqs;
+    for (std::size_t i = 0; i < n; ++i) {
+      nonces[i] = rng.next_below(1u << 20);
+      firsts[i] = rng.next_below(4);
+      batch_out[i].resize(1 + rng.next_below(200));
+      reqs.push_back({nonces[i], firsts[i], batch_out[i]});
+    }
+    const auto trips_before = a.keystream_round_trips();
+    ASSERT_TRUE(a.keystream_batch(reqs));
+    EXPECT_EQ(a.keystream_round_trips(), trips_before + 1);  // ONE crossing
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::byte> single(batch_out[i].size());
+      ASSERT_TRUE(b.keystream(nonces[i], single, firsts[i]));
+      EXPECT_EQ(batch_out[i], single) << "round " << round << " req " << i;
+    }
+  }
+  // Batch on a powered-off domain refuses whole.
+  a.power_off();
+  std::vector<std::byte> out(16);
+  CoprocessorDomain::KeystreamRequest req{1, 0, out};
+  EXPECT_FALSE(a.keystream_batch({&req, 1}));
+}
+
+TEST(CoprocessorBatch, MacIsDeterministicAndDomainSeparated) {
+  CoprocessorDomain a(0xb1);
+  CoprocessorDomain b(0xb1);
+  CoprocessorDomain other(0xb2);
+  std::vector<std::byte> msg(40);
+  util::Rng rng(32);
+  rng.fill_bytes(msg);
+  const auto t1 = a.mac(7, msg);
+  const auto t2 = b.mac(7, msg);
+  ASSERT_TRUE(t1 && t2);
+  EXPECT_EQ(*t1, *t2);
+  // Different nonce, different seed, different data: all distinct tags.
+  EXPECT_NE(*a.mac(8, msg), *t1);
+  EXPECT_NE(*other.mac(7, msg), *t1);
+  auto msg2 = msg;
+  msg2[0] ^= std::byte{1};
+  EXPECT_NE(*a.mac(7, msg2), *t1);
+  // MAC bytes are not CTR keystream bytes for the same nonce (the 'M'/'C'
+  // tag in the domain's derivation separates them).
+  std::vector<std::byte> ks(CoprocessorDomain::kTagBytes);
+  ASSERT_TRUE(a.keystream(7, ks));
+  EXPECT_FALSE(std::equal(ks.begin(), ks.end(), t1->begin()));
+}
+
+// ---- twin-store oracle ----------------------------------------------------
+
+struct Twin {
+  sim::Kernel kernel;
+  analysis::ShadowTaintMap map;
+  sim::Process* proc;
+  CoprocessorDomain domain;
+  EncryptedPoolKeystore ks;
+
+  Twin(std::uint64_t domain_seed, EncryptedKeystoreConfig cfg)
+      : kernel(sim::KernelConfig{.mem_bytes = 8ull << 20,
+                                 .o_nocache_supported = true}),
+        map(kernel),
+        proc(&kernel.spawn("twin")),
+        domain(domain_seed),
+        ks(kernel, *proc, domain, cfg) {
+    kernel.attach_taint(&map);
+  }
+};
+
+std::vector<KeyId> ingest_keys(Twin& t,
+                               const std::vector<crypto::RsaPrivateKey>& keys) {
+  std::vector<KeyId> ids;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string path = "/keys/k" + std::to_string(i) + ".pem";
+    t.kernel.vfs().write_file(path,
+                              util::to_bytes(crypto::pem_encode_private_key(keys[i])),
+                              TaintTag::kPem);
+    const auto id = t.ks.ingest_pem(path);
+    EXPECT_TRUE(id.has_value());
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+/// The two stores must be indistinguishable: same membership, same
+/// plaintext set, and byte-identical slot pages (ciphertext AND plaintext).
+void expect_same_state(Twin& a, Twin& b, const std::vector<KeyId>& ids) {
+  ASSERT_EQ(a.ks.pool_pages(), b.ks.pool_pages());
+  EXPECT_EQ(a.ks.plaintext_count(), b.ks.plaintext_count());
+  for (const auto id : ids) {
+    EXPECT_EQ(a.ks.pooled(id), b.ks.pooled(id)) << "key " << id;
+    EXPECT_EQ(a.ks.plaintext(id), b.ks.plaintext(id)) << "key " << id;
+  }
+  for (std::size_t i = 0; i < a.ks.pool_pages(); ++i) {
+    EXPECT_EQ(a.ks.slot_occupant(i), b.ks.slot_occupant(i)) << "slot " << i;
+    std::vector<std::byte> pa(256), pb(256);
+    a.kernel.mem_read(*a.proc, a.ks.slot_page(i), pa);
+    b.kernel.mem_read(*b.proc, b.ks.slot_page(i), pb);
+    EXPECT_EQ(pa, pb) << "slot " << i;
+  }
+}
+
+TEST(EncryptedKeystoreBatch, BatchedOpsMatchSequentialOracle) {
+  const EncryptedKeystoreConfig cfg{.pool_pages = 4, .working_set = 2};
+  Twin batched(0xc0, cfg);
+  Twin oracle(0xc0, cfg);
+  const auto keys = [] {
+    util::Rng rng(41);
+    std::vector<crypto::RsaPrivateKey> ks;
+    for (int i = 0; i < 6; ++i) ks.push_back(crypto::generate_rsa_key(rng, 512));
+    return ks;
+  }();
+  const auto ids = ingest_keys(batched, keys);
+  ASSERT_EQ(ingest_keys(oracle, keys), ids);
+  expect_same_state(batched, oracle, ids);
+
+  util::Rng rng(42);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t n = 1 + rng.next_below(5);
+    std::vector<KeyId> req_ids;
+    std::vector<bn::Bignum> cs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = ids[rng.next_below(ids.size())];
+      std::vector<std::byte> secret(16);
+      rng.fill_bytes(secret);
+      const auto c =
+          crypto::pad_encrypt(rng, batched.ks.public_key(id), secret);
+      ASSERT_TRUE(c.has_value());
+      req_ids.push_back(id);
+      cs.push_back(*c);
+    }
+    const auto got = batched.ks.private_op_batch(req_ids, cs);
+    ASSERT_EQ(got.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto want = oracle.ks.try_private_op(req_ids[i], cs[i]);
+      ASSERT_TRUE(want.has_value()) << "round " << round << " op " << i;
+      ASSERT_TRUE(got[i].has_value()) << "round " << round << " op " << i;
+      EXPECT_EQ(*got[i], *want) << "round " << round << " op " << i;
+    }
+    expect_same_state(batched, oracle, ids);
+    // Every key also re-encrypts identically sometimes, so ciphertext
+    // pages (epoch'd nonces) are compared too, not just plaintext.
+    if (round % 4 == 3) {
+      batched.ks.reencrypt_all();
+      oracle.ks.reencrypt_all();
+      expect_same_state(batched, oracle, ids);
+    }
+  }
+  EXPECT_GT(batched.ks.stats().batches, 0u);
+  // The whole point: strictly fewer bus crossings than one-at-a-time.
+  EXPECT_LT(batched.domain.keystream_round_trips(),
+            oracle.domain.keystream_round_trips());
+}
+
+TEST(EncryptedKeystoreBatch, ColdBatchIsOneKeystreamRoundTrip) {
+  const EncryptedKeystoreConfig cfg{.pool_pages = 8, .working_set = 4};
+  Twin t(0xc1, cfg);
+  util::Rng keygen(43);
+  std::vector<crypto::RsaPrivateKey> keys;
+  for (int i = 0; i < 4; ++i) keys.push_back(crypto::generate_rsa_key(keygen, 512));
+  const auto ids = ingest_keys(t, keys);
+
+  util::Rng rng(44);
+  std::vector<bn::Bignum> cs;
+  std::vector<std::vector<std::byte>> secrets;
+  for (const auto id : ids) {
+    secrets.emplace_back(16);
+    rng.fill_bytes(secrets.back());
+    const auto c = crypto::pad_encrypt(rng, t.ks.public_key(id), secrets.back());
+    ASSERT_TRUE(c.has_value());
+    cs.push_back(*c);
+  }
+
+  // 4 cold keys, working set 4: one batch, ONE CTR crossing for all four
+  // blob keystreams (tag checks are mac() crossings, counted separately).
+  const auto ctr_before = t.domain.keystream_round_trips();
+  const auto got = t.ks.private_op_batch(ids, cs);
+  EXPECT_EQ(t.domain.keystream_round_trips(), ctr_before + 1);
+  EXPECT_EQ(t.ks.stats().prefetch_hits, ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(got[i].has_value());
+    const auto block =
+        got[i]->to_bytes_be(t.ks.public_key(ids[i]).modulus_bytes());
+    const std::vector<std::byte> tail(
+        block.end() - static_cast<std::ptrdiff_t>(secrets[i].size()),
+        block.end());
+    EXPECT_EQ(tail, secrets[i]);
+  }
+}
+
+TEST(EncryptedKeystoreBatch, FuzzInterleavingsWithFaultsMatchOracle) {
+  const EncryptedKeystoreConfig cfg{.pool_pages = 3, .working_set = 2};
+  Twin batched(0xc2, cfg);
+  Twin oracle(0xc2, cfg);
+  const auto keys = [] {
+    util::Rng rng(51);
+    std::vector<crypto::RsaPrivateKey> ks;
+    for (int i = 0; i < 5; ++i) ks.push_back(crypto::generate_rsa_key(rng, 512));
+    return ks;
+  }();
+  const auto ids = ingest_keys(batched, keys);
+  ASSERT_EQ(ingest_keys(oracle, keys), ids);
+
+  // Corrupt ONE key's blob (same byte in both stores): its every unseal
+  // must refuse in both, without disturbing neighbours in the same batch.
+  const KeyId bad = ids[2];
+  for (Twin* t : {&batched, &oracle}) {
+    t->ks.evict(bad);
+    std::byte b[1];
+    t->kernel.mem_read(*t->proc, t->ks.blob_address(bad) + 20, b);
+    b[0] ^= std::byte{0x40};
+    t->kernel.mem_write(*t->proc, t->ks.blob_address(bad) + 20, b,
+                        TaintTag::kSealed);
+  }
+
+  util::Rng rng(52);
+  std::size_t refused = 0, served = 0;
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.next_below(6);
+    std::vector<KeyId> req_ids;
+    std::vector<bn::Bignum> cs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = ids[rng.next_below(ids.size())];
+      req_ids.push_back(id);
+      std::vector<std::byte> secret(12);
+      rng.fill_bytes(secret);
+      const auto c =
+          crypto::pad_encrypt(rng, batched.ks.public_key(id), secret);
+      ASSERT_TRUE(c.has_value());
+      cs.push_back(*c);
+    }
+    const auto got = batched.ks.private_op_batch(req_ids, cs);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto want = oracle.ks.try_private_op(req_ids[i], cs[i]);
+      ASSERT_EQ(got[i].has_value(), want.has_value())
+          << "round " << round << " op " << i << " key " << req_ids[i];
+      if (req_ids[i] == bad) {
+        EXPECT_FALSE(got[i].has_value()) << "tampered key served!";
+        ++refused;
+      } else {
+        ASSERT_TRUE(got[i].has_value());
+        EXPECT_EQ(*got[i], *want);
+        ++served;
+      }
+    }
+    expect_same_state(batched, oracle, ids);
+  }
+  EXPECT_GT(refused, 0u);
+  EXPECT_GT(served, 0u);
+  EXPECT_FALSE(batched.ks.pooled(bad));
+}
+
+}  // namespace
+}  // namespace keyguard::keystore

@@ -6,7 +6,8 @@
 # ThreadSanitizer is the one that matters for the parallel sharded scanner
 # (tests/scan_parallel_test, tests/scan_boundary_test exercise the
 # ThreadPool fan-out), for the host keystore, whose mlocked plaintext
-# pool is shared across signing threads (keystore_test's concurrent case),
+# pool is shared across signing threads (keystore_test's concurrent case
+# and keystore_encrypted_test's shared-CoprocessorDomain case),
 # and for the observability layer (obs_concurrency_test hammers the
 # MetricsRegistry/Tracer from many threads and demands exact totals);
 # address/undefined cover the same binaries for memory and UB bugs.
@@ -40,6 +41,9 @@ TARGETS=(
   keystore_test
   keystore_sim_test
   keystore_equivalence_test
+  keystore_encrypted_test
+  keystore_batch_test
+  keystore_adversary_test
   obs_metrics_test
   obs_trace_test
   obs_concurrency_test

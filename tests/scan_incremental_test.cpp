@@ -187,6 +187,86 @@ TEST(ScanIncremental, SeamStraddlingWriteRevalidatesNeighbours) {
   EXPECT_TRUE(incr2.empty());
 }
 
+TEST(ScanIncremental, LastFrameSeamWindowClampsAtEndOfMemory) {
+  // The end-of-RAM boundary case. The longest needle in the pattern set
+  // is the full PEM text, so the seam reach (max_len - 1) is hundreds of
+  // bytes; plant that needle so it ENDS at the very last byte of physical
+  // memory, plus a limb needle straddling the final frame boundary. Dirt
+  // in the LAST frame makes the affected interval's right window
+  // hi + reach overshoot the buffer — it must clamp to exactly
+  // buffer.size() and still kill/re-derive matches touching the last
+  // byte; dirt in the SECOND-TO-LAST frame must revalidate the straddler
+  // while the end-of-RAM match survives as a spliced survivor.
+  sim::KernelConfig cfg;
+  cfg.mem_bytes = 4ull << 20;
+  sim::Kernel k(cfg);
+  DirtyFrameJournal journal(cfg.mem_bytes);
+  const std::size_t mem = cfg.mem_bytes;
+  const std::size_t last = mem / sim::kPageSize - 1;
+
+  const auto pem = util::to_bytes(crypto::pem_encode_private_key(test_key()));
+  ASSERT_GT(pem.size(), 64u);  // the max-length pattern by a wide margin
+  ASSERT_LT(pem.size(), sim::kPageSize);
+  const auto limb = SslLibrary::limb_image(test_key().q);
+
+  // Physical plant across frame boundaries, journal hook fired by hand.
+  auto poke = [&](std::size_t at, std::span<const std::byte> bytes) {
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      const std::size_t off = at + i;
+      k.memory().page(off / sim::kPageSize)[off % sim::kPageSize] = bytes[i];
+    }
+    journal.on_phys_store(at, bytes.size(), sim::TaintTag::kClean);
+  };
+
+  const std::size_t pem_at = mem - pem.size();  // ends at the last byte
+  const std::size_t limb_at = last * sim::kPageSize - 16;  // straddles
+  ASSERT_LT(limb_at, pem_at);
+  poke(pem_at, pem);
+  poke(limb_at, limb);
+
+  KeyScanner scanner(test_key());
+  SweepCache cache;
+  scanner.scan_kernel_incremental(k, journal, cache);
+  ASSERT_EQ(cache.raw.size(), 2u);
+  EXPECT_EQ(cache.raw[0].offset, limb_at);
+  EXPECT_EQ(cache.raw[1].offset, pem_at);
+
+  // Kill the very last byte of RAM: only the final frame reports dirty,
+  // the rescan window is [d0 - reach, mem) with window_end clamped AT mem.
+  const std::byte save = k.memory().page(last)[sim::kPageSize - 1];
+  poke(mem - 1, std::vector<std::byte>{std::byte{0x5A}});
+  ScanStats stats;
+  const auto incr = scanner.scan_kernel_incremental(k, journal, cache, &stats);
+  expect_same_matches(incr, scanner.scan_kernel(k), "last byte destroyed");
+  EXPECT_EQ(stats.dirty_frames, 1u);
+  ASSERT_EQ(incr.size(), 1u);  // the straddler was re-derived, the PEM died
+  EXPECT_EQ(incr[0].phys_offset, limb_at);
+
+  // Restore it: the rescan must re-find a match ending EXACTLY at
+  // buffer.size() — the off-by-one this test exists to pin.
+  poke(mem - 1, std::vector<std::byte>{save});
+  const auto incr2 = scanner.scan_kernel_incremental(k, journal, cache);
+  expect_same_matches(incr2, scanner.scan_kernel(k), "last byte restored");
+  ASSERT_EQ(incr2.size(), 2u);
+  EXPECT_EQ(incr2[1].phys_offset, pem_at);
+
+  // Head-byte kill in the SECOND-TO-LAST frame: the interval ends at the
+  // last frame's start, the right seam window reaches into it, and the
+  // end-of-RAM PEM match — outside the interval — survives the splice.
+  poke(limb_at, std::vector<std::byte>{std::byte{0x5A}});
+  const auto incr3 = scanner.scan_kernel_incremental(k, journal, cache);
+  expect_same_matches(incr3, scanner.scan_kernel(k), "straddler head killed");
+  ASSERT_EQ(incr3.size(), 1u);
+  EXPECT_EQ(incr3[0].phys_offset, pem_at);
+
+  // And back: the straddling limb re-derives from second-to-last-frame
+  // dirt alone.
+  poke(limb_at, std::span(limb).first(1));
+  const auto incr4 = scanner.scan_kernel_incremental(k, journal, cache);
+  expect_same_matches(incr4, scanner.scan_kernel(k), "straddler restored");
+  EXPECT_EQ(incr4.size(), 2u);
+}
+
 // The storm: every mutation class the sim offers, fired in randomized
 // rounds, with incremental-vs-fresh-full equivalence checked after every
 // round. This is the test that makes "the delta sweep is exact" an
