@@ -41,6 +41,8 @@ EncryptedPoolKeystore::EncryptedPoolKeystore(sim::Kernel& kernel,
   // mlock is acquired per page exactly for the plaintext interval.
   slots_.resize(cfg_.pool_pages);
   for (auto& s : slots_) {
+    // keylint: allow(unlocked) — ciphertext at rest is deliberately
+    // swappable; decrypt_into_slot mlocks per page for the plaintext window
     s.page = kernel_.mmap_anon(proc_, sim::kPageSize, /*mlocked=*/false,
                                "enc keystore pool slot");
     assert(s.page != 0);

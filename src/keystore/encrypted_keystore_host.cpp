@@ -19,7 +19,7 @@ EncryptedHostKeystore::EncryptedHostKeystore(sim::CoprocessorDomain& domain,
 std::optional<KeyId> EncryptedHostKeystore::add_key(
     const crypto::RsaPrivateKey& key) {
   auto der = crypto::der_encode_private_key(key);
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   const KeyId id = next_id_;
   auto blob = seal_authenticated(der, domain_, id);
   wipe(der);
@@ -51,12 +51,12 @@ std::optional<KeyId> EncryptedHostKeystore::add_pem(std::string_view pem) {
 }
 
 const crypto::RsaPublicKey& EncryptedHostKeystore::public_key(KeyId id) const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return sealed_.at(id).pub;
 }
 
 EncryptedHostKeystore::PoolEntry* EncryptedHostKeystore::acquire(
-    std::unique_lock<std::mutex>& lk, KeyId id) {
+    util::MutexLock& lk, KeyId id) {
   auto& reg = obs::MetricsRegistry::global();
   const bool metrics_on = reg.enabled();
   for (;;) {
@@ -79,7 +79,7 @@ EncryptedHostKeystore::PoolEntry* EncryptedHostKeystore::acquire(
         }
       }
       if (victim == nullptr) {
-        pool_cv_.wait(lk);
+        lk.wait(pool_cv_);
         continue;  // re-scan: the key may have been materialized meanwhile
       }
       const auto it = std::find_if(pool_.begin(), pool_.end(),
@@ -143,14 +143,14 @@ std::optional<bn::Bignum> EncryptedHostKeystore::sign(KeyId id,
   }
   PoolEntry* entry = nullptr;
   {
-    std::unique_lock lk(mu_);
+    util::MutexLock lk(mu_);
     ++stats_.ops;
     entry = acquire(lk, id);
   }
   if (entry == nullptr) return std::nullopt;  // fail-closed, nothing pinned
   bn::Bignum result = entry->key.sign(m);  // CRT math outside the lock
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     --entry->pins;
   }
   pool_cv_.notify_all();
@@ -158,42 +158,47 @@ std::optional<bn::Bignum> EncryptedHostKeystore::sign(KeyId id,
 }
 
 bool EncryptedHostKeystore::contains(KeyId id) const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return sealed_.count(id) != 0;
 }
 
 bool EncryptedHostKeystore::pooled(KeyId id) const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return std::any_of(pool_.begin(), pool_.end(),
                      [&](const auto& e) { return e->id == id; });
 }
 
 std::size_t EncryptedHostKeystore::size() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return sealed_.size();
 }
 
 std::size_t EncryptedHostKeystore::pooled_count() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return pool_.size();
 }
 
 EncryptedHostStats EncryptedHostKeystore::stats() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return stats_;
 }
 
 void EncryptedHostKeystore::evict_all() {
-  std::lock_guard lk(mu_);
-  std::erase_if(pool_, [&](const auto& e) {
-    if (e->pins != 0) return false;
-    ++stats_.evictions;
-    return true;
-  });
+  util::MutexLock lk(mu_);
+  // Manual loop rather than std::erase_if: the thread-safety analysis
+  // cannot see through a lambda touching guarded members.
+  for (auto it = pool_.begin(); it != pool_.end();) {
+    if ((*it)->pins == 0) {
+      it = pool_.erase(it);  // ~SecureRsaKey scrubs the working copy
+      ++stats_.evictions;
+    } else {
+      ++it;
+    }
+  }
 }
 
 bool EncryptedHostKeystore::flip_blob_byte(KeyId id, std::size_t offset) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   const auto it = sealed_.find(id);
   if (it == sealed_.end() || offset >= it->second.blob.size()) return false;
   it->second.blob[offset] ^= std::byte{0x01};
@@ -201,7 +206,7 @@ bool EncryptedHostKeystore::flip_blob_byte(KeyId id, std::size_t offset) {
 }
 
 std::size_t EncryptedHostKeystore::blob_size(KeyId id) const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   const auto it = sealed_.find(id);
   return it == sealed_.end() ? 0 : it->second.blob.size();
 }

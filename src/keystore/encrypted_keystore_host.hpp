@@ -30,6 +30,7 @@
 #include "crypto/rsa.hpp"
 #include "keystore/sealed_blob.hpp"
 #include "sim/coprocessor.hpp"
+#include "util/thread_safety.hpp"
 
 namespace keyguard::keystore {
 
@@ -104,20 +105,20 @@ class EncryptedHostKeystore {
   };
 
   /// Entry for `id` with one pin taken, or nullptr on a fail-closed
-  /// refusal. Requires `lk` held; may release it while waiting for a pin
-  /// to drop.
-  PoolEntry* acquire(std::unique_lock<std::mutex>& lk, KeyId id);
+  /// refusal. Requires `lk` (over mu_) held; may release it while waiting
+  /// for a pin to drop.
+  PoolEntry* acquire(util::MutexLock& lk, KeyId id) REQUIRES(mu_);
 
   sim::CoprocessorDomain& domain_;
   EncryptedHostConfig cfg_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   std::condition_variable pool_cv_;
-  std::map<KeyId, Sealed> sealed_;
+  std::map<KeyId, Sealed> sealed_ GUARDED_BY(mu_);
   // unique_ptr for address stability across the unlocked CRT computation.
-  std::vector<std::unique_ptr<PoolEntry>> pool_;
-  KeyId next_id_ = 1;
-  std::uint64_t clock_ = 0;
-  EncryptedHostStats stats_;
+  std::vector<std::unique_ptr<PoolEntry>> pool_ GUARDED_BY(mu_);
+  KeyId next_id_ GUARDED_BY(mu_) = 1;
+  std::uint64_t clock_ GUARDED_BY(mu_) = 0;
+  EncryptedHostStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace keyguard::keystore

@@ -19,7 +19,7 @@ Keystore::Keystore(HostKeystoreConfig cfg)
 }
 
 KeyId Keystore::seal_der(std::vector<std::byte>& der, crypto::RsaPublicKey pub) {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   const KeyId id = next_id_++;
   Sealed s;
   s.blob = seal(der, master_.data(), id);
@@ -49,11 +49,11 @@ std::optional<KeyId> Keystore::add_pem(std::string_view pem) {
 }
 
 const crypto::RsaPublicKey& Keystore::public_key(KeyId id) const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return sealed_.at(id).pub;
 }
 
-Keystore::PoolEntry& Keystore::acquire(std::unique_lock<std::mutex>& lk, KeyId id) {
+Keystore::PoolEntry& Keystore::acquire(util::MutexLock& lk, KeyId id) {
   auto& reg = obs::MetricsRegistry::global();
   const bool metrics_on = reg.enabled();
   for (;;) {
@@ -79,7 +79,7 @@ Keystore::PoolEntry& Keystore::acquire(std::unique_lock<std::mutex>& lk, KeyId i
         }
       }
       if (victim == nullptr) {
-        pool_cv_.wait(lk);
+        lk.wait(pool_cv_);
         continue;  // re-scan: the key may have been materialized meanwhile
       }
       const auto it = std::find_if(pool_.begin(), pool_.end(),
@@ -134,13 +134,13 @@ bn::Bignum Keystore::sign(KeyId id, const bn::Bignum& m) {
   }
   PoolEntry* entry = nullptr;
   {
-    std::unique_lock lk(mu_);
+    util::MutexLock lk(mu_);
     ++stats_.ops;
     entry = &acquire(lk, id);
   }
   bn::Bignum result = entry->key.sign(m);  // CRT math outside the lock
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     --entry->pins;
   }
   pool_cv_.notify_all();
@@ -148,38 +148,43 @@ bn::Bignum Keystore::sign(KeyId id, const bn::Bignum& m) {
 }
 
 bool Keystore::contains(KeyId id) const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return sealed_.count(id) != 0;
 }
 
 bool Keystore::pooled(KeyId id) const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return std::any_of(pool_.begin(), pool_.end(),
                      [&](const auto& e) { return e->id == id; });
 }
 
 std::size_t Keystore::size() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return sealed_.size();
 }
 
 std::size_t Keystore::pooled_count() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return pool_.size();
 }
 
 HostKeystoreStats Keystore::stats() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return stats_;
 }
 
 void Keystore::evict_all() {
-  std::lock_guard lk(mu_);
-  std::erase_if(pool_, [&](const auto& e) {
-    if (e->pins != 0) return false;
-    ++stats_.evictions;
-    return true;
-  });
+  util::MutexLock lk(mu_);
+  // Manual loop rather than std::erase_if: the thread-safety analysis
+  // cannot see through a lambda touching guarded members.
+  for (auto it = pool_.begin(); it != pool_.end();) {
+    if ((*it)->pins == 0) {
+      it = pool_.erase(it);  // ~SecureRsaKey scrubs the working copy
+      ++stats_.evictions;
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace keyguard::keystore

@@ -27,6 +27,7 @@
 #include "core/secure_rsa.hpp"
 #include "crypto/rsa.hpp"
 #include "keystore/sealed_blob.hpp"
+#include "util/thread_safety.hpp"
 
 namespace keyguard::keystore {
 
@@ -95,21 +96,21 @@ class Keystore {
 
   KeyId seal_der(std::vector<std::byte>& der, crypto::RsaPublicKey pub);
   /// Returns the entry for `id` with one pin taken; blocks while the pool
-  /// is full of pinned entries. Requires `lk` held; may release it while
-  /// waiting.
-  PoolEntry& acquire(std::unique_lock<std::mutex>& lk, KeyId id);
+  /// is full of pinned entries. Requires `lk` (over mu_) held; may release
+  /// it while waiting.
+  PoolEntry& acquire(util::MutexLock& lk, KeyId id) REQUIRES(mu_);
 
   HostKeystoreConfig cfg_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   std::condition_variable pool_cv_;
   secure::SecureBuffer master_;
-  std::map<KeyId, Sealed> sealed_;
+  std::map<KeyId, Sealed> sealed_ GUARDED_BY(mu_);
   // unique_ptr for address stability: sign() holds a PoolEntry* across the
   // unlocked CRT computation while other threads mutate the vector.
-  std::vector<std::unique_ptr<PoolEntry>> pool_;
-  KeyId next_id_ = 1;
-  std::uint64_t clock_ = 0;
-  HostKeystoreStats stats_;
+  std::vector<std::unique_ptr<PoolEntry>> pool_ GUARDED_BY(mu_);
+  KeyId next_id_ GUARDED_BY(mu_) = 1;
+  std::uint64_t clock_ GUARDED_BY(mu_) = 0;
+  HostKeystoreStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace keyguard::keystore

@@ -1,0 +1,132 @@
+#include "lint/cfg.hpp"
+
+namespace keyguard::lint {
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(const Function& fn) : fn_(fn) {}
+
+  Cfg build() {
+    cfg_.entry = add_node(nullptr);
+    cfg_.exit = add_node(nullptr);
+    Frontier in;
+    in.push_back(cfg_.entry);
+    Frontier out = seq(fn_.body, in, /*brk=*/nullptr, /*cont=*/-1);
+    connect(out, cfg_.exit);
+    return std::move(cfg_);
+  }
+
+ private:
+  using Frontier = std::vector<int>;  // nodes whose successor comes next
+
+  int add_node(const Stmt* s) {
+    cfg_.nodes.push_back(CfgNode{s, s != nullptr && s->kind == StmtKind::kReturn,
+                                 {}, {}});
+    return static_cast<int>(cfg_.nodes.size()) - 1;
+  }
+
+  void edge(int from, int to) {
+    cfg_.nodes[static_cast<std::size_t>(from)].succs.push_back(to);
+    cfg_.nodes[static_cast<std::size_t>(to)].preds.push_back(from);
+  }
+
+  void connect(const Frontier& from, int to) {
+    for (int f : from) edge(f, to);
+  }
+
+  Frontier seq(const std::vector<Stmt>& stmts, Frontier in, Frontier* brk,
+               int cont) {
+    for (const Stmt& s : stmts) {
+      in = one(s, std::move(in), brk, cont);
+    }
+    return in;
+  }
+
+  Frontier one(const Stmt& s, Frontier in, Frontier* brk, int cont) {
+    switch (s.kind) {
+      case StmtKind::kSimple: {
+        const int n = add_node(&s);
+        connect(in, n);
+        return {n};
+      }
+      case StmtKind::kReturn: {
+        const int n = add_node(&s);
+        connect(in, n);
+        edge(n, cfg_.exit);
+        return {};  // nothing falls through a return
+      }
+      case StmtKind::kBreak: {
+        const int n = add_node(&s);
+        connect(in, n);
+        if (brk != nullptr) brk->push_back(n);
+        return {};
+      }
+      case StmtKind::kContinue: {
+        const int n = add_node(&s);
+        connect(in, n);
+        if (cont >= 0) edge(n, cont);
+        return {};
+      }
+      case StmtKind::kBlock:
+        return seq(s.body, std::move(in), brk, cont);
+      case StmtKind::kIf: {
+        const int c = add_node(&s);
+        connect(in, c);
+        Frontier then_out = seq(s.body, {c}, brk, cont);
+        Frontier out;
+        if (s.has_else) {
+          Frontier else_out = seq(s.else_body, {c}, brk, cont);
+          out = std::move(then_out);
+          out.insert(out.end(), else_out.begin(), else_out.end());
+        } else {
+          out = std::move(then_out);
+          out.push_back(c);  // condition false: skip the branch
+        }
+        return out;
+      }
+      case StmtKind::kWhile:
+      case StmtKind::kFor: {
+        const int c = add_node(&s);  // header: condition / for-parens
+        connect(in, c);
+        Frontier loop_brk;
+        Frontier body_out = seq(s.body, {c}, &loop_brk, c);
+        connect(body_out, c);  // back edge: the loop is a join point
+        Frontier out{c};       // zero iterations / condition exhausted
+        out.insert(out.end(), loop_brk.begin(), loop_brk.end());
+        return out;
+      }
+      case StmtKind::kDoWhile: {
+        const int c = add_node(&s);  // trailing condition
+        Frontier loop_brk;
+        Frontier body_in = std::move(in);
+        body_in.push_back(c);  // back edge via the condition
+        Frontier body_out = seq(s.body, body_in, &loop_brk, c);
+        connect(body_out, c);
+        Frontier out{c};
+        out.insert(out.end(), loop_brk.begin(), loop_brk.end());
+        return out;
+      }
+      case StmtKind::kSwitch: {
+        const int c = add_node(&s);
+        connect(in, c);
+        Frontier sw_brk;
+        Frontier body_out = seq(s.body, {c}, &sw_brk, cont);
+        Frontier out = std::move(body_out);
+        out.push_back(c);  // no matching case
+        out.insert(out.end(), sw_brk.begin(), sw_brk.end());
+        return out;
+      }
+    }
+    return in;  // unreachable; keeps -Wswitch quiet for future kinds
+  }
+
+  const Function& fn_;
+  Cfg cfg_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const Function& fn) { return Builder(fn).build(); }
+
+}  // namespace keyguard::lint

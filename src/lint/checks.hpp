@@ -1,0 +1,98 @@
+// keylint2 check catalogue and per-file check driver.
+//
+//   KL101  secret-labelled allocation not scrubbed on EVERY exit path.
+//          Path-sensitive successor of keylint v1's KL003 ("a scrub exists
+//          somewhere in the body"): a forward dataflow pass over the CFG
+//          tracks each secret allocation per path; early returns, branch
+//          joins and loop exits are checked individually, so a scrub that
+//          covers only the happy path no longer passes.
+//   KL102  raw memset / raw heap_free funnel bypass (ports of KL001/KL002,
+//          scope-aware: an allow annotation binds to the statement, not a
+//          3-line window).
+//   KL103  secret-to-sink flow: a value derived from a secret-labelled
+//          allocation reaches a logging/JSON/trace/printf sink through
+//          local assignments.
+//   KL104  locked-memory audit: allocations of key-material pages (the
+//          must-lock label set, SecureBuffer/SecureRsaKey funnels) must go
+//          through an mlock-guaranteeing funnel; every audited site is
+//          emitted into the machine-readable compliance report (the
+//          KeepTower MEMORY_LOCKING_AUDIT idiom).
+//
+// Annotation grammar (bound to the statement, or to the function for
+// `unscrubbed` — see analyzer.cpp):
+//
+//   // keylint: allow(raw-free|raw-memset|unscrubbed|sink-flow|unlocked[, ...]) — why
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/cfg.hpp"
+#include "lint/parse.hpp"
+#include "lint/token.hpp"
+
+namespace keyguard::lint {
+
+struct Finding {
+  std::string check;  // "KL101".."KL104"
+  std::string file;   // repo-relative path
+  int line = 0;
+  std::string message;
+  bool waived = false;
+  std::string waive_reason;
+};
+
+/// One audited allocation site in the locked-memory compliance report.
+struct ComplianceSite {
+  std::string file;
+  int line = 0;
+  std::string funnel;  // "mmap_anon" | "heap_alloc" | "SecureBuffer" | "SecureRsaKey"
+  std::string label;   // allocation label when the funnel takes one
+  bool locked = false;
+  std::string status;  // "compliant" | "violation" | "allowed"
+  std::string detail;
+};
+
+struct CheckInfo {
+  const char* id;
+  const char* summary;  // one line, shown by --list-checks and in SARIF rules
+  const char* help;
+};
+
+const std::vector<CheckInfo>& check_catalogue();
+
+/// Annotation oracle the checks consult (implemented over the comment
+/// stream by analyzer.cpp).
+class AllowOracle {
+ public:
+  virtual ~AllowOracle() = default;
+  /// allow(kind) on any line of `s`, or on the own-line comment run
+  /// immediately above its first line.
+  virtual bool statement_allows(const Stmt& s, std::string_view kind) const = 0;
+  /// allow(kind) above the signature; for "unscrubbed" also anywhere in the
+  /// body (keylint v1 compatibility).
+  virtual bool function_allows(const Function& fn,
+                               std::string_view kind) const = 0;
+};
+
+/// True when a string literal labels an allocation as key material
+/// (port of keylint v1's SECRET_LABEL).
+bool is_secret_label(std::string_view s);
+
+/// Subset of secret labels that MUST live on mlocked pages (KL104).
+bool is_must_lock_label(std::string_view s);
+
+struct FileCheckResult {
+  std::vector<Finding> findings;
+  std::vector<ComplianceSite> sites;
+};
+
+/// Runs every check over one parsed file. Findings come back ordered by
+/// line; waiving is applied later by the analyzer.
+FileCheckResult run_checks(const std::string& repo_rel_path,
+                           const TokenStream& ts,
+                           const std::vector<Function>& fns,
+                           const AllowOracle& allows);
+
+}  // namespace keyguard::lint

@@ -1,0 +1,344 @@
+#include "lint/parse.hpp"
+
+#include <algorithm>
+
+namespace keyguard::lint {
+namespace {
+
+bool is_container_keyword(const Token& t) {
+  return t.kind == TokKind::kIdentifier &&
+         (t.text == "namespace" || t.text == "struct" || t.text == "class" ||
+          t.text == "union" || t.text == "extern");
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& toks) : t_(toks) {}
+
+  std::vector<Function> run() {
+    std::size_t stmt_start = 0;
+    while (!eof()) {
+      const Token& tk = cur();
+      if (tk.is(";") || tk.is("}")) {
+        ++i_;
+        stmt_start = i_;
+        continue;
+      }
+      if (tk.is("{")) {
+        handle_container_brace(stmt_start);
+        stmt_start = i_;
+        continue;
+      }
+      ++i_;
+    }
+    return std::move(fns_);
+  }
+
+ private:
+  bool eof() const { return i_ >= t_.size(); }
+  const Token& cur() const { return t_[i_]; }
+  const Token* peek(std::size_t ahead = 0) const {
+    return i_ + ahead < t_.size() ? &t_[i_ + ahead] : nullptr;
+  }
+
+  // Called with cur() == "{" at container (namespace/class/file) scope;
+  // pending signature tokens are [stmt_start, i_). Decides between entering
+  // a container scope, skipping an initializer, and parsing a function.
+  void handle_container_brace(std::size_t stmt_start) {
+    const std::size_t open = i_;
+    if (open == stmt_start) {
+      ++i_;  // anonymous scope: scan inside
+      return;
+    }
+    const Token& first = t_[stmt_start];
+    if (first.ident("namespace") || first.ident("struct") ||
+        first.ident("class") || first.ident("union") ||
+        first.ident("extern")) {
+      ++i_;  // transparent container: member functions are found inside
+      return;
+    }
+    if (first.ident("enum")) {
+      skip_balanced_braces();
+      return;
+    }
+    bool has_paren = false;
+    bool has_toplevel_assign = false;
+    int depth = 0;
+    for (std::size_t j = stmt_start; j < open; ++j) {
+      const Token& t = t_[j];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[") {
+        if (t.text == "(" && depth == 0) has_paren = true;
+        ++depth;
+      } else if (t.text == ")" || t.text == "]") {
+        --depth;
+      } else if (t.text == "=" && depth == 0) {
+        has_toplevel_assign = true;
+      }
+    }
+    if (has_toplevel_assign || !has_paren ||
+        std::any_of(t_.begin() + static_cast<std::ptrdiff_t>(stmt_start),
+                    t_.begin() + static_cast<std::ptrdiff_t>(open),
+                    [](const Token& t) { return is_container_keyword(t); })) {
+      skip_balanced_braces();  // aggregate init / lambda / unknown construct
+      return;
+    }
+
+    Function fn;
+    fn.signature.assign(t_.begin() + static_cast<std::ptrdiff_t>(stmt_start),
+                        t_.begin() + static_cast<std::ptrdiff_t>(open));
+    fn.signature_line = fn.signature.front().line;
+    fn.body_open_line = t_[open].line;
+    fn.name = signature_name(stmt_start, open);
+    ++i_;  // consume '{'
+    fn.body = parse_block();
+    fn.last_line = i_ > 0 ? t_[i_ - 1].line : fn.body_open_line;
+    fns_.push_back(std::move(fn));
+  }
+
+  // Best-effort qualified name: identifier chain before the first
+  // top-level '(' of the signature.
+  std::string signature_name(std::size_t begin, std::size_t end) const {
+    int depth = 0;
+    std::size_t paren = end;
+    for (std::size_t j = begin; j < end; ++j) {
+      const Token& t = t_[j];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(") {
+        if (depth == 0) {
+          paren = j;
+          break;
+        }
+        ++depth;
+      } else if (t.text == "<" ) {
+        ++depth;
+      } else if (t.text == ">") {
+        if (depth > 0) --depth;
+      }
+    }
+    if (paren == end || paren == begin) return {};
+    std::size_t j = paren - 1;
+    if (t_[j].kind != TokKind::kIdentifier) return {};
+    std::string name = t_[j].text;
+    while (j >= 2 && t_[j - 1].is("::") &&
+           t_[j - 2].kind == TokKind::kIdentifier) {
+      name = t_[j - 2].text + "::" + name;
+      j -= 2;
+      if (j < 2) break;
+    }
+    return name;
+  }
+
+  void skip_balanced_braces() {
+    // cur() == "{"
+    int depth = 0;
+    while (!eof()) {
+      if (cur().is("{")) ++depth;
+      if (cur().is("}")) {
+        --depth;
+        if (depth == 0) {
+          ++i_;
+          return;
+        }
+      }
+      ++i_;
+    }
+  }
+
+  // Consumes tokens between the '(' at cur() and its match; returns the
+  // contents (exclusive of the outer parens).
+  std::vector<Token> balanced_parens() {
+    std::vector<Token> out;
+    if (eof() || !cur().is("(")) return out;
+    ++i_;  // outer '('
+    int depth = 1;
+    while (!eof()) {
+      const Token& t = cur();
+      if (t.is("(")) {
+        ++depth;
+      } else if (t.is(")")) {
+        --depth;
+        if (depth == 0) {
+          ++i_;
+          return out;
+        }
+      }
+      out.push_back(t);
+      ++i_;
+    }
+    return out;
+  }
+
+  static void span_lines(Stmt& s) {
+    for (const Token& t : s.head) {
+      if (s.first_line == 0) s.first_line = t.line;
+      s.last_line = std::max(s.last_line, t.line);
+    }
+    for (const Stmt& c : s.body) {
+      if (s.first_line == 0) s.first_line = c.first_line;
+      s.last_line = std::max(s.last_line, c.last_line);
+    }
+    for (const Stmt& c : s.else_body) {
+      s.last_line = std::max(s.last_line, c.last_line);
+    }
+  }
+
+  // Statements until the matching '}' (which is consumed).
+  std::vector<Stmt> parse_block() {
+    std::vector<Stmt> out;
+    while (!eof()) {
+      if (cur().is("}")) {
+        ++i_;
+        return out;
+      }
+      if (cur().is(";")) {
+        ++i_;
+        continue;
+      }
+      out.push_back(parse_stmt());
+    }
+    return out;
+  }
+
+  Stmt parse_stmt() {
+    Stmt s;
+    if (eof()) return s;
+    const Token& tk = cur();
+    const int at = tk.line;
+    s.first_line = s.last_line = at;
+
+    if (tk.is("{")) {
+      s.kind = StmtKind::kBlock;
+      ++i_;
+      s.body = parse_block();
+      span_lines(s);
+      return s;
+    }
+    if (tk.ident("if")) {
+      s.kind = StmtKind::kIf;
+      ++i_;
+      skip_if_constexpr_decorations();
+      s.head = balanced_parens();
+      s.body.push_back(parse_stmt());
+      if (!eof() && cur().ident("else")) {
+        s.has_else = true;
+        ++i_;
+        s.else_body.push_back(parse_stmt());
+      }
+      span_lines(s);
+      return s;
+    }
+    if (tk.ident("while")) {
+      s.kind = StmtKind::kWhile;
+      ++i_;
+      s.head = balanced_parens();
+      s.body.push_back(parse_stmt());
+      span_lines(s);
+      return s;
+    }
+    if (tk.ident("for")) {
+      s.kind = StmtKind::kFor;
+      ++i_;
+      s.head = balanced_parens();
+      s.body.push_back(parse_stmt());
+      span_lines(s);
+      return s;
+    }
+    if (tk.ident("do")) {
+      s.kind = StmtKind::kDoWhile;
+      ++i_;
+      s.body.push_back(parse_stmt());
+      if (!eof() && cur().ident("while")) {
+        ++i_;
+        s.head = balanced_parens();
+      }
+      if (!eof() && cur().is(";")) ++i_;
+      span_lines(s);
+      return s;
+    }
+    if (tk.ident("switch")) {
+      s.kind = StmtKind::kSwitch;
+      ++i_;
+      s.head = balanced_parens();
+      if (!eof() && cur().is("{")) {
+        ++i_;
+        s.body = parse_block();
+      }
+      span_lines(s);
+      return s;
+    }
+    if (tk.ident("return")) {
+      s.kind = StmtKind::kReturn;
+      ++i_;
+      consume_simple_into(s.head);
+      span_lines(s);
+      if (s.first_line == 0) s.first_line = s.last_line = at;
+      return s;
+    }
+    if (tk.ident("break") || tk.ident("continue")) {
+      s.kind = tk.ident("break") ? StmtKind::kBreak : StmtKind::kContinue;
+      ++i_;
+      if (!eof() && cur().is(";")) ++i_;
+      return s;
+    }
+    if (tk.ident("case") || tk.ident("default")) {
+      // Label marker inside a switch body: consume through ':' and yield an
+      // empty statement; the section's statements follow in the block.
+      ++i_;
+      while (!eof() && !cur().is(":") && !cur().is("}")) ++i_;
+      if (!eof() && cur().is(":")) ++i_;
+      s.kind = StmtKind::kSimple;
+      return s;
+    }
+    if (tk.ident("else")) {
+      ++i_;  // orphan else (misparse guard): drop it
+      s.kind = StmtKind::kSimple;
+      return s;
+    }
+
+    s.kind = StmtKind::kSimple;
+    consume_simple_into(s.head);
+    span_lines(s);
+    if (s.first_line == 0) s.first_line = s.last_line = at;
+    return s;
+  }
+
+  // `if constexpr (...)`: skip the constexpr token so balanced_parens sees
+  // the condition.
+  void skip_if_constexpr_decorations() {
+    if (!eof() && cur().ident("constexpr")) ++i_;
+  }
+
+  // Consumes a plain statement's tokens up to the terminating ';' (eaten,
+  // not stored). Parens/brackets/braces inside the statement (calls,
+  // lambdas, init-lists, local struct definitions) are swallowed whole.
+  void consume_simple_into(std::vector<Token>& out) {
+    int depth = 0;
+    while (!eof()) {
+      const Token& t = cur();
+      if (depth == 0 && t.is(";")) {
+        ++i_;
+        return;
+      }
+      if (depth == 0 && t.is("}")) {
+        return;  // missing semicolon / end of block: do not eat the brace
+      }
+      if (t.is("(") || t.is("[") || t.is("{")) ++depth;
+      if (t.is(")") || t.is("]") || t.is("}")) --depth;
+      out.push_back(t);
+      ++i_;
+    }
+  }
+
+  const std::vector<Token>& t_;
+  std::size_t i_ = 0;
+  std::vector<Function> fns_;
+};
+
+}  // namespace
+
+std::vector<Function> parse_functions(const TokenStream& ts) {
+  return Parser(ts.tokens).run();
+}
+
+}  // namespace keyguard::lint

@@ -1,0 +1,145 @@
+#include "lint/report.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace keyguard::lint {
+
+std::string render_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  std::size_t active = 0;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": " << f.check << " " << f.message;
+    if (f.waived) {
+      out << "  [waived: " << f.waive_reason << "]";
+    } else {
+      ++active;
+    }
+    out << "\n";
+  }
+  if (findings.empty()) {
+    out << "keylint2: clean\n";
+  } else {
+    out << "keylint2: " << active << " finding" << (active == 1 ? "" : "s");
+    if (active != findings.size()) {
+      out << " (" << (findings.size() - active) << " waived)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("$schema",
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+          "Schemata/sarif-schema-2.1.0.json");
+  w.field("version", "2.1.0");
+  w.key("runs").begin_array();
+  w.begin_object();
+
+  w.key("tool").begin_object();
+  w.key("driver").begin_object();
+  w.field("name", "keylint2");
+  w.field("informationUri",
+          "https://example.invalid/keyguard/docs/DESIGN.md#static-analysis");
+  w.field("version", "2.0.0");
+  w.key("rules").begin_array();
+  for (const CheckInfo& c : check_catalogue()) {
+    w.begin_object();
+    w.field("id", c.id);
+    w.key("shortDescription").begin_object().field("text", c.summary)
+        .end_object();
+    w.key("fullDescription").begin_object().field("text", c.help)
+        .end_object();
+    w.key("defaultConfiguration").begin_object().field("level", "error")
+        .end_object();
+    w.end_object();
+  }
+  w.end_array();  // rules
+  w.end_object();  // driver
+  w.end_object();  // tool
+
+  w.key("results").begin_array();
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.field("ruleId", f.check);
+    w.field("level", f.waived ? "none" : "error");
+    if (f.waived) w.field("kind", "informational");
+    w.key("message").begin_object();
+    std::string text = f.message;
+    if (f.waived) text += " [waived: " + f.waive_reason + "]";
+    w.field("text", text);
+    w.end_object();
+    w.key("locations").begin_array();
+    w.begin_object();
+    w.key("physicalLocation").begin_object();
+    w.key("artifactLocation").begin_object();
+    w.field("uri", f.file);
+    w.field("uriBaseId", "SRCROOT");
+    w.end_object();
+    w.key("region").begin_object();
+    w.field("startLine", f.line);
+    w.end_object();
+    w.end_object();  // physicalLocation
+    w.end_object();
+    w.end_array();  // locations
+    w.end_object();  // result
+  }
+  w.end_array();  // results
+
+  w.key("originalUriBaseIds").begin_object();
+  w.key("SRCROOT").begin_object().field("uri", "file:///./").end_object();
+  w.end_object();
+
+  w.end_object();  // run
+  w.end_array();   // runs
+  w.end_object();
+  return w.str();
+}
+
+std::string render_compliance(const std::vector<ComplianceSite>& sites) {
+  std::size_t compliant = 0, violations = 0, allowed = 0;
+  for (const ComplianceSite& s : sites) {
+    if (s.status == "violation") ++violations;
+    else if (s.status == "allowed") ++allowed;
+    else ++compliant;
+  }
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("report", "locked_memory_compliance");
+  w.field("schema_version", 2);
+  w.field("tool", "keylint2");
+  w.key("audited_funnels").begin_array();
+  w.value("mmap_anon");
+  w.value("heap_alloc");
+  w.value("SecureBuffer");
+  w.value("SecureRsaKey");
+  w.end_array();
+  w.key("sites").begin_array();
+  for (const ComplianceSite& s : sites) {
+    w.begin_object();
+    w.field("file", s.file);
+    w.field("line", s.line);
+    w.field("funnel", s.funnel);
+    if (!s.label.empty()) w.field("label", s.label);
+    w.field("locked", s.locked);
+    w.field("status", s.status);
+    w.field("detail", s.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("summary").begin_object();
+  w.field("sites", static_cast<std::uint64_t>(sites.size()));
+  w.field("compliant", static_cast<std::uint64_t>(compliant));
+  w.field("violations", static_cast<std::uint64_t>(violations));
+  w.field("allowed", static_cast<std::uint64_t>(allowed));
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace keyguard::lint

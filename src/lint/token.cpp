@@ -1,0 +1,204 @@
+#include "lint/token.hpp"
+
+#include <cctype>
+
+namespace keyguard::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char punctuators the parser or checks care about. Longest first so
+// `->` wins over `-` and `<<=` over `<<`. Everything else lexes as a single
+// char, which is good enough for statement/brace structure.
+constexpr std::string_view kPuncts3[] = {"<<=", ">>=", "...", "->*"};
+constexpr std::string_view kPuncts2[] = {"::", "->", "==", "!=", "<=", ">=",
+                                         "&&", "||", "<<", ">>", "+=", "-=",
+                                         "*=", "/=", "%=", "&=", "|=", "^=",
+                                         "++", "--"};
+
+}  // namespace
+
+TokenStream tokenize(std::string_view src) {
+  TokenStream out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool line_has_code = false;  // any token emitted on the current line yet
+
+  auto push = [&](TokKind kind, std::string text, int at_line) {
+    out.tokens.push_back(Token{kind, std::move(text), at_line});
+    line_has_code = true;
+  };
+  auto newline = [&] {
+    ++line;
+    line_has_code = false;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: consume to end of line, honoring backslash
+    // continuations. `#include "..."` must not produce a String token.
+    if (c == '#' && !line_has_code) {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          newline();
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int at = line;
+      const bool own = !line_has_code;
+      i += 2;
+      std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      std::string text(src.substr(start, i - start));
+      // Trim.
+      const auto b = text.find_first_not_of(" \t");
+      const auto e = text.find_last_not_of(" \t\r");
+      text = b == std::string::npos ? std::string{}
+                                    : text.substr(b, e - b + 1);
+      out.comments.push_back(Comment{at, std::move(text), own});
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') newline();
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+
+    // String literals (including a minimal raw-string form).
+    if (c == '"' || (c == 'R' && i + 1 < n && src[i + 1] == '"')) {
+      const int at = line;
+      if (c == 'R') {
+        // R"delim( ... )delim"
+        std::size_t p = i + 2;
+        std::size_t dstart = p;
+        while (p < n && src[p] != '(') ++p;
+        const std::string delim(src.substr(dstart, p - dstart));
+        const std::string closer = ")" + delim + "\"";
+        std::size_t body = p + 1;
+        const std::size_t end = src.find(closer, body);
+        std::string text(src.substr(body, end == std::string_view::npos
+                                               ? n - body
+                                               : end - body));
+        for (char ch : text) {
+          if (ch == '\n') newline();
+        }
+        push(TokKind::kString, std::move(text), at);
+        i = end == std::string_view::npos ? n : end + closer.size();
+        continue;
+      }
+      ++i;
+      std::size_t start = i;
+      std::string text;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < n) {
+          text.append(src.substr(start, i - start));
+          text.push_back(src[i]);
+          text.push_back(src[i + 1]);
+          i += 2;
+          start = i;
+          continue;
+        }
+        if (src[i] == '\n') newline();  // unterminated; keep line count sane
+        ++i;
+      }
+      text.append(src.substr(start, i - start));
+      if (i < n) ++i;  // closing quote
+      push(TokKind::kString, std::move(text), at);
+      continue;
+    }
+
+    // Char literals (also catches digit separators' neighbors safely).
+    if (c == '\'') {
+      const int at = line;
+      ++i;
+      std::size_t start = i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) {
+          ++i;
+        }
+        ++i;
+      }
+      push(TokKind::kCharLit, std::string(src.substr(start, i - start)), at);
+      if (i < n) ++i;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      push(TokKind::kIdentifier, std::string(src.substr(start, i - start)),
+           line);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      // pp-number shape: digits, letters, dots, ' separators, and exponent
+      // signs. Precision is irrelevant to the checks.
+      while (i < n && (ident_char(src[i]) || src[i] == '.' ||
+                       src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      push(TokKind::kNumber, std::string(src.substr(start, i - start)), line);
+      continue;
+    }
+
+    // Punctuators, longest match first.
+    bool matched = false;
+    for (const auto p : kPuncts3) {
+      if (src.substr(i, 3) == p) {
+        push(TokKind::kPunct, std::string(p), line);
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const auto p : kPuncts2) {
+      if (src.substr(i, 2) == p) {
+        push(TokKind::kPunct, std::string(p), line);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    push(TokKind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+
+  out.last_line = line;
+  return out;
+}
+
+}  // namespace keyguard::lint

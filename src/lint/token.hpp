@@ -1,0 +1,61 @@
+// Lexer for keylint2 (src/lint): C++ source -> token stream.
+//
+// keylint v1 (tools/keylint.py) matched regexes against raw lines, which is
+// why it could not see control flow: a `{` inside a string literal broke its
+// brace counting, a wrapped condition hid `return` from it, and an allow
+// annotation had no statement to bind to. Everything downstream of this
+// lexer (parse.hpp, cfg.hpp, checks.hpp) works on tokens instead.
+//
+// Scope: this is a *linter* lexer, not a compiler front end. It understands
+// exactly what the checks need — identifiers, literals (string contents are
+// preserved: SECRET_LABEL matching happens on them), multi-char operators
+// that affect statement structure (`::`, `->`, `==`, ...), line numbers for
+// findings, and `//` comments kept separately so `keylint: allow(...)`
+// annotations can be bound to statements. Preprocessor directives and block
+// comments are consumed and dropped.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace keyguard::lint {
+
+enum class TokKind {
+  kIdentifier,
+  kNumber,
+  kString,   // text = literal contents without quotes
+  kCharLit,  // text = literal contents without quotes
+  kPunct,    // text = operator/punctuator spelling
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+
+  bool is(std::string_view s) const {
+    return text == s;
+  }
+  bool ident(std::string_view s) const {
+    return kind == TokKind::kIdentifier && text == s;
+  }
+};
+
+struct Comment {
+  int line = 0;
+  std::string text;     // after the `//`, trimmed
+  bool own_line = false;  // nothing but whitespace preceded it on its line
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  int last_line = 0;  // line count of the source
+};
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+/// punct tokens (the parser skips what it does not understand).
+TokenStream tokenize(std::string_view source);
+
+}  // namespace keyguard::lint

@@ -123,7 +123,7 @@ std::optional<SimRsaKey> SslLibrary::load_private_key(sim::Process& p,
     // keylint: allow(raw-free) — the unpatched library's leak, measured
     // by the figures; the clear_temporaries branch above is the patch
     kernel_.heap_free(p, der_buf);
-    kernel_.heap_free(p, pem_buf);
+    kernel_.heap_free(p, pem_buf);  // keylint: allow(raw-free) — same leak
   }
 
   if (cfg_.auto_align) {

@@ -1,0 +1,84 @@
+// Clang thread-safety analysis support (-Wthread-safety).
+//
+// The keystore pool discipline — pin under the mutex, CRT math outside it,
+// unpin under the mutex again — is exactly the kind of invariant that rots
+// silently: one new accessor that forgets the lock compiles fine and races
+// under load. The capability annotations here make the compiler prove the
+// discipline on every path when built with clang and
+// -DKEYGUARD_THREAD_SAFETY=ON (the sanitizer CI job does); under GCC every
+// macro expands to nothing and the wrappers are zero-cost veneers over
+// std::mutex.
+//
+// std::mutex/std::unique_lock themselves carry no annotations, so the
+// annotated types below wrap them: Mutex is the capability, MutexLock the
+// scoped acquisition, and MutexLock::wait() bridges to a plain
+// std::condition_variable without losing the "lock is held" fact.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define KEYGUARD_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef KEYGUARD_TSA
+#define KEYGUARD_TSA(x)  // not clang: annotations compile away
+#endif
+
+#define CAPABILITY(x) KEYGUARD_TSA(capability(x))
+#define SCOPED_CAPABILITY KEYGUARD_TSA(scoped_lockable)
+#define GUARDED_BY(x) KEYGUARD_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) KEYGUARD_TSA(pt_guarded_by(x))
+#define REQUIRES(...) KEYGUARD_TSA(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) KEYGUARD_TSA(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) KEYGUARD_TSA(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) KEYGUARD_TSA(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) KEYGUARD_TSA(locks_excluded(__VA_ARGS__))
+#define NO_THREAD_SAFETY_ANALYSIS KEYGUARD_TSA(no_thread_safety_analysis)
+
+namespace keyguard::util {
+
+/// std::mutex with the capability annotation the analysis needs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for condition-variable plumbing only.
+  std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex (the annotated stand-in for std::lock_guard /
+/// std::unique_lock): acquires in the constructor, releases in the
+/// destructor, and supports condition-variable waits that preserve the
+/// "held on return" guarantee.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Waits on `cv`, releasing the mutex while blocked and reacquiring
+  /// before returning — the annotated equivalent of
+  /// std::condition_variable::wait(std::unique_lock&). The analysis is
+  /// suppressed inside: the lock is held on entry and on exit, which is
+  /// all callers can observe.
+  void wait(std::condition_variable& cv) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> ul(mu_.native(), std::adopt_lock);
+    cv.wait(ul);
+    ul.release();  // ownership stays with this MutexLock
+  }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace keyguard::util

@@ -1,0 +1,16 @@
+// Scrub in one branch only: the implicit else-path joins back and reaches
+// the return with the CRT intermediate still live.
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+int crt_step(sim::Kernel& k, sim::Process& p, bool fast_path) {
+  const auto s1 = k.heap_alloc(p, 128, "CRT intermediate");  // expect: KL101
+  exponentiate(k, p, s1);
+  if (fast_path) {
+    k.heap_clear_free(p, s1);
+  }
+  return 0;  // fast_path == false leaks s1
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// THE differential fixture: the scrub on the happy path satisfies keylint
+// v1's KL003 ("a scrub exists somewhere in the body"), so the legacy tool
+// reports nothing here. keylint2's path-sensitive KL101 sees the early
+// return that leaves the PEM copy live in a freed-reachable heap chunk.
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+int load_key(sim::Kernel& k, sim::Process& p, bool strict) {
+  const auto pem_buf = k.heap_alloc(p, 2048, "PEM read buffer");  // expect: KL101
+  read_key_file(k, p, pem_buf);
+  if (!checksum_ok(k, p, pem_buf)) {
+    return -1;  // early return: pem_buf is still live and unscrubbed
+  }
+  decode(k, p, pem_buf, strict);
+  k.heap_clear_free(p, pem_buf);
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// The allow annotation binds to the statement directly below it — NOT to
+// anything within a 3-line window. keylint v1's window bug suppressed the
+// memset here; keylint2 (and the fixed keylint.py) still report it.
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+void reset_ctx(sim::Kernel& k, sim::Process& p, Ctx& ctx) {
+  // keylint: allow(raw-memset) — covers only the next statement
+  ctx.scratch_words = 0;
+  memset(ctx.iv, 0, 16);  // expect: KL102
+  touch(k, p, ctx);
+}
+
+}  // namespace fixture

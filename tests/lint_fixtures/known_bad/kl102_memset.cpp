@@ -1,0 +1,14 @@
+// Raw memset outside the whitelist: dead-store elimination may drop it
+// (tests/scrub_survival_test.cpp demonstrates exactly that at -O3).
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+void wipe_wrong(sim::Kernel& k, sim::Process& p, unsigned char* shadow) {
+  const auto buf = k.heap_alloc(p, 64, "session secret");
+  derive_mac(k, p, buf);
+  memset(shadow, 0, 64);  // expect: KL102
+  k.heap_clear_free(p, buf);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Raw heap_free in a secret-handling function: even a pre-zeroed chunk must
+// go through the clear-free funnel (the zeroing and the free are separately
+// optimizable; the funnel is the contract).
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+void drop_session(sim::Kernel& k, sim::Process& p) {
+  const auto secret = k.heap_alloc(p, 48, "session secret");
+  derive_mac(k, p, secret);
+  k.mem_zero(p, secret, 48);
+  k.heap_free(p, secret);  // expect: KL102
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Must-lock label on a swappable page: "key vault" pages may be written to
+// the swap device and imaged after power-off (the paper's disclosure
+// channel). KL104 records the site as a violation in the compliance report.
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+void reserve_vault(sim::Kernel& k, sim::Process& p) {
+  const auto page = k.mmap_anon(p, 4096, /*mlocked=*/false, "key vault");  // expect: KL104
+  stage_keys(k, p, page);
+  k.mem_zero(p, page, 4096);
+  k.munmap(p, page);
+}
+
+}  // namespace fixture

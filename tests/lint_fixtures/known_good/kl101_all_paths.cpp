@@ -1,0 +1,24 @@
+// Every exit path — early return, branch join, fall-through — scrubs the
+// secret before leaving. KL101 must stay quiet.
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+int load_key(sim::Kernel& k, sim::Process& p, bool strict) {
+  const auto pem_buf = k.heap_alloc(p, 2048, "PEM read buffer");
+  read_key_file(k, p, pem_buf);
+  if (!checksum_ok(k, p, pem_buf)) {
+    k.heap_clear_free(p, pem_buf);
+    return -1;
+  }
+  if (strict) {
+    decode_strict(k, p, pem_buf);
+    k.heap_clear_free(p, pem_buf);
+    return 1;
+  }
+  decode(k, p, pem_buf);
+  k.heap_clear_free(p, pem_buf);
+  return 0;
+}
+
+}  // namespace fixture

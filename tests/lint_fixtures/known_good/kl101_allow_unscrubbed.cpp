@@ -1,0 +1,13 @@
+// Deliberately-unscrubbed allocation, annotated: this is how the repo
+// models the unpatched library's leak for the experiments.
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+void unpatched_leak(sim::Kernel& k, sim::Process& p) {
+  // keylint: allow(unscrubbed) — models the unpatched library's leak
+  const auto buf = k.heap_alloc(p, 96, "session secret");
+  derive_mac(k, p, buf);
+}
+
+}  // namespace fixture

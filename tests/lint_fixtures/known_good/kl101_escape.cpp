@@ -1,0 +1,15 @@
+// Ownership transfer: the bignum is written into a struct that is returned
+// to the caller, so this function is not responsible for scrubbing it.
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+SimBignum make_private_exponent(sim::Kernel& k, sim::Process& p,
+                                const Bytes& src) {
+  SimBignum bn;
+  bn.data = k.write_bignum_heap(p, src, "RSA bignum d");
+  bn.len = src.size();
+  return bn;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Per-iteration allocate/use/scrub: the loop back edge carries a clean
+// state, and the loop-exhausted exit is clean too.
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+void batch(sim::Kernel& k, sim::Process& p, int n) {
+  for (int i = 0; i < n; ++i) {
+    const auto tmp = k.heap_alloc(p, 32, "CRT intermediate");
+    combine(k, p, tmp, i);
+    k.heap_clear_free(p, tmp);
+  }
+}
+
+}  // namespace fixture

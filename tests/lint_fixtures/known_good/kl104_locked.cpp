@@ -1,0 +1,14 @@
+// Must-lock label on an mlocked page: recorded in the compliance report as
+// a compliant site, no finding.
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+void reserve_vault(sim::Kernel& k, sim::Process& p) {
+  const auto page = k.mmap_anon(p, 4096, /*mlocked=*/true, "key vault");
+  stage_keys(k, p, page);
+  k.mem_zero(p, page, 4096);
+  k.munmap(p, page);
+}
+
+}  // namespace fixture

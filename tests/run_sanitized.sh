@@ -48,10 +48,15 @@ TARGETS=(
   obs_trace_test
   obs_concurrency_test
   obs_exposure_test
+  lint_selftest
 )
 
+# KEYGUARD_THREAD_SAFETY turns on clang's -Wthread-safety over the
+# annotated keystore mutexes (util/thread_safety.hpp); it is a no-op when
+# the toolchain is GCC, so passing it unconditionally is safe.
 cmake -B "$BUILD" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DKEYGUARD_THREAD_SAFETY=ON \
   -DKEYGUARD_SANITIZE="$SAN" > /dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target "${TARGETS[@]}"
 

@@ -42,6 +42,51 @@ TEST(ConstantTimeEqual, Basics) {
   EXPECT_TRUE(constant_time_equal({}, {}));
 }
 
+TEST(ConstantTimeEqual, LengthMismatchIsFalseRegardlessOfContents) {
+  const std::vector<std::byte> a(32, std::byte{0x5A});
+  std::vector<std::byte> shorter(a.begin(), a.end() - 1);
+  std::vector<std::byte> longer = a;
+  longer.push_back(std::byte{0x5A});
+  EXPECT_FALSE(constant_time_equal(a, shorter));
+  EXPECT_FALSE(constant_time_equal(shorter, a));
+  EXPECT_FALSE(constant_time_equal(a, longer));
+  EXPECT_FALSE(constant_time_equal(a, std::span<const std::byte>{}));
+}
+
+TEST(ConstantTimeEqual, EmptySpans) {
+  EXPECT_TRUE(constant_time_equal({}, {}));
+  const std::vector<std::byte> one(1, std::byte{0});
+  EXPECT_FALSE(constant_time_equal({}, one));
+  EXPECT_FALSE(constant_time_equal(one, {}));
+}
+
+TEST(ConstantTimeEqual, SingleBitDifferenceAtEveryBytePosition) {
+  // The accumulator must not saturate, alias, or skip positions: flipping
+  // any single bit of any single byte must flip the verdict.
+  const std::size_t n = 64;
+  std::vector<std::byte> a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<std::byte>(0xA5u ^ i);
+  }
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::byte> b = a;
+      b[pos] ^= static_cast<std::byte>(1u << bit);
+      EXPECT_FALSE(constant_time_equal(a, b))
+          << "undetected single-bit flip at byte " << pos << " bit " << bit;
+    }
+  }
+  EXPECT_TRUE(constant_time_equal(a, a));
+}
+
+TEST(ConstantTimeEqual, AllZeroVersusAllOnes) {
+  const std::vector<std::byte> zeros(16, std::byte{0x00});
+  const std::vector<std::byte> ones(16, std::byte{0xFF});
+  EXPECT_FALSE(constant_time_equal(zeros, ones));
+  EXPECT_TRUE(constant_time_equal(zeros, zeros));
+  EXPECT_TRUE(constant_time_equal(ones, ones));
+}
+
 TEST(SecureBuffer, AllocatesRequestedSizeZeroed) {
   SecureBuffer buf(1000);
   EXPECT_EQ(buf.size(), 1000u);

@@ -22,7 +22,7 @@ auditor in src/analysis):
          also contain a scrub call (clear_free / mem_zero / secure_zero /
          a clear_temporaries-gated release), or an allow annotation.
 
-Annotations (same line or one of the three lines above the finding, or —
+Annotations bind to the statement they sit on or immediately above (or —
 for KL003 — anywhere in the function or just above its signature):
 
     // keylint: allow(raw-free) — <why this is intentional>
@@ -96,13 +96,39 @@ def strip_noise(line: str) -> str:
     return re.sub(r"//.*", "", line)
 
 
-def allows(lines: list[str], idx: int, what: str, lookback: int = 3) -> bool:
-    """True when an allow(...) covering `what` sits on lines[idx] or up to
-    `lookback` lines above it."""
-    for i in range(max(0, idx - lookback), idx + 1):
-        m = ALLOW.search(lines[i])
-        if m and what in {w.strip() for w in m.group(1).split(",")}:
+def _line_allows(lines: list[str], i: int, what: str) -> bool:
+    m = ALLOW.search(lines[i])
+    return bool(m and what in {w.strip() for w in m.group(1).split(",")})
+
+
+def allows(lines: list[str], idx: int, what: str) -> bool:
+    """True when an allow(...) covering `what` is bound to the statement
+    containing lines[idx]: on a line of the statement itself (its first line
+    through idx), or in the comment/blank run immediately above the
+    statement's first line.
+
+    This replaces the old fixed 3-line lookback window, which had no notion
+    of statement boundaries: an annotation meant for one statement silently
+    covered whatever happened to sit within three lines below it, and an
+    annotation above a statement that wrapped past three lines did not cover
+    its own call."""
+    start = statement_start(lines, idx)
+    for i in range(start, idx + 1):
+        if _line_allows(lines, i, what):
             return True
+    # Own-line comments (and blanks) immediately above the statement; the
+    # run — and the annotation's scope — ends at the first code line.
+    j = start - 1
+    while j >= 0:
+        if lines[j].strip() == "":
+            j -= 1
+            continue
+        if strip_noise(lines[j]).strip() == "":  # comment-only line
+            if _line_allows(lines, j, what):
+                return True
+            j -= 1
+            continue
+        break
     return False
 
 
@@ -118,9 +144,9 @@ class Function:
         return "\n".join(self.lines[self.start : self.end + 1])
 
     def has_allow(self, what: str) -> bool:
-        # Anywhere in the body, or in the three lines above the signature
+        # Anywhere in the body, or in the comment run above the signature
         # (doc-comment position).
-        if allows(self.lines, self.start, what, lookback=3):
+        if allows(self.lines, self.start, what):
             return True
         for i in range(self.start, self.end + 1):
             m = ALLOW.search(self.lines[i])

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Differential oracle: keylint2 must find a SUPERSET of keylint v1's
+findings (modulo the explicit waiver list) over the real tree and the
+known-bad fixture battery.
+
+Check mapping (v1 -> v2):
+    KL001 (raw memset)      -> KL102, line-exact
+    KL002 (raw heap_free)   -> KL102, line-exact
+    KL003 (unscrubbed body) -> KL101, file-level (v1 reports the function
+                               signature line, v2 the allocation line)
+
+Usage:
+    tools/lint_diff_oracle.py --keylint2 build/tools/keylint2 [paths...]
+        (default paths: src tests/lint_fixtures/known_bad)
+
+Exit status: 0 superset holds, 1 a v1 finding has no v2 counterpart,
+2 usage/tool failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FINDING = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): (?P<check>KL\d{3}) ")
+
+LINE_EXACT = {"KL001": "KL102", "KL002": "KL102"}
+FILE_LEVEL = {"KL003": "KL101"}
+
+
+def run(cmd: list[str]) -> list[tuple[str, int, str]]:
+    proc = subprocess.run(cmd, capture_output=True, text=True, cwd=REPO)
+    if proc.returncode not in (0, 1):
+        print(f"oracle: {' '.join(cmd)} exited {proc.returncode}", file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+        sys.exit(2)
+    out = []
+    for line in proc.stdout.splitlines():
+        m = FINDING.match(line)
+        if m:
+            path = m.group("file").removeprefix("./")
+            out.append((path, int(m.group("line")), m.group("check")))
+    return out
+
+
+def load_waivers(path: Path) -> list[tuple[str, str]]:
+    """Lines of `CHECK path-suffix [reason...]`; `#` comments skipped."""
+    out = []
+    if not path.exists():
+        return out
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) >= 2:
+            out.append((fields[0], fields[1]))
+    return out
+
+
+def waived(check: str, file: str, waivers: list[tuple[str, str]]) -> bool:
+    return any(
+        (wc in ("*", check)) and (file == wp or file.endswith("/" + wp))
+        for wc, wp in waivers
+    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--keylint2", default="build/tools/keylint2")
+    ap.add_argument("--waivers", default="tools/lint_oracle_waivers.txt")
+    ap.add_argument("paths", nargs="*",
+                    default=["src", "tests/lint_fixtures/known_bad"])
+    args = ap.parse_args()
+
+    v1 = run([sys.executable, "tools/keylint.py", *args.paths])
+    v2 = run([args.keylint2, *args.paths])
+    waivers = load_waivers(REPO / args.waivers)
+
+    v2_lines = {(f, ln, c) for f, ln, c in v2}
+    v2_files = {(f, c) for f, ln, c in v2}
+
+    missing = []
+    for file, line, check in v1:
+        if check in LINE_EXACT:
+            ok = (file, line, LINE_EXACT[check]) in v2_lines
+        elif check in FILE_LEVEL:
+            ok = (file, FILE_LEVEL[check]) in v2_files
+        else:
+            ok = (file, line, check) in v2_lines
+        if not ok and not waived(check, file, waivers):
+            missing.append((file, line, check))
+
+    print(f"oracle: keylint v1 {len(v1)} finding(s), keylint2 {len(v2)} "
+          f"finding(s) over {' '.join(args.paths)}")
+    if missing:
+        print("oracle: keylint2 is NOT a superset of keylint v1:")
+        for file, line, check in missing:
+            print(f"  {file}:{line}: v1 {check} has no v2 counterpart")
+        return 1
+    extra = len(v2) - (len(v1) - len(missing))
+    print(f"oracle: superset holds ({max(extra, 0)} finding(s) only v2 sees)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
