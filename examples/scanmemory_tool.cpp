@@ -39,6 +39,17 @@
 //                                             the scan stats carry the
 //                                             incremental flag and the
 //                                             dirty-frame count
+//                     [--dedup]               run one KSM-like page-merging
+//                                             pass (sim::DedupEngine) between
+//                                             the workload and the scan; the
+//                                             report gains a "dedup" object
+//                                             (pages merged, savings, vetoes)
+//                                             and merged frames show every
+//                                             (pid, vaddr) mapping. With
+//                                             --taint the engine gets the
+//                                             shadow map as its secret
+//                                             predicate, so canonical frames
+//                                             keep exact taint
 //                     [--taint]               attach a shadow-taint map before
 //                                             the workload and append the
 //                                             residue audit the LKM could never
@@ -87,6 +98,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "scan/dirty_journal.hpp"
+#include "sim/dedup.hpp"
 #include "servers/apache_server.hpp"
 #include "servers/sni_frontend.hpp"
 #include "servers/ssh_server.hpp"
@@ -98,10 +110,10 @@ using namespace keyguard;
 
 namespace {
 
-constexpr std::array<std::string_view, 13> kKnownFlags = {
+constexpr std::array<std::string_view, 14> kKnownFlags = {
     "server",  "backend", "connections", "level",   "threads", "matcher",
-    "incremental", "taint", "json",      "metrics", "trace",   "version",
-    "help"};
+    "incremental", "taint", "dedup",     "json",    "metrics", "trace",
+    "version", "help"};
 
 void print_usage(std::FILE* out) {
   std::fprintf(
@@ -110,8 +122,8 @@ void print_usage(std::FILE* out) {
       "                       [--backend mlocked|encrypted]\n"
       "                       [--level none|application|library|kernel|integrated]\n"
       "                       [--threads N] [--matcher auto|legacy|multi]\n"
-      "                       [--incremental] [--taint] [--json [FILE]]\n"
-      "                       [--metrics [FILE]] [--trace [FILE]]\n"
+      "                       [--incremental] [--taint] [--dedup]\n"
+      "                       [--json [FILE]] [--metrics [FILE]] [--trace [FILE]]\n"
       "                       [--version] [--help]\n"
       "\n"
       "Boots a simulated machine, runs the workload, and scans physical\n"
@@ -122,6 +134,8 @@ void print_usage(std::FILE* out) {
       "  --incremental  prime a sweep cache, run follow-up traffic, report\n"
       "                 the delta sweep (dirty frames only)\n"
       "  --taint    shadow-taint residue audit + scanner cross-check\n"
+      "  --dedup    one page-merging pass before the scan; merged frames\n"
+      "             report every (pid, vaddr) mapping they stand for\n"
       "  --json     machine-readable report (schema_version %lld envelope)\n"
       "  --metrics  MetricsRegistry snapshot (embedded in --json output)\n"
       "  --trace    span/event JSONL for tools/trace2timeline.py\n"
@@ -154,6 +168,9 @@ void print_text(const scan::KeyPatterns& patterns,
     } else {
       for (const auto pid : m.owners) std::printf(" %u", pid);
     }
+    if (m.share_count() > 1) {
+      std::printf(" [shared x%zu]", m.share_count());
+    }
     std::printf("  <- %s\n", m.provenance.c_str());
   }
   const auto census = scan::KeyScanner::census(matches);
@@ -168,7 +185,8 @@ void write_json(util::JsonWriter& w, const scan::KeyPatterns& patterns,
                 const std::vector<scan::MemoryMatch>& matches,
                 const scan::ScanStats& stats,
                 const analysis::AuditReport* report,
-                const analysis::CrossCheck* cross, bool metrics) {
+                const analysis::CrossCheck* cross,
+                const sim::DedupEngine* dedup, bool metrics) {
   obs::begin_report(w, "scanmemory");
   w.field("server", which)
       .field("backend", backend)
@@ -186,6 +204,17 @@ void write_json(util::JsonWriter& w, const scan::KeyPatterns& patterns,
         .field("provenance", m.provenance);
     w.key("owners").begin_array();
     for (const auto pid : m.owners) w.value(static_cast<std::uint64_t>(pid));
+    w.end_array();
+    // One physical hit, share_count disclosures: every mapping of the
+    // frame (COW- or dedup-shared) sees these bytes.
+    w.field("share_count", static_cast<std::uint64_t>(m.share_count()));
+    w.key("mappings").begin_array();
+    for (const auto& mp : m.mappings) {
+      w.begin_object()
+          .field("pid", static_cast<std::uint64_t>(mp.pid))
+          .field("vaddr", static_cast<std::uint64_t>(mp.vaddr))
+          .end_object();
+    }
     w.end_array().end_object();
   }
   w.end_array();
@@ -237,6 +266,23 @@ void write_json(util::JsonWriter& w, const scan::KeyPatterns& patterns,
         .field("all_hits_covered", cross->all_hits_covered())
         .end_object();
     w.end_object();
+  }
+
+  if (dedup) {
+    const auto& ds = dedup->stats();
+    w.key("dedup")
+        .begin_object()
+        .field("scans", ds.scans)
+        .field("pages_considered", ds.pages_considered)
+        .field("pages_merged", ds.pages_merged)
+        .field("bytes_saved", ds.bytes_saved)
+        .field("vetoed_secret", ds.vetoed_secret)
+        .field("hash_collisions", ds.hash_collisions)
+        .field("unmerges", ds.unmerges)
+        .field("shared_frames", static_cast<std::uint64_t>(dedup->shared_frame_count()))
+        .field("saved_pages", static_cast<std::uint64_t>(dedup->saved_pages()))
+        .field("no_merge_secret", dedup->config().no_merge_secret)
+        .end_object();
   }
 
   if (metrics) {
@@ -402,6 +448,27 @@ int main(int argc, char** argv) {
   }
   run_traffic(connections);
 
+  // One merge pass over the churned machine, before the scan sees it.
+  // With --taint the shadow map doubles as the engine's secret predicate
+  // (the canonical-prefers-secret rule keeps the map exact).
+  std::unique_ptr<sim::DedupEngine> dedup;
+  if (flags.has("dedup")) {
+    dedup = std::make_unique<sim::DedupEngine>(s.kernel());
+    if (taint_map) {
+      auto* map = taint_map.get();
+      dedup->set_secret_predicate([map](sim::FrameNumber f) {
+        const std::size_t off = static_cast<std::size_t>(f) * sim::kPageSize;
+        for (std::size_t i = 0; i < sim::kPageSize; ++i) {
+          if (sim::taint_tag_secret(map->phys_tag(off + i))) return true;
+        }
+        return false;
+      });
+    }
+    const auto merged = dedup->scan();
+    std::fprintf(stderr, "dedup: %zu pages merged, %zu saved\n", merged,
+                 dedup->saved_pages());
+  }
+
   scan::KeyScanner& scanner = sni_scanner ? *sni_scanner : s.scanner();
   if (threads > 0) scanner.set_shards(static_cast<std::size_t>(threads));
   scanner.set_matcher(matcher);
@@ -434,7 +501,7 @@ int main(int argc, char** argv) {
     write_json(w, scanner.patterns(), which,
                sni ? backend_name : std::string("n/a"), connections,
                level_name, matches, stats, auditor ? &report : nullptr,
-               auditor ? &cross : nullptr, metrics);
+               auditor ? &cross : nullptr, dedup.get(), metrics);
     if (json_path.empty()) {
       std::printf("%s\n", w.str().c_str());
     } else if (!write_text_file(json_path, w.str(), "JSON")) {

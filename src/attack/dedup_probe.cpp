@@ -1,0 +1,86 @@
+#include "attack/dedup_probe.hpp"
+
+#include <cassert>
+
+#include "sslsim/ssl_library.hpp"
+
+namespace keyguard::attack {
+
+std::vector<std::byte> pool_page_image(const crypto::RsaPrivateKey& key) {
+  std::vector<std::byte> page(sim::kPageSize, std::byte{0});
+  std::size_t cursor = 0;
+  const auto place = [&](const bn::Bignum& v) {
+    const auto image = sslsim::SslLibrary::limb_image(v);
+    assert(cursor + image.size() <= page.size());
+    std::copy(image.begin(), image.end(), page.begin() + cursor);
+    cursor += image.size();
+  };
+  place(key.d);
+  place(key.p);
+  place(key.q);
+  place(key.dmp1);
+  place(key.dmq1);
+  place(key.iqmp);
+  return page;
+}
+
+DedupTimingProbe::DedupTimingProbe(sim::Kernel& kernel, std::string name)
+    : kernel_(kernel), proc_(&kernel.spawn(std::move(name))) {}
+
+DedupTimingProbe::~DedupTimingProbe() { stop(); }
+
+void DedupTimingProbe::spray(std::span<const std::vector<std::byte>> candidates) {
+  for (const auto page : pages_) kernel_.munmap(*proc_, page, sim::kPageSize);
+  pages_.clear();
+  pages_.reserve(candidates.size());
+  for (const auto& content : candidates) {
+    assert(content.size() <= sim::kPageSize);
+    const auto addr =
+        kernel_.mmap_anon(*proc_, sim::kPageSize, /*mlocked=*/false, "dedup spray");
+    assert(addr != 0);
+    // The guess bytes are ATTACKER-LOCAL data written through the normal
+    // path: the shadow map (rightly) tags them clean — the attacker
+    // already possesses its own guesses; the channel only confirms them.
+    kernel_.mem_write(*proc_, addr, content);
+    pages_.push_back(addr);
+  }
+}
+
+std::vector<DedupProbeResult> DedupTimingProbe::probe() {
+  std::vector<DedupProbeResult> out;
+  out.reserve(pages_.size());
+  for (std::size_t i = 0; i < pages_.size(); ++i) {
+    // Re-write the page's own first byte: content is unchanged (the page
+    // can re-merge next pass) but a merged page still COW-faults — the
+    // kernel breaks on write, not on value.
+    std::byte first{};
+    kernel_.mem_read(*proc_, pages_[i], std::span(&first, 1));
+    const auto timing =
+        kernel_.mem_write_timed(*proc_, pages_[i], std::span(&first, 1));
+    out.push_back({i, timing.cost_ns >= kMergedThresholdNs, timing.cost_ns});
+  }
+  return out;
+}
+
+DetectionScore DedupTimingProbe::score(const std::vector<DedupProbeResult>& probes,
+                                       const std::vector<bool>& truth) {
+  assert(probes.size() == truth.size());
+  DetectionScore s;
+  for (const auto& p : probes) {
+    const bool present = truth[p.candidate];
+    if (p.merged && present) ++s.tp;
+    if (p.merged && !present) ++s.fp;
+    if (!p.merged && present) ++s.fn;
+    if (!p.merged && !present) ++s.tn;
+  }
+  return s;
+}
+
+void DedupTimingProbe::stop() {
+  if (proc_ == nullptr) return;
+  kernel_.exit_process(*proc_);
+  proc_ = nullptr;
+  pages_.clear();
+}
+
+}  // namespace keyguard::attack

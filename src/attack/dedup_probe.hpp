@@ -1,0 +1,125 @@
+// The memory-deduplication side-channel attack (Schwarzl et al., "Remote
+// Memory-Deduplication Attacks"; Bosman et al.'s dedup-est-machina is the
+// same oracle browser-side).
+//
+// Threat model: the attacker is an unprivileged co-tenant on a machine
+// whose kernel/hypervisor runs same-content page merging
+// (sim::DedupEngine). It can read and write only its OWN memory — no
+// disclosure bug, no shared filesystem, no root. The oracle:
+//
+//   1. spray()  — write one page per GUESSED content (e.g. the keystore
+//                 pool-slot image of a candidate key: that layout is
+//                 public, only the key bytes vary).
+//   2. wait     — let the dedup pass run (DedupEngine::scan()).
+//   3. probe()  — re-write one byte of each sprayed page and time it.
+//                 A page that got merged with a victim page takes a
+//                 copy-on-write fault: kWriteCostCowBreakNs instead of
+//                 kWriteCostMinorNs, a ~25x gap no jitter hides.
+//
+// A slow write means SOME other page in the machine held exactly the
+// guessed bytes — the victim's key is resident. The attacker never reads
+// a byte it doesn't own; timing alone leaks key-page PRESENCE. Presence,
+// not content: the channel confirms guesses, so it composes with any
+// candidate generator (stolen backups, default keys, low-entropy
+// keygen).
+//
+// The probe write rewrites the page's OWN first byte, so page content is
+// unchanged and the next dedup pass re-merges it — the oracle is
+// repeatable round after round (bench_dedup_attack's timeline).
+//
+// Defense (proved in the bench): DedupConfig::no_merge_secret vetoes
+// merging of taint-marked secret pages, so a guess page has nothing to
+// merge with and every probe write is fast — detection collapses to the
+// false-positive rate (chance). Sealed blobs get per-keystore nonce
+// salting (keystore::salted_nonce) so even ciphertext pages never
+// content-collide across tenants.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.hpp"
+#include "sim/kernel.hpp"
+
+namespace keyguard::attack {
+
+/// The exact byte image of a SimKeystore pool-slot page materialized for
+/// `key`: the six private parts as little-endian limb images, in slot
+/// order (d, p, q, dmp1, dmq1, iqmp), zero-padded to one page. The layout
+/// is public knowledge (it is this repo's source); only the key bytes
+/// vary — which is what makes pool pages guessable page-granular targets.
+std::vector<std::byte> pool_page_image(const crypto::RsaPrivateKey& key);
+
+/// One probed guess: was the sprayed page merged (slow write) or not?
+struct DedupProbeResult {
+  std::size_t candidate = 0;       ///< index into the sprayed set
+  bool merged = false;             ///< write_ns >= kMergedThresholdNs
+  std::uint64_t write_ns = 0;      ///< the measured (simulated) write cost
+};
+
+/// Detection quality over a probe round, against ground truth.
+struct DetectionScore {
+  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
+
+  double precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  }
+  double recall() const {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  }
+  /// Detections among ABSENT candidates — the attacker's chance level.
+  double fp_rate() const {
+    return fp + tn == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(fp + tn);
+  }
+  void accumulate(const DetectionScore& o) {
+    tp += o.tp;
+    fp += o.fp;
+    fn += o.fn;
+    tn += o.tn;
+  }
+};
+
+class DedupTimingProbe {
+ public:
+  /// Writes slower than this are classified "merged" — the midpoint of
+  /// the minor/COW gap, generous on both sides.
+  static constexpr std::uint64_t kMergedThresholdNs =
+      sim::kWriteCostMinorNs + sim::kWriteCostCowBreakNs / 2;
+
+  /// Spawns the attacker process (one more tenant on `kernel`).
+  explicit DedupTimingProbe(sim::Kernel& kernel,
+                            std::string name = "dedup attacker");
+  ~DedupTimingProbe();
+
+  DedupTimingProbe(const DedupTimingProbe&) = delete;
+  DedupTimingProbe& operator=(const DedupTimingProbe&) = delete;
+
+  /// Maps and fills one page per candidate. Contents shorter than a page
+  /// are zero-padded (fresh anon pages are zero-filled). Replaces any
+  /// previous spray.
+  void spray(std::span<const std::vector<std::byte>> candidates);
+
+  /// One timed one-byte re-write per sprayed page (content preserved).
+  /// Pages the dedup pass merged fault and classify merged=true.
+  std::vector<DedupProbeResult> probe();
+
+  /// Scores a probe round against ground truth (truth[i] == candidate i's
+  /// page genuinely resident in a victim). Sizes must match the spray.
+  static DetectionScore score(const std::vector<DedupProbeResult>& probes,
+                              const std::vector<bool>& truth);
+
+  sim::Process& process() { return *proc_; }
+  std::size_t sprayed_count() const noexcept { return pages_.size(); }
+
+  /// Exits the attacker process (drops every sprayed page).
+  void stop();
+
+ private:
+  sim::Kernel& kernel_;
+  sim::Process* proc_;
+  std::vector<sim::VirtAddr> pages_;
+};
+
+}  // namespace keyguard::attack

@@ -92,7 +92,7 @@ std::optional<KeyId> EncryptedPoolKeystore::ingest_pem(const std::string& vfs_pa
   e.pub = parsed->public_key();
 
   auto der = crypto::der_encode_private_key(*parsed);
-  auto blob = seal_authenticated(der, domain_, id);
+  auto blob = seal_authenticated(der, domain_, blob_nonce(id));
   wipe(der);
   parsed->scrub_private_parts();
   drop_pem();
@@ -257,7 +257,7 @@ std::optional<std::size_t> EncryptedPoolKeystore::ensure_plaintext(
   kernel_.mem_read(proc_, e.blob, blob);
   std::span<const std::byte> ks_span;
   if (cache && e.blob_len >= kSealedHeaderBytes + kAuthTagBytes) {
-    const auto it = cache->find(id);
+    const auto it = cache->find(blob_nonce(id));
     const std::size_t ct_len = e.blob_len - kSealedHeaderBytes - kAuthTagBytes;
     if (it != cache->end() && it->second.size() >= ct_len) {
       ++stats_.prefetch_hits;
@@ -369,7 +369,7 @@ std::vector<std::optional<bn::Bignum>> EncryptedPoolKeystore::private_op_batch(
       len = s.used_bytes;
     } else {
       if (e.blob_len < kSealedHeaderBytes + kAuthTagBytes) continue;
-      nonce = id;
+      nonce = blob_nonce(id);
       len = e.blob_len - kSealedHeaderBytes - kAuthTagBytes;
     }
     cache.try_emplace(nonce, len, std::byte{0});

@@ -61,6 +61,10 @@ struct EncryptedKeystoreConfig {
   bool scrub_on_evict = true;   ///< zero slots before reuse/teardown
   bool clear_temporaries = true;  ///< clear-free ingest + CRT scratch
   bool open_keys_nocache = true;  ///< O_NOCACHE on key files
+  /// Per-keystore KSB2 blob-nonce salt (salted_nonce; 0 = legacy
+  /// unsalted). Two tenants sharing one coprocessor domain otherwise
+  /// seal identical keys to identical ciphertext — dedup-detectable.
+  std::uint64_t blob_salt = 0;
 };
 
 struct EncryptedKeystoreStats {
@@ -149,6 +153,13 @@ class EncryptedPoolKeystore final : public SimBackend {
   /// then-tamper attack would).
   sim::VirtAddr blob_address(KeyId id) const { return keys_.at(id).blob; }
   std::size_t blob_size(KeyId id) const { return keys_.at(id).blob_len; }
+
+  /// Salted at-rest blob nonce (bit 63 clear — never collides with
+  /// page_nonce space, salted or not). Public so salting tests can pin
+  /// the legacy salt==0 identity.
+  std::uint64_t blob_nonce(KeyId id) const {
+    return salted_nonce(id, cfg_.blob_salt);
+  }
 
   sim::CoprocessorDomain& domain() noexcept { return domain_; }
   const EncryptedKeystoreStats& stats() const noexcept { return stats_; }

@@ -41,6 +41,18 @@ std::uint64_t get_le64(const std::byte* in) {
 
 }  // namespace
 
+std::uint64_t salted_nonce(std::uint64_t nonce, std::uint64_t salt) {
+  if (salt == 0) return nonce;  // legacy layout, golden baseline
+  // splitmix64 finalizer over the salt; XOR keeps the map injective in
+  // `nonce` for a fixed salt. Bit 63 stays clear so salted blob nonces
+  // never land in the encrypted backend's page-nonce space.
+  std::uint64_t z = salt + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return (nonce ^ z) & ~(1ULL << 63);
+}
+
 void keystream_xor(std::span<std::byte> data, std::span<const std::byte> master,
                    std::uint64_t nonce) {
   assert(master.size() == kMasterKeyBytes);

@@ -46,6 +46,23 @@ inline constexpr std::size_t kMasterKeyBytes = 32;
 /// "KSB1" magic + 8-byte little-endian nonce.
 inline constexpr std::size_t kSealedHeaderBytes = 12;
 
+/// Mixes a per-keystore salt into a blob nonce (splitmix64 of the salt,
+/// XORed in — injective in `nonce` for any fixed salt, so per-key nonce
+/// uniqueness under one master is preserved). Salt 0 returns `nonce`
+/// unchanged: the legacy layout, and the golden-determinism baseline.
+///
+/// Why it exists: unsalted, two keystores with the same master seed that
+/// ingest the same key produce BYTE-IDENTICAL sealed blobs, so even
+/// ciphertext pages content-collide across tenants and a dedup pass
+/// merges them — presence of a key becomes detectable from the blob page
+/// alone (attack/dedup_probe.hpp). A per-keystore salt makes every
+/// tenant's ciphertext unique without changing what it decrypts to.
+///
+/// The result keeps bit 63 clear: the encrypted backend's page nonces
+/// live in the top-bit-set half, and salting must never collide a blob
+/// nonce into the page-nonce space.
+std::uint64_t salted_nonce(std::uint64_t nonce, std::uint64_t salt);
+
 /// In-place XOR with the (master, nonce) keystream. Applying it twice is
 /// the identity, so this is both the seal and the unseal primitive.
 void keystream_xor(std::span<std::byte> data, std::span<const std::byte> master,

@@ -92,7 +92,7 @@ std::optional<KeyId> SimKeystore::ingest_pem(const std::string& vfs_path) {
   auto der = crypto::der_encode_private_key(*parsed);
   if (cfg_.seal_at_rest) {
     auto master = read_master();
-    auto blob = seal(der, master, id);
+    auto blob = seal(der, master, salted_nonce(id, cfg_.blob_salt));
     wipe(master);
     e.blob_len = blob.size();
     e.blob = kernel_.heap_alloc(proc_, blob.size(), "sealed key blob");

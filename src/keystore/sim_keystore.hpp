@@ -48,6 +48,11 @@ struct SimKeystoreConfig {
   bool clear_temporaries = true;  ///< clear-free ingest + CRT scratch
   bool open_keys_nocache = true;  ///< O_NOCACHE on key files (integrated)
   std::uint64_t master_seed = 0x6b657973746f7265ULL;  ///< master-key RNG seed
+  /// Per-keystore blob-nonce salt (salted_nonce). 0 = legacy unsalted
+  /// layout. Nonzero (unique per tenant) makes sealed blobs
+  /// content-UNIQUE across keystores even for identical keys under an
+  /// identical master seed — the anti-dedup defense for ciphertext pages.
+  std::uint64_t blob_salt = 0;
 };
 
 struct SimKeystoreStats {
@@ -105,6 +110,11 @@ class SimKeystore final : public SimBackend {
 
   bool pooled(KeyId id) const;
   std::size_t pooled_count() const;
+  /// Heap address/length of `id`'s at-rest blob (dedup benches compare
+  /// cross-tenant ciphertext bytes; with blob_salt == 0 and a shared
+  /// master seed they collide, the channel the salt exists to close).
+  sim::VirtAddr blob_address(KeyId id) const { return keys_.at(id).blob; }
+  std::size_t blob_size(KeyId id) const { return keys_.at(id).blob_len; }
   std::size_t key_count() const noexcept { return keys_.size(); }
   std::size_t pool_pages() const noexcept { return cfg_.pool_pages; }
   sim::VirtAddr master_page() const noexcept { return master_page_; }

@@ -102,6 +102,7 @@ std::vector<MemoryMatch> KeyScanner::resolve_raw(
     m.frame = static_cast<sim::FrameNumber>(r.offset / sim::kPageSize);
     m.state = frame_states[m.frame];
     m.owners = kernel.frame_owners(m.frame);
+    m.mappings = kernel.frame_mappings(m.frame);
     m.provenance = describe_match(kernel, m);
     matches.push_back(std::move(m));
   }

@@ -55,12 +55,20 @@ struct MemoryMatch {
   sim::FrameNumber frame = 0;    ///< frame containing the first byte
   sim::FrameState state{};       ///< allocated class at scan time
   std::vector<sim::Pid> owners;  ///< live processes mapping the frame
+  /// EVERY (pid, vaddr) mapping of the frame. One physical hit on a
+  /// dedup-merged frame is one disclosure per mapping — a scan that
+  /// reported the canonical owner alone would under-count the blast
+  /// radius by share_count()-1 tenants. Unshared frames have one entry
+  /// per owning pid (owners and mappings then carry the same pids).
+  std::vector<sim::Kernel::FrameMapping> mappings;
   /// What this copy IS — "RSA bignum p (live)", "BN_MONT_CTX modulus copy
   /// (freed)", "rsa_aligned mapping [mlocked]", "page cache", "unallocated
   /// residue" — the paper's §3 explanation of why copies flood memory.
   std::string provenance;
 
   bool allocated() const noexcept { return state != sim::FrameState::kFree; }
+  /// Mappings sharing the frame (>1 ⟺ COW- or dedup-shared at scan time).
+  std::size_t share_count() const noexcept { return mappings.size(); }
 };
 
 /// A hit inside an attack capture buffer.

@@ -62,6 +62,9 @@ class SniFrontend {
   bool running() const noexcept { return proc_ != nullptr; }
   sim::Pid pid() const;
   std::size_t vhost_count() const noexcept { return ids_.size(); }
+  /// KeyId the keystore assigned to vhost `i` (valid after start()) —
+  /// benches snapshot per-key pooled state as dedup-attack ground truth.
+  keystore::KeyId vhost_key(std::size_t i) const { return ids_.at(i); }
   std::uint64_t total_handshakes() const noexcept { return handshakes_; }
 
   /// Full handshake + response churn for one vhost. False on bad decrypt

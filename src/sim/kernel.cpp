@@ -183,6 +183,7 @@ void Kernel::crypt_slot(std::uint32_t slot) {
 void Kernel::swap_in(Process& p, VirtAddr page_addr, Pte& pte) {
   assert(pte.swapped && swap_.has_value());
   KEYGUARD_KERNEL_COUNT("kernel.swap_in_pages");
+  ++swap_ins_;
   (void)page_addr;
   const auto frame = alloc_.alloc(FrameState::kUserAnon);
   assert(frame && "no memory for swap-in");
@@ -208,8 +209,13 @@ std::size_t Kernel::swap_out_pages(Process& p, std::size_t n) {
   for (auto& [addr, pte] : p.pages_) {
     if (done >= n || swap_->full()) break;
     // mlock()ed pages are pinned — the defense's whole point — and shared
-    // (COW) frames are skipped to keep eviction semantics simple.
-    if (pte.swapped || pte.mlocked || alloc_.refcount(pte.frame) > 1) continue;
+    // (COW or dedup-merged) frames are skipped to keep eviction semantics
+    // simple: merged frames never reach the swap device.
+    if (pte.swapped || pte.mlocked) continue;
+    if (alloc_.refcount(pte.frame) > 1) {
+      KEYGUARD_KERNEL_COUNT("kernel.swap_skip_shared");
+      continue;
+    }
     const auto slot = swap_->alloc_slot();
     if (!slot) break;
     KEYGUARD_KERNEL_COUNT("kernel.swap_out_pages");
@@ -249,6 +255,7 @@ FrameNumber Kernel::frame_for_write(Process& p, VirtAddr page_addr) {
       // Write fault on a shared page: copy it. This duplication is exactly
       // how key bytes multiply across forked servers.
       KEYGUARD_KERNEL_COUNT("kernel.cow_breaks");
+      ++cow_breaks_;
       const auto fresh = alloc_.alloc(FrameState::kUserAnon);
       assert(fresh && "simulated physical memory exhausted");
       const auto src = mem_.page(pte.frame);
@@ -260,6 +267,7 @@ FrameNumber Kernel::frame_for_write(Process& p, VirtAddr page_addr) {
         taint_->on_phys_copy(static_cast<std::size_t>(*fresh) * kPageSize,
                              static_cast<std::size_t>(pte.frame) * kPageSize, kPageSize);
       }
+      if (cow_obs_ != nullptr) cow_obs_->on_cow_break(pte.frame, *fresh);
       alloc_.unref(pte.frame, FreeKind::kHot);
       pte.frame = *fresh;
     }
@@ -284,6 +292,30 @@ void Kernel::mem_write(Process& p, VirtAddr addr, std::span<const std::byte> dat
     }
     done += n;
   }
+}
+
+Kernel::WriteTiming Kernel::mem_write_timed(Process& p, VirtAddr addr,
+                                            std::span<const std::byte> data,
+                                            TaintTag taint) {
+  const std::uint64_t cow0 = cow_breaks_;
+  const std::uint64_t swap0 = swap_ins_;
+  mem_write(p, addr, data, taint);
+  WriteTiming t;
+  const VirtAddr first = page_floor(addr);
+  const VirtAddr last = page_floor(addr + (data.empty() ? 0 : data.size() - 1));
+  t.pages_touched = static_cast<std::size_t>((last - first) / kPageSize + 1);
+  t.cow_breaks = static_cast<std::size_t>(cow_breaks_ - cow0);
+  t.swap_ins = static_cast<std::size_t>(swap_ins_ - swap0);
+  t.cost_ns = t.pages_touched * kWriteCostMinorNs +
+              t.cow_breaks * kWriteCostCowBreakNs +
+              t.swap_ins * kWriteCostSwapInNs;
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.counter("kernel.timed_writes").add(1);
+    if (t.cow_breaks > 0) reg.counter("kernel.write_faults").add(t.cow_breaks);
+    reg.histogram("kernel.timed_write_ns").record(static_cast<double>(t.cost_ns));
+  }
+  return t;
 }
 
 void Kernel::mem_read(Process& p, VirtAddr addr, std::span<std::byte> out) {
@@ -419,6 +451,44 @@ std::vector<Pid> Kernel::frame_owners(FrameNumber frame) const {
     }
   }
   return owners;
+}
+
+bool Kernel::merge_page(Process& p, VirtAddr vaddr, FrameNumber canonical) {
+  if (!p.alive_) return false;
+  const auto it = p.pages_.find(vaddr);
+  if (it == p.pages_.end()) return false;
+  Pte& pte = it->second;
+  if (pte.swapped || pte.frame == canonical) return false;
+  assert(std::memcmp(mem_.page(pte.frame).data(), mem_.page(canonical).data(),
+                     kPageSize) == 0 &&
+         "merge_page over non-identical pages");
+  KEYGUARD_KERNEL_COUNT("kernel.dedup.pages_merged");
+  alloc_.ref(canonical);
+  // The duplicate frame is released WITHOUT its bytes moving: on a stock
+  // kernel (zero_on_free off) dedup itself seeds residue in unallocated
+  // memory. Its shadow taint stays with the bytes, like any free.
+  alloc_.unref(pte.frame, FreeKind::kHot);
+  pte.frame = canonical;
+  pte.cow = true;
+  return true;
+}
+
+bool Kernel::set_page_cow(Process& p, VirtAddr vaddr) {
+  const auto it = p.pages_.find(vaddr);
+  if (it == p.pages_.end() || it->second.swapped) return false;
+  it->second.cow = true;
+  return true;
+}
+
+std::vector<Kernel::FrameMapping> Kernel::frame_mappings(FrameNumber frame) const {
+  std::vector<FrameMapping> out;
+  for (const auto& p : procs_) {
+    if (!p->alive()) continue;
+    for (const auto& [addr, pte] : p->page_table()) {
+      if (!pte.swapped && pte.frame == frame) out.push_back({p->pid(), addr});
+    }
+  }
+  return out;
 }
 
 bool Kernel::frame_mlocked(FrameNumber frame) const {

@@ -59,6 +59,30 @@ struct KernelConfig {
   bool encrypt_swap = false;
 };
 
+// -- write-fault cost model ---------------------------------------------
+//
+// Simulated nanoseconds per page for the three ways a write can resolve.
+// The absolute values are calibration, not measurement; what matters for
+// the dedup side channel is the ORDER: a COW break (page copy + frame
+// alloc) is ~25x a minor in-place write, which is exactly the timing gap
+// Schwarzl et al.'s remote dedup attack thresholds on. A major fault
+// (swap-in) is slower still.
+inline constexpr std::uint64_t kWriteCostMinorNs = 120;
+inline constexpr std::uint64_t kWriteCostCowBreakNs = 3'200;
+inline constexpr std::uint64_t kWriteCostSwapInNs = 9'000;
+
+/// Observer for COW breaks (write faults on shared frames). The dedup
+/// engine registers one to tell merge-induced unmerges apart from
+/// fork-induced copies — the kernel itself cannot know which shared
+/// frames the engine created.
+class CowObserver {
+ public:
+  virtual ~CowObserver() = default;
+  /// `shared` is the frame whose COW broke; `fresh` the private copy the
+  /// writer received. Fired after the copy, before the unref.
+  virtual void on_cow_break(FrameNumber shared, FrameNumber fresh) = 0;
+};
+
 class Kernel {
  public:
   explicit Kernel(KernelConfig cfg, std::uint64_t seed = 1);
@@ -113,6 +137,23 @@ class Kernel {
 
   /// Read through the page table; faults swapped pages back in.
   void mem_read(Process& p, VirtAddr addr, std::span<std::byte> out);
+
+  /// What one timed write cost under the fault model above. The attacker's
+  /// stopwatch: cost_ns is all a real co-tenant could observe.
+  struct WriteTiming {
+    std::size_t pages_touched = 0;
+    std::size_t cow_breaks = 0;  ///< write faults that copied a shared page
+    std::size_t swap_ins = 0;    ///< major faults
+    std::uint64_t cost_ns = 0;
+  };
+
+  /// mem_write with the simulated write-fault cost model: identical memory
+  /// semantics, plus a timing receipt. A write that lands on a merged
+  /// (or forked) shared page pays kWriteCostCowBreakNs per broken page —
+  /// the dedup side channel's measurable signal.
+  WriteTiming mem_write_timed(Process& p, VirtAddr addr,
+                              std::span<const std::byte> data,
+                              TaintTag taint = TaintTag::kClean);
 
   /// Zero a range (explicit scrubbing, e.g. BN_clear_free / memset before
   /// free). Breaks COW like any write.
@@ -192,6 +233,38 @@ class Kernel {
   /// printOwningProcesses walks anon VMAs the same way).
   std::vector<Pid> frame_owners(FrameNumber frame) const;
 
+  /// One (process, virtual page) pair mapping a frame. After dedup a
+  /// frame can be mapped by several processes — or several pages of the
+  /// SAME process — so attribution needs the full rmap, not just pids.
+  struct FrameMapping {
+    Pid pid = 0;
+    VirtAddr vaddr = 0;
+  };
+
+  /// Every live mapping of `frame`, in (process-table, vaddr) order.
+  std::vector<FrameMapping> frame_mappings(FrameNumber frame) const;
+
+  // -- dedup (KSM) support ---------------------------------------------------
+
+  /// Repoints `p`'s PTE at `vaddr` onto `canonical` (contents must already
+  /// be byte-identical — sim::DedupEngine byte-verifies first), marking
+  /// the mapping COW. Refs canonical; unrefs (possibly frees, WITHOUT
+  /// moving bytes) the duplicate frame. False when the page is unmapped,
+  /// swapped, or already maps canonical.
+  bool merge_page(Process& p, VirtAddr vaddr, FrameNumber canonical);
+
+  /// Marks an existing resident mapping COW without moving it — the
+  /// canonical side of a merge must fault on its next write too.
+  bool set_page_cow(Process& p, VirtAddr vaddr);
+
+  /// At most one COW observer; nullptr detaches.
+  void set_cow_observer(CowObserver* obs) noexcept { cow_obs_ = obs; }
+
+  /// Cumulative COW breaks / swap-ins (the fault counters the timed write
+  /// path snapshots; monotone for the life of the kernel).
+  std::uint64_t cow_break_count() const noexcept { return cow_breaks_; }
+  std::uint64_t swap_in_count() const noexcept { return swap_ins_; }
+
   /// True when any live process maps the frame with mlock.
   bool frame_mlocked(FrameNumber frame) const;
 
@@ -226,6 +299,9 @@ class Kernel {
   std::optional<SwapDevice> swap_;
   std::uint64_t swap_secret_ = 0;
   TaintTracker* taint_ = nullptr;
+  CowObserver* cow_obs_ = nullptr;
+  std::uint64_t cow_breaks_ = 0;
+  std::uint64_t swap_ins_ = 0;
   std::vector<std::unique_ptr<Process>> procs_;
   Pid next_pid_ = 1;
 };

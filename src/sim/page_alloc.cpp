@@ -45,6 +45,7 @@ std::optional<FrameNumber> PageAllocator::alloc(FrameState state) {
 void PageAllocator::free(FrameNumber frame, FreeKind kind) {
   assert(frame < states_.size());
   assert(states_[frame] != FrameState::kFree && "double free");
+  if (free_obs_ != nullptr) free_obs_->on_frame_freed(frame);
   states_[frame] = FrameState::kFree;
   refcounts_[frame] = 0;
   if (policy_.zero_on_free) {

@@ -48,6 +48,15 @@ enum class FreeKind : std::uint8_t {
   kBulk,  // process-exit teardown: scatters into the buddy pool
 };
 
+/// Observer for frame release. The dedup engine registers one so its
+/// per-frame merge bookkeeping never goes stale when a frame it marked
+/// returns to the free lists and is later reused for something unrelated.
+class FrameFreeObserver {
+ public:
+  virtual ~FrameFreeObserver() = default;
+  virtual void on_frame_freed(FrameNumber frame) = 0;
+};
+
 class PageAllocator {
  public:
   PageAllocator(PhysicalMemory& mem, PageAllocPolicy policy, util::Rng rng);
@@ -98,6 +107,10 @@ class PageAllocator {
   void set_policy(PageAllocPolicy policy) noexcept { policy_ = policy; }
   const PageAllocPolicy& policy() const noexcept { return policy_; }
 
+  /// At most one observer; nullptr detaches. Fired on every free, before
+  /// the zero-on-free policy runs.
+  void set_free_observer(FrameFreeObserver* obs) noexcept { free_obs_ = obs; }
+
  private:
   PhysicalMemory& mem_;
   PageAllocPolicy policy_;
@@ -107,6 +120,7 @@ class PageAllocator {
   std::vector<FrameNumber> hot_;   // LIFO stack
   std::vector<FrameNumber> pool_;  // uniform-random draws (swap-remove)
   Stats stats_;
+  FrameFreeObserver* free_obs_ = nullptr;
 };
 
 }  // namespace keyguard::sim

@@ -31,10 +31,13 @@ TARGETS=(
   scan_boundary_test
   scan_matcher_test
   scan_incremental_test
+  scan_dedup_equivalence_test
   scan_hunter_test
   sim_physmem_test
   sim_page_alloc_test
   sim_kernel_test
+  sim_dedup_test
+  attack_dedup_test
   analysis_taint_test
   analysis_equivalence_test
   util_json_test
@@ -43,6 +46,7 @@ TARGETS=(
   keystore_equivalence_test
   keystore_encrypted_test
   keystore_batch_test
+  keystore_salt_test
   keystore_adversary_test
   obs_metrics_test
   obs_trace_test

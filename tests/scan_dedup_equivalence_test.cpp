@@ -1,0 +1,210 @@
+// Scanner semantics over dedup-merged frames.
+//
+// Contract: merging changes WHERE bytes live, never what the scanner
+// reports about a process, and one physical hit on a merged frame is
+// attributed to EVERY mapping (MemoryMatch::mappings) — a canonical-only
+// report would under-count the blast radius. Incremental sweeps stay
+// byte-identical to fresh scans across merge and COW-unmerge, because
+// merge frees the duplicate frame (zero_on_free scrubs it → phys_clear
+// marks the journal) and unmerge is an ordinary COW copy.
+#include "scan/key_scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "scan/dirty_journal.hpp"
+#include "sim/dedup.hpp"
+#include "sim/kernel.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::scan {
+namespace {
+
+// zero_on_free keeps the match population deterministic: without it the
+// merge-freed duplicate frame would keep matching as unallocated residue
+// (pinned separately by sim_dedup_test's residue cases).
+sim::KernelConfig scrubbed_config() {
+  sim::KernelConfig cfg;
+  cfg.mem_bytes = 2ull << 20;
+  cfg.zero_on_free = true;
+  return cfg;
+}
+
+KeyPatterns needle_patterns() {
+  KeyPatterns p;
+  p.patterns.push_back(
+      {"X", util::to_bytes("-NEEDLE-bytes-no-key-needed-")});
+  return p;
+}
+
+/// One page holding the needle at `off`, identical across callers.
+std::vector<std::byte> needle_page(std::size_t off = 64) {
+  std::vector<std::byte> page(sim::kPageSize);
+  for (std::size_t i = 0; i < page.size(); ++i) {
+    page[i] = static_cast<std::byte>(0xA0 + i % 7);
+  }
+  const auto needle = needle_patterns().patterns[0].bytes;
+  std::copy(needle.begin(), needle.end(), page.begin() + off);
+  return page;
+}
+
+void expect_same_matches(const std::vector<MemoryMatch>& incr,
+                         const std::vector<MemoryMatch>& full,
+                         const std::string& label) {
+  ASSERT_EQ(incr.size(), full.size()) << label;
+  for (std::size_t i = 0; i < incr.size(); ++i) {
+    EXPECT_EQ(incr[i].phys_offset, full[i].phys_offset) << label << ", " << i;
+    EXPECT_EQ(incr[i].part, full[i].part) << label << ", " << i;
+    EXPECT_EQ(incr[i].state, full[i].state) << label << ", " << i;
+    EXPECT_EQ(incr[i].owners, full[i].owners) << label << ", " << i;
+    ASSERT_EQ(incr[i].mappings.size(), full[i].mappings.size()) << label << ", " << i;
+    for (std::size_t m = 0; m < incr[i].mappings.size(); ++m) {
+      EXPECT_EQ(incr[i].mappings[m].pid, full[i].mappings[m].pid) << label;
+      EXPECT_EQ(incr[i].mappings[m].vaddr, full[i].mappings[m].vaddr) << label;
+    }
+  }
+}
+
+TEST(ScanDedup, MergedFrameIsOneHitAttributedToEveryMapping) {
+  sim::Kernel k(scrubbed_config());
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto va = k.mmap_anon(a, sim::kPageSize, false);
+  const auto vb = k.mmap_anon(b, sim::kPageSize, false);
+  k.mem_write(a, va, needle_page());
+  k.mem_write(b, vb, needle_page());
+
+  KeyScanner scanner(needle_patterns());
+  auto before = scanner.scan_kernel(k);
+  ASSERT_EQ(before.size(), 2u);  // two physical copies before merging
+  for (const auto& m : before) {
+    EXPECT_EQ(m.share_count(), 1u);
+    ASSERT_EQ(m.owners.size(), 1u);
+    ASSERT_EQ(m.mappings.size(), 1u);
+    EXPECT_EQ(m.mappings[0].pid, m.owners[0]);
+  }
+
+  sim::DedupEngine dedup(k);
+  ASSERT_EQ(dedup.scan(), 1u);
+
+  auto after = scanner.scan_kernel(k);
+  ASSERT_EQ(after.size(), 1u);  // one physical copy...
+  const auto& m = after[0];
+  EXPECT_EQ(m.share_count(), 2u);  // ...but TWO disclosures
+  ASSERT_EQ(m.mappings.size(), 2u);
+  std::vector<sim::Pid> pids = {m.mappings[0].pid, m.mappings[1].pid};
+  std::sort(pids.begin(), pids.end());
+  EXPECT_EQ(pids, (std::vector<sim::Pid>{a.pid(), b.pid()}));
+  EXPECT_EQ(m.owners, pids);  // rmap pids agree with the mapping list
+  // Both virtual addresses are reported, so a response team knows every
+  // tenant whose address space exposes the hit.
+  std::vector<sim::VirtAddr> vaddrs = {m.mappings[0].vaddr, m.mappings[1].vaddr};
+  std::sort(vaddrs.begin(), vaddrs.end());
+  std::vector<sim::VirtAddr> expect = {va, vb};
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(vaddrs, expect);
+}
+
+TEST(ScanDedup, ProcessViewIsInvariantUnderMerging) {
+  sim::Kernel k(scrubbed_config());
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto va = k.mmap_anon(a, sim::kPageSize, false);
+  const auto vb = k.mmap_anon(b, sim::kPageSize, false);
+  k.mem_write(a, va, needle_page());
+  k.mem_write(b, vb, needle_page());
+
+  KeyScanner scanner(needle_patterns());
+  const auto a_before = scanner.scan_process(k, a);
+  const auto b_before = scanner.scan_process(k, b);
+  ASSERT_EQ(a_before.size(), 1u);
+  ASSERT_EQ(b_before.size(), 1u);
+
+  sim::DedupEngine dedup(k);
+  ASSERT_EQ(dedup.scan(), 1u);
+
+  // A core dump of either process is byte-identical pre/post merge: the
+  // merge is invisible from inside an address space.
+  const auto a_after = scanner.scan_process(k, a);
+  const auto b_after = scanner.scan_process(k, b);
+  ASSERT_EQ(a_after.size(), 1u);
+  EXPECT_EQ(a_after[0].vaddr, a_before[0].vaddr);
+  EXPECT_EQ(a_after[0].part, a_before[0].part);
+  ASSERT_EQ(b_after.size(), 1u);
+  EXPECT_EQ(b_after[0].vaddr, b_before[0].vaddr);
+  EXPECT_EQ(b_after[0].part, b_before[0].part);
+}
+
+TEST(ScanDedup, IncrementalSweepTracksMergeAndUnmerge) {
+  auto cfg = scrubbed_config();
+  sim::Kernel k(cfg);
+  DirtyFrameJournal journal(cfg.mem_bytes);
+  k.attach_taint(&journal);
+
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto va = k.mmap_anon(a, sim::kPageSize, false);
+  const auto vb = k.mmap_anon(b, sim::kPageSize, false);
+  k.mem_write(a, va, needle_page());
+  k.mem_write(b, vb, needle_page());
+
+  KeyScanner scanner(needle_patterns());
+  SweepCache cache;
+  auto incr = scanner.scan_kernel_incremental(k, journal, cache);
+  expect_same_matches(incr, scanner.scan_kernel(k), "prime");
+
+  // Merge: the duplicate frame is freed and (zero_on_free) scrubbed —
+  // the phys_clear marks the journal, so the vanished hit is noticed.
+  sim::DedupEngine dedup(k);
+  ASSERT_EQ(dedup.scan(), 1u);
+  incr = scanner.scan_kernel_incremental(k, journal, cache);
+  expect_same_matches(incr, scanner.scan_kernel(k), "after merge");
+  ASSERT_EQ(incr.size(), 1u);
+  EXPECT_EQ(incr[0].share_count(), 2u);
+
+  // Unmerge: b's write COW-copies the page out; the copy dirties the
+  // fresh frame and the write dirties the canonical one. The write
+  // corrupts b's needle, so the sweep must drop one hit and keep a's.
+  const std::byte x{0xFF};
+  k.mem_write(b, vb + 64, std::span(&x, 1));
+  ASSERT_EQ(dedup.stats().unmerges, 1u);
+  incr = scanner.scan_kernel_incremental(k, journal, cache);
+  expect_same_matches(incr, scanner.scan_kernel(k), "after unmerge");
+  ASSERT_EQ(incr.size(), 1u);
+  EXPECT_EQ(incr[0].share_count(), 1u);
+  EXPECT_EQ(incr[0].owners, (std::vector<sim::Pid>{a.pid()}));
+
+  // Re-merge after b repairs the byte: back to one shared hit.
+  const auto needle = needle_patterns().patterns[0].bytes;
+  k.mem_write(b, vb + 64, std::span(&needle[0], 1));
+  ASSERT_EQ(dedup.scan(), 1u);
+  incr = scanner.scan_kernel_incremental(k, journal, cache);
+  expect_same_matches(incr, scanner.scan_kernel(k), "after re-merge");
+  ASSERT_EQ(incr.size(), 1u);
+  EXPECT_EQ(incr[0].share_count(), 2u);
+  k.attach_taint(nullptr);
+}
+
+TEST(ScanDedup, CensusCountsMergedFramesOnce) {
+  sim::Kernel k(scrubbed_config());
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  auto& c = k.spawn("c");
+  for (auto* p : {&a, &b, &c}) {
+    const auto v = k.mmap_anon(*p, sim::kPageSize, false);
+    k.mem_write(*p, v, needle_page());
+  }
+  KeyScanner scanner(needle_patterns());
+  EXPECT_EQ(KeyScanner::census(scanner.scan_kernel(k)).allocated, 3u);
+  sim::DedupEngine dedup(k);
+  ASSERT_EQ(dedup.scan(), 2u);  // three copies fold into one frame
+  const auto after = KeyScanner::census(scanner.scan_kernel(k));
+  EXPECT_EQ(after.allocated, 1u);
+  EXPECT_EQ(after.unallocated, 0u);  // zero_on_free scrubbed the losers
+}
+
+}  // namespace
+}  // namespace keyguard::scan

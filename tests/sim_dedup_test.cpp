@@ -1,0 +1,389 @@
+// DedupEngine mechanics: merge, COW unmerge, timing, veto, and the
+// interactions with fork, swap, and frame reuse (DESIGN.md §12).
+#include "sim/dedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "util/bytes.hpp"
+
+namespace keyguard::sim {
+namespace {
+
+KernelConfig small_config(bool zero_on_free = false) {
+  KernelConfig cfg;
+  cfg.mem_bytes = 2ull << 20;
+  cfg.swap_pages = 16;
+  cfg.zero_on_free = zero_on_free;
+  return cfg;
+}
+
+std::vector<std::byte> patterned(std::uint8_t seed) {
+  std::vector<std::byte> page(kPageSize);
+  for (std::size_t i = 0; i < page.size(); ++i) {
+    page[i] = static_cast<std::byte>(seed + i * 31);
+  }
+  return page;
+}
+
+FrameNumber frame_at(const Process& p, VirtAddr a) {
+  return p.page_table().at(a).frame;
+}
+
+TEST(DedupEngine, MergesIdenticalPagesAcrossProcesses) {
+  Kernel k(small_config());
+  DedupEngine dedup(k);
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto content = patterned(7);
+  const auto va = k.mmap_anon(a, kPageSize, false, "dup a");
+  const auto vb = k.mmap_anon(b, kPageSize, false, "dup b");
+  k.mem_write(a, va, content);
+  k.mem_write(b, vb, content);
+  const auto fa = frame_at(a, va);
+  const auto fb = frame_at(b, vb);
+  ASSERT_NE(fa, fb);
+
+  EXPECT_EQ(dedup.scan(), 1u);
+  const auto fa2 = frame_at(a, va);
+  EXPECT_EQ(fa2, frame_at(b, vb));  // one shared frame
+  EXPECT_EQ(k.allocator().refcount(fa2), 2u);
+  EXPECT_TRUE(dedup.is_merged_frame(fa2));
+  EXPECT_EQ(dedup.shared_frame_count(), 1u);
+  EXPECT_EQ(dedup.saved_pages(), 1u);
+  // The loser frame was freed; the winner still reads back exactly.
+  EXPECT_EQ(k.allocator().refcount(fa2 == fa ? fb : fa), 0u);
+  std::vector<std::byte> back(kPageSize);
+  k.mem_read(b, vb, back);
+  EXPECT_EQ(back, content);
+  EXPECT_EQ(dedup.stats().pages_merged, 1u);
+  EXPECT_EQ(dedup.stats().bytes_saved, kPageSize);
+}
+
+TEST(DedupEngine, DifferentContentNeverMerges) {
+  Kernel k(small_config());
+  DedupEngine dedup(k);
+  auto& a = k.spawn("a");
+  const auto v1 = k.mmap_anon(a, kPageSize, false);
+  const auto v2 = k.mmap_anon(a, kPageSize, false);
+  k.mem_write(a, v1, patterned(1));
+  k.mem_write(a, v2, patterned(2));
+  EXPECT_EQ(dedup.scan(), 0u);
+  EXPECT_NE(frame_at(a, v1), frame_at(a, v2));
+}
+
+TEST(DedupEngine, ScanIsIdempotentUntilContentChanges) {
+  Kernel k(small_config());
+  DedupEngine dedup(k);
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto va = k.mmap_anon(a, kPageSize, false);
+  const auto vb = k.mmap_anon(b, kPageSize, false);
+  k.mem_write(a, va, patterned(9));
+  k.mem_write(b, vb, patterned(9));
+  EXPECT_EQ(dedup.scan(), 1u);
+  EXPECT_EQ(dedup.scan(), 0u);  // already canonical: nothing to do
+  EXPECT_EQ(dedup.scan(), 0u);
+  EXPECT_EQ(dedup.stats().pages_merged, 1u);
+}
+
+TEST(DedupEngine, WriteUnmergesViaCowAndIsCounted) {
+  Kernel k(small_config());
+  DedupEngine dedup(k);
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto va = k.mmap_anon(a, kPageSize, false);
+  const auto vb = k.mmap_anon(b, kPageSize, false);
+  k.mem_write(a, va, patterned(3));
+  k.mem_write(b, vb, patterned(3));
+  ASSERT_EQ(dedup.scan(), 1u);
+  const auto shared = frame_at(a, va);
+
+  const std::byte x{0xEE};
+  k.mem_write(b, vb, std::span(&x, 1));
+  EXPECT_NE(frame_at(b, vb), frame_at(a, va));  // b got a private copy
+  EXPECT_EQ(k.allocator().refcount(shared), 1u);
+  EXPECT_EQ(dedup.stats().unmerges, 1u);
+  EXPECT_FALSE(dedup.is_merged_frame(frame_at(a, va)));
+  EXPECT_EQ(dedup.shared_frame_count(), 0u);
+  // a's view is untouched, b's carries the write.
+  std::vector<std::byte> back(kPageSize);
+  k.mem_read(a, va, back);
+  EXPECT_EQ(back, patterned(3));
+  k.mem_read(b, vb, back);
+  EXPECT_EQ(back[0], x);
+}
+
+TEST(DedupEngine, TimedWriteExposesTheCowGap) {
+  Kernel k(small_config());
+  DedupEngine dedup(k);
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto va = k.mmap_anon(a, kPageSize, false);
+  const auto vb = k.mmap_anon(b, kPageSize, false);
+  k.mem_write(a, va, patterned(5));
+  k.mem_write(b, vb, patterned(5));
+  ASSERT_EQ(dedup.scan(), 1u);
+
+  const std::byte first{patterned(5)[0]};
+  const auto merged = k.mem_write_timed(b, vb, std::span(&first, 1));
+  EXPECT_EQ(merged.cow_breaks, 1u);
+  EXPECT_EQ(merged.cost_ns, kWriteCostMinorNs + kWriteCostCowBreakNs);
+  // Re-writing the same byte preserved the content, so the page can
+  // re-merge — but right now it is private and the write is minor.
+  const auto minor = k.mem_write_timed(b, vb, std::span(&first, 1));
+  EXPECT_EQ(minor.cow_breaks, 0u);
+  EXPECT_EQ(minor.cost_ns, kWriteCostMinorNs);
+  EXPECT_EQ(dedup.scan(), 1u);  // and it does re-merge
+}
+
+TEST(DedupEngine, SecretVetoBlocksMergeInEitherRole) {
+  Kernel k(small_config());
+  DedupConfig cfg;
+  cfg.no_merge_secret = true;
+  DedupEngine dedup(k, cfg);
+  auto& victim = k.spawn("victim");
+  auto& attacker = k.spawn("attacker");
+  const auto vv = k.mmap_anon(victim, kPageSize, false);
+  const auto va = k.mmap_anon(attacker, kPageSize, false);
+  k.mem_write(victim, vv, patterned(11), TaintTag::kPoolKey);
+  k.mem_write(attacker, va, patterned(11));
+  const auto secret_frame = frame_at(victim, vv);
+  dedup.set_secret_predicate(
+      [secret_frame](FrameNumber f) { return f == secret_frame; });
+
+  EXPECT_EQ(dedup.scan(), 0u);
+  EXPECT_NE(frame_at(victim, vv), frame_at(attacker, va));
+  EXPECT_GE(dedup.stats().vetoed_secret, 1u);
+  // Clean duplicates elsewhere still merge under the same policy.
+  auto& c = k.spawn("c");
+  const auto v1 = k.mmap_anon(c, kPageSize, false);
+  const auto v2 = k.mmap_anon(attacker, kPageSize, false);
+  k.mem_write(c, v1, patterned(13));
+  k.mem_write(attacker, v2, patterned(13));
+  EXPECT_EQ(dedup.scan(), 1u);
+}
+
+TEST(DedupEngine, CanonicalSelectionPrefersTheSecretFrame) {
+  Kernel k(small_config());
+  DedupEngine dedup(k);  // defense OFF: secrets merge (the attack setting)
+  auto& victim = k.spawn("victim");
+  auto& attacker = k.spawn("attacker");
+  const auto va = k.mmap_anon(attacker, kPageSize, false);  // attacker FIRST
+  const auto vv = k.mmap_anon(victim, kPageSize, false);
+  k.mem_write(attacker, va, patterned(17));
+  k.mem_write(victim, vv, patterned(17), TaintTag::kPoolKey);
+  const auto secret_frame = frame_at(victim, vv);
+  dedup.set_secret_predicate(
+      [secret_frame](FrameNumber f) { return f == secret_frame; });
+
+  ASSERT_EQ(dedup.scan(), 1u);
+  // The tainted frame survives even though the attacker's page was seen
+  // first — the clean guess page is the one that dies, so the shadow
+  // taint map stays exact without per-byte tag unions.
+  EXPECT_EQ(frame_at(victim, vv), secret_frame);
+  EXPECT_EQ(frame_at(attacker, va), secret_frame);
+}
+
+TEST(DedupEngine, ForkSharedPagesAreNotReMerged) {
+  Kernel k(small_config());
+  DedupEngine dedup(k);
+  auto& parent = k.spawn("parent");
+  const auto v = k.mmap_anon(parent, 2 * kPageSize, false);
+  k.mem_write(parent, v, patterned(21));
+  k.mem_write(parent, v + kPageSize, patterned(22));
+  auto& child = k.fork(parent, "child");
+  // Parent and child PTEs point at the same frames already; a dedup pass
+  // must treat in-group same-frame candidates as already-canonical.
+  EXPECT_EQ(dedup.scan(), 0u);
+  EXPECT_EQ(dedup.stats().pages_merged, 0u);
+  const std::byte x{0x5A};
+  k.mem_write(child, v, std::span(&x, 1));  // plain fork-COW break
+  EXPECT_NE(frame_at(child, v), frame_at(parent, v));
+  // That break was fork's, not ours: no unmerge counted.
+  EXPECT_EQ(dedup.stats().unmerges, 0u);
+}
+
+TEST(DedupEngine, ForkCowStormOverMergedPages) {
+  Kernel k(small_config());
+  DedupEngine dedup(k);
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  constexpr std::size_t kPages = 4;
+  const auto va = k.mmap_anon(a, kPages * kPageSize, false);
+  const auto vb = k.mmap_anon(b, kPages * kPageSize, false);
+  for (std::size_t i = 0; i < kPages; ++i) {
+    k.mem_write(a, va + i * kPageSize, patterned(static_cast<std::uint8_t>(40 + i)));
+    k.mem_write(b, vb + i * kPageSize, patterned(static_cast<std::uint8_t>(40 + i)));
+  }
+  ASSERT_EQ(dedup.scan(), kPages);
+
+  // Fork both sides: merged frames are now shared 4 ways.
+  auto& ac = k.fork(a, "a child");
+  auto& bc = k.fork(b, "b child");
+  EXPECT_EQ(k.allocator().refcount(frame_at(a, va)), 4u);
+
+  // Storm: every mapper writes every page; every view stays correct.
+  // Tags repeat across the pairs (a/b and ac/bc write the same byte) so
+  // the post-storm scan has something to re-merge.
+  const std::byte tags[] = {std::byte{1}, std::byte{2}, std::byte{1}, std::byte{2}};
+  Process* procs[] = {&a, &ac, &b, &bc};
+  const VirtAddr bases[] = {va, va, vb, vb};
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (std::size_t i = 0; i < kPages; ++i) {
+      k.mem_write(*procs[p], bases[p] + i * kPageSize, std::span(&tags[p], 1));
+    }
+  }
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (std::size_t i = 0; i < kPages; ++i) {
+      std::vector<std::byte> back(kPageSize);
+      k.mem_read(*procs[p], bases[p] + i * kPageSize, back);
+      auto expect = patterned(static_cast<std::uint8_t>(40 + i));
+      expect[0] = tags[p];
+      EXPECT_EQ(back, expect) << "proc " << p << " page " << i;
+    }
+  }
+  // All shared frames broke apart; nothing is merged any more.
+  EXPECT_EQ(dedup.shared_frame_count(), 0u);
+  EXPECT_EQ(dedup.saved_pages(), 0u);
+  // And a fresh scan re-merges the same-tag pairs (a with b, ac with bc).
+  EXPECT_EQ(dedup.scan(), 2 * kPages);
+}
+
+TEST(DedupEngine, MergedFramesAreSwapExempt) {
+  Kernel k(small_config());
+  DedupEngine dedup(k);
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto va = k.mmap_anon(a, kPageSize, false);
+  const auto vb = k.mmap_anon(b, kPageSize, false);
+  const auto vlone = k.mmap_anon(a, kPageSize, false);
+  k.mem_write(a, va, patterned(31));
+  k.mem_write(b, vb, patterned(31));
+  k.mem_write(a, vlone, patterned(32));
+  ASSERT_EQ(dedup.scan(), 1u);
+
+  // Ask to swap everything of a: the shared frame must be skipped, the
+  // lone page may go.
+  (void)k.swap_out_pages(a, 8);
+  EXPECT_FALSE(a.page_table().at(va).swapped);
+  EXPECT_TRUE(a.page_table().at(vlone).swapped);
+  // Swapped-out pages are not merge candidates either.
+  EXPECT_EQ(dedup.scan(), 0u);
+}
+
+TEST(DedupEngine, ZeroPageMergingIsConfigurable) {
+  Kernel k(small_config());
+  auto& a = k.spawn("a");
+  const auto v1 = k.mmap_anon(a, kPageSize, false);
+  const auto v2 = k.mmap_anon(a, kPageSize, false);
+  // Touch both pages so they are resident but all-zero.
+  const std::byte z{0};
+  k.mem_write(a, v1, std::span(&z, 1));
+  k.mem_write(a, v2, std::span(&z, 1));
+  {
+    DedupConfig cfg;
+    cfg.merge_zero_pages = false;
+    DedupEngine dedup(k, cfg);
+    EXPECT_EQ(dedup.scan(), 0u);
+  }
+  {
+    DedupEngine dedup(k);
+    EXPECT_EQ(dedup.scan(), 1u);
+    EXPECT_EQ(frame_at(a, v1), frame_at(a, v2));
+  }
+}
+
+TEST(DedupEngine, MergeOfMlockedPagesIsConfigurable) {
+  Kernel k(small_config());
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto va = k.mmap_anon(a, kPageSize, /*mlocked=*/true);
+  const auto vb = k.mmap_anon(b, kPageSize, false);
+  k.mem_write(a, va, patterned(33));
+  k.mem_write(b, vb, patterned(33));
+  {
+    DedupConfig cfg;
+    cfg.merge_mlocked = false;  // KSM-style: pinned areas are off limits
+    DedupEngine dedup(k, cfg);
+    EXPECT_EQ(dedup.scan(), 0u);
+  }
+  {
+    DedupEngine dedup(k);  // hypervisor-style: mlock does not stop merging
+    EXPECT_EQ(dedup.scan(), 1u);
+  }
+}
+
+TEST(DedupEngine, FrameReuseAfterFreeCannotFakeUnmerges) {
+  Kernel k(small_config());
+  DedupEngine dedup(k);
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto va = k.mmap_anon(a, kPageSize, false);
+  const auto vb = k.mmap_anon(b, kPageSize, false);
+  k.mem_write(a, va, patterned(41));
+  k.mem_write(b, vb, patterned(41));
+  ASSERT_EQ(dedup.scan(), 1u);
+  const auto shared = frame_at(a, va);
+
+  // Both mappers die: the merged frame goes back to the allocator. The
+  // FrameFreeObserver must clear the merged mark with it.
+  k.exit_process(a);
+  k.exit_process(b);
+  EXPECT_FALSE(dedup.is_merged_frame(shared));
+
+  // A new process reuses frames and COW-breaks a plain fork share; none
+  // of that may count as a dedup unmerge.
+  const auto unmerges_before = dedup.stats().unmerges;
+  auto& fresh = k.spawn("fresh");
+  const auto v = k.mmap_anon(fresh, 4 * kPageSize, false);
+  k.mem_write(fresh, v, patterned(42));
+  auto& child = k.fork(fresh, "child");
+  const std::byte x{0x77};
+  k.mem_write(child, v, std::span(&x, 1));
+  EXPECT_EQ(dedup.stats().unmerges, unmerges_before);
+}
+
+TEST(DedupEngine, MergingMintsUnallocatedResidueOnStockKernels) {
+  Kernel k(small_config(/*zero_on_free=*/false));
+  DedupEngine dedup(k);
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto va = k.mmap_anon(a, kPageSize, false);
+  const auto vb = k.mmap_anon(b, kPageSize, false);
+  const auto content = patterned(51);
+  k.mem_write(a, va, content);
+  k.mem_write(b, vb, content);
+  const auto fa = frame_at(a, va);
+  const auto fb = frame_at(b, vb);
+  ASSERT_EQ(dedup.scan(), 1u);
+  const auto loser = frame_at(a, va) == fa ? fb : fa;
+  // The duplicate frame was freed WITHOUT moving its bytes: dedup itself
+  // minted one more unallocated copy of the content — a channel the
+  // paper's copy census never had to consider.
+  EXPECT_EQ(k.allocator().refcount(loser), 0u);
+  const auto residue = k.memory().page(loser);
+  EXPECT_TRUE(std::equal(residue.begin(), residue.end(), content.begin()));
+}
+
+TEST(DedupEngine, ZeroOnFreeKernelsScrubTheMergeResidue) {
+  Kernel k(small_config(/*zero_on_free=*/true));
+  DedupEngine dedup(k);
+  auto& a = k.spawn("a");
+  auto& b = k.spawn("b");
+  const auto va = k.mmap_anon(a, kPageSize, false);
+  const auto vb = k.mmap_anon(b, kPageSize, false);
+  const auto content = patterned(53);
+  k.mem_write(a, va, content);
+  k.mem_write(b, vb, content);
+  const auto fa = frame_at(a, va);
+  const auto fb = frame_at(b, vb);
+  ASSERT_EQ(dedup.scan(), 1u);
+  const auto loser = frame_at(a, va) == fa ? fb : fa;
+  EXPECT_TRUE(util::all_zero(k.memory().page(loser)));
+}
+
+}  // namespace
+}  // namespace keyguard::sim

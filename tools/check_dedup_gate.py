@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Gate bench_dedup_attack output: the defense must actually work.
+
+The bench runs the dedup timing attack against the SNI keystore workload
+twice — dedup on with no defense, then with the no-merge-secret policy
+plus salted blobs — and this checker fails CI unless the JSON proves:
+
+  * the ATTACK works when undefended: precision and recall >= 0.9 (the
+    oracle is deterministic in the sim, so these are normally 1.0) and
+    the probe's COW break breaches the locked-pages bound;
+  * the DEFENSE kills it: detection_rate <= chance + epsilon, zero
+    merges of secret pages got through (vetoed instead), and the bound
+    holds for the whole run;
+  * the defense is not "turn dedup off": non-secret pages still merge
+    (saved_pages > 0) in the defended state;
+  * blob salting behaves: unsalted tenant blobs collide byte-for-byte
+    (the channel exists), salted ones do not, and salted stores still
+    decrypt correctly.
+
+Everything gated here is machine-independent — counts and rates out of a
+deterministic simulation — so there is no tolerance knob beyond the
+bench's own epsilon.
+
+Usage:
+  tools/check_dedup_gate.py BENCH_dedup_attack.json
+
+Exit codes: 0 ok, 1 gate failure, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_dedup_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="JSON produced by bench_dedup_attack --json")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    failures: list[str] = []
+    checks: list[tuple[str, bool]] = []
+
+    def gate(label: str, ok: bool) -> None:
+        checks.append((label, ok))
+        if not ok:
+            failures.append(label)
+
+    states = {s.get("defense"): s for s in cur.get("states", [])}
+    atk = states.get(False)
+    dfn = states.get(True)
+    if atk is None or dfn is None:
+        print("check_dedup_gate: JSON lacks the two defense states", file=sys.stderr)
+        return 2
+    eps = float(cur.get("epsilon", 0.05))
+
+    # Attack efficacy (undefended): the channel must be real, or the
+    # defense numbers below prove nothing.
+    gate(f"no-defense precision {atk['precision']:.2f} >= 0.9",
+         float(atk["precision"]) >= 0.9)
+    gate(f"no-defense recall {atk['recall']:.2f} >= 0.9",
+         float(atk["recall"]) >= 0.9)
+    gate(f"no-defense merged {atk['pages_merged']} pages (> 0)",
+         int(atk["pages_merged"]) > 0)
+    gate("no-defense probe breached the locked-pages bound",
+         not bool(atk["all_bounded"]))
+
+    # Defense efficacy: detection collapses to chance, secrets never
+    # merged, the bound holds end to end.
+    dr, chance = float(dfn["detection_rate"]), float(dfn["chance"])
+    gate(f"defense detection_rate {dr:.2f} <= chance {chance:.2f} + {eps:.2f}",
+         dr <= chance + eps)
+    gate(f"defense vetoed {dfn['vetoed_secret']} secret merges (> 0)",
+         int(dfn["vetoed_secret"]) > 0)
+    gate("defense kept the locked-pages bound", bool(dfn["all_bounded"]))
+    gate("defense caused zero unmerges (no secret was ever merged)",
+         int(dfn["unmerges"]) == 0)
+
+    # The defense must not be dedup-off in disguise: non-secret pages
+    # (the filler twins) still earn their memory back.
+    gate(f"defense still saves {dfn['saved_pages']} non-secret pages (> 0)",
+         int(dfn["saved_pages"]) > 0)
+    gate(f"defense still merges pages ({dfn['pages_merged']} > 0)",
+         int(dfn["pages_merged"]) > 0)
+
+    salting = cur.get("blob_salting", {})
+    gate("unsalted tenant blobs collide byte-for-byte",
+         bool(salting.get("unsalted_equal")))
+    gate("salted tenant blobs differ", not bool(salting.get("salted_equal", True)))
+    gate("salted blobs still decrypt correctly", bool(salting.get("roundtrip_ok")))
+
+    gate("bench-side shape checks passed", bool(cur.get("shape_checks_ok")))
+
+    for label, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    if failures:
+        print("check_dedup_gate: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("check_dedup_gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
