@@ -78,6 +78,20 @@
 //                                             tools/trace2timeline.py; a .json
 //                                             extension writes the
 //                                             chrome://tracing document instead
+//                     [--alerts [RULES.json]] attach the real-time AlertEngine
+//                                             (event bus + shadow taint map are
+//                                             enabled implicitly): rules come
+//                                             from the JSON file, or the
+//                                             default anomaly set when the
+//                                             value is omitted; alerts print to
+//                                             stderr as they fire
+//                     [--flight-record DIR]   run a FlightRecorder alongside
+//                                             --alerts: alerts append to
+//                                             DIR/alerts.jsonl and the forensic
+//                                             bundle (frozen at the first
+//                                             critical alert, else the
+//                                             shutdown state) is written to
+//                                             DIR/bundle.json
 //                     [--version]             print the build-info line and exit
 //                     [--help]                print this usage block and exit
 //
@@ -85,7 +99,10 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -93,7 +110,11 @@
 #include "analysis/taint_map.hpp"
 #include "core/protection.hpp"
 #include "core/scenario.hpp"
+#include "obs/alert.hpp"
 #include "obs/build_info.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/exposure_monitor.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -110,10 +131,10 @@ using namespace keyguard;
 
 namespace {
 
-constexpr std::array<std::string_view, 14> kKnownFlags = {
+constexpr std::array<std::string_view, 16> kKnownFlags = {
     "server",  "backend", "connections", "level",   "threads", "matcher",
     "incremental", "taint", "dedup",     "json",    "metrics", "trace",
-    "version", "help"};
+    "alerts",  "flight-record", "version", "help"};
 
 void print_usage(std::FILE* out) {
   std::fprintf(
@@ -124,6 +145,7 @@ void print_usage(std::FILE* out) {
       "                       [--threads N] [--matcher auto|legacy|multi]\n"
       "                       [--incremental] [--taint] [--dedup]\n"
       "                       [--json [FILE]] [--metrics [FILE]] [--trace [FILE]]\n"
+      "                       [--alerts [RULES.json]] [--flight-record DIR]\n"
       "                       [--version] [--help]\n"
       "\n"
       "Boots a simulated machine, runs the workload, and scans physical\n"
@@ -139,6 +161,10 @@ void print_usage(std::FILE* out) {
       "  --json     machine-readable report (schema_version %lld envelope)\n"
       "  --metrics  MetricsRegistry snapshot (embedded in --json output)\n"
       "  --trace    span/event JSONL for tools/trace2timeline.py\n"
+      "  --alerts   real-time AlertEngine over the event bus; rules from the\n"
+      "             JSON file or the default anomaly set when omitted\n"
+      "  --flight-record  FlightRecorder ring + DIR/alerts.jsonl +\n"
+      "             DIR/bundle.json forensic bundle (needs --alerts)\n"
       "  --version  build-info line (compiler, sanitizer) and exit\n",
       static_cast<long long>(obs::kSchemaVersion));
 }
@@ -370,6 +396,41 @@ int main(int argc, char** argv) {
   if (metrics) obs::MetricsRegistry::global().set_enabled(true);
   if (trace) obs::Tracer::global().set_enabled(true);
 
+  const bool alerts_on = flags.has("alerts");
+  std::string rules_path = alerts_on ? flags.get("alerts", "") : "";
+  if (rules_path == "1") rules_path.clear();  // bare --alerts = default rules
+  const bool flight = flags.has("flight-record");
+  std::string flight_dir = flight ? flags.get("flight-record", "") : "";
+  if (flight_dir == "1" || flight_dir.empty()) flight_dir = "flight_record";
+  if (flight && !alerts_on) {
+    std::fprintf(stderr, "scanmemory_tool: --flight-record needs --alerts\n\n");
+    print_usage(stderr);
+    return 2;
+  }
+  std::vector<obs::AlertRule> rules;
+  if (alerts_on) {
+    if (rules_path.empty()) {
+      rules = obs::default_rules();
+    } else {
+      std::ifstream in(rules_path);
+      if (!in.good()) {
+        std::fprintf(stderr, "scanmemory_tool: cannot read %s\n",
+                     rules_path.c_str());
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      std::string error;
+      auto parsed = obs::rules_from_json(text.str(), &error);
+      if (!parsed) {
+        std::fprintf(stderr, "scanmemory_tool: %s: %s\n", rules_path.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      rules = std::move(*parsed);
+    }
+  }
+
   core::ProtectionLevel level = core::ProtectionLevel::kNone;
   for (const auto l : core::kAllProtectionLevels) {
     if (core::protection_name(l) == level_name) level = l;
@@ -381,19 +442,81 @@ int main(int argc, char** argv) {
   cfg.seed = 260;
   core::Scenario s(cfg);
 
+  // The sni workload's key set (and so its pattern set) must exist before
+  // the trackers attach: the AlertEngine's ExposureMonitor derives its
+  // needles from the keys the scan will look for.
+  std::vector<crypto::RsaPrivateKey> sni_distinct;
+  std::vector<crypto::RsaPrivateKey> sni_vhosts;
+  std::unique_ptr<scan::KeyScanner> sni_scanner;
+  if (which == "sni") {
+    util::Rng keygen(cfg.seed + 7);
+    for (int i = 0; i < 6; ++i) {
+      sni_distinct.push_back(crypto::generate_rsa_key(keygen, 512));
+    }
+    for (int i = 0; i < 12; ++i) {
+      sni_vhosts.push_back(sni_distinct[i % sni_distinct.size()]);
+    }
+    sni_scanner = std::make_unique<scan::KeyScanner>(
+        scan::KeyPatterns::from_keys(sni_distinct));
+  }
+
   // Trackers must observe the whole workload, so attach them first. A
-  // fanout multiplexes the kernel's single hook slot when both the shadow
-  // taint map and the incremental journal are requested.
+  // fanout multiplexes the kernel's single hook slot; add() order matters
+  // for --alerts: the shadow map and the monitor must have absorbed an
+  // event before the engine evaluates rules against them.
   std::unique_ptr<analysis::ShadowTaintMap> taint_map;
   std::unique_ptr<scan::DirtyFrameJournal> journal;
+  std::unique_ptr<obs::ExposureMonitor> monitor;
+  std::unique_ptr<obs::AlertEngine> engine;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  std::unique_ptr<obs::JsonlAlertSink> jsonl_sink;
+  std::unique_ptr<obs::MetricsAlertSink> metrics_sink;
+  obs::StderrAlertSink stderr_sink;
   sim::TaintFanout fanout;
-  if (flags.has("taint")) {
+  if (flags.has("taint") || alerts_on) {
     taint_map = std::make_unique<analysis::ShadowTaintMap>(s.kernel());
     fanout.add(taint_map.get());
   }
   if (incremental) {
     journal = std::make_unique<scan::DirtyFrameJournal>(cfg.mem_bytes);
     fanout.add(journal.get());
+  }
+  if (alerts_on) {
+    monitor = std::make_unique<obs::ExposureMonitor>(
+        s.kernel().memory(),
+        sni_scanner ? sni_scanner->patterns() : s.scanner().patterns());
+    fanout.add(monitor.get());
+    engine = std::make_unique<obs::AlertEngine>(s.kernel(), *taint_map,
+                                                monitor.get());
+    for (const auto& r : rules) engine->add_rule(r);
+    engine->add_sink(&stderr_sink);
+    if (metrics) {
+      metrics_sink = std::make_unique<obs::MetricsAlertSink>(
+          obs::MetricsRegistry::global());
+      engine->add_sink(metrics_sink.get());
+    }
+    if (flight) {
+      std::error_code ec;
+      std::filesystem::create_directories(flight_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "scanmemory_tool: cannot create %s: %s\n",
+                     flight_dir.c_str(), ec.message().c_str());
+        return 1;
+      }
+      jsonl_sink =
+          std::make_unique<obs::JsonlAlertSink>(flight_dir + "/alerts.jsonl");
+      engine->add_sink(jsonl_sink.get());
+      recorder = std::make_unique<obs::FlightRecorder>(
+          obs::FlightRecorder::Config{}, &s.kernel(), taint_map.get(),
+          monitor.get());
+      // Recorder subscribes first so the breaching event reaches the
+      // ring before the engine's alert freezes it.
+      obs::EventBus::global().subscribe(recorder.get());
+      engine->add_sink(recorder.get());
+    }
+    obs::EventBus::global().subscribe(engine.get());
+    obs::EventBus::global().set_enabled(true);
+    fanout.add(engine.get());
   }
   if (fanout.size() > 0) s.kernel().attach_taint(&fanout);
 
@@ -402,7 +525,6 @@ int main(int argc, char** argv) {
   std::unique_ptr<servers::ApacheServer> apache;
   std::unique_ptr<servers::SshServer> ssh;
   std::unique_ptr<servers::SniFrontend> sni;
-  std::unique_ptr<scan::KeyScanner> sni_scanner;
   const auto run_traffic = [&](int n) {
     if (apache) {
       for (int i = 0; i < n; ++i) apache->handle_request();
@@ -420,27 +542,19 @@ int main(int argc, char** argv) {
     apache->set_concurrency(8);
   } else if (which == "sni") {
     // Multi-tenant workload: a few distinct keys cycled over the vhost
-    // population, scanned with per-key needles instead of the scenario
-    // key's. The pool discipline comes from --backend.
+    // population (generated above, before the trackers attached), scanned
+    // with per-key needles instead of the scenario key's. The pool
+    // discipline comes from --backend.
     auto sni_cfg = core::sni_config(s.profile(), /*pool_pages=*/8);
     sni_cfg.backend = backend_name == "encrypted"
                           ? keystore::PoolBackend::kEncrypted
                           : keystore::PoolBackend::kMlocked;
-    util::Rng keygen(cfg.seed + 7);
-    std::vector<crypto::RsaPrivateKey> distinct;
-    for (int i = 0; i < 6; ++i) {
-      distinct.push_back(crypto::generate_rsa_key(keygen, 512));
-    }
-    std::vector<crypto::RsaPrivateKey> vhosts;
-    for (int i = 0; i < 12; ++i) vhosts.push_back(distinct[i % distinct.size()]);
     sni = std::make_unique<servers::SniFrontend>(s.kernel(), sni_cfg,
                                                  s.make_rng());
-    if (!sni->start(vhosts)) {
+    if (!sni->start(sni_vhosts)) {
       std::fprintf(stderr, "scanmemory_tool: sni frontend failed to start\n");
       return 1;
     }
-    sni_scanner = std::make_unique<scan::KeyScanner>(
-        scan::KeyPatterns::from_keys(distinct));
   } else {
     ssh = std::make_unique<servers::SshServer>(s.kernel(), s.ssh_config(),
                                                s.make_rng());
@@ -545,6 +659,26 @@ int main(int argc, char** argv) {
     if (!write_text_file(trace_path, trace_text, "trace")) {
       return 1;
     }
+  }
+  if (engine) {
+    std::fprintf(stderr, "alerts: %llu fired over %llu evaluations\n",
+                 static_cast<unsigned long long>(engine->alerts_fired()),
+                 static_cast<unsigned long long>(engine->evaluations()));
+  }
+  if (recorder) {
+    const std::string bundle_path = flight_dir + "/bundle.json";
+    if (!recorder->write_bundle(bundle_path)) {
+      std::fprintf(stderr, "scanmemory_tool: cannot write %s\n",
+                   bundle_path.c_str());
+      return 1;
+    }
+    std::printf("flight bundle written to %s (%s)\n", bundle_path.c_str(),
+                recorder->frozen() ? "frozen at breach" : "shutdown state");
+  }
+  if (alerts_on) {
+    obs::EventBus::global().set_enabled(false);
+    if (engine) obs::EventBus::global().unsubscribe(engine.get());
+    if (recorder) obs::EventBus::global().unsubscribe(recorder.get());
   }
   if (fanout.size() > 0) s.kernel().attach_taint(nullptr);
   return 0;

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "crypto/pem.hpp"
+#include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/physmem.hpp"
@@ -20,6 +21,12 @@ sslsim::SslConfig ssl_config_for(const EncryptedKeystoreConfig& cfg) {
   out.clear_temporaries = cfg.clear_temporaries;
   out.open_keys_nocache = cfg.open_keys_nocache;
   return out;
+}
+
+void bus_event(obs::ObsEventKind kind, std::uint64_t a, std::uint64_t b = 0) {
+  if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+    bus.publish(kind, a, b);
+  }
 }
 
 }  // namespace
@@ -101,6 +108,7 @@ std::optional<KeyId> EncryptedPoolKeystore::ingest_pem(const std::string& vfs_pa
     // "until the domain comes back" would be exactly the fallback this
     // backend exists to rule out.
     ++stats_.refusals;
+    bus_event(obs::ObsEventKind::kKeystoreRefusal, id);
     return std::nullopt;
   }
 
@@ -166,6 +174,7 @@ void EncryptedPoolKeystore::reencrypt_slot(std::size_t si) {
   kernel_.mlock_range(proc_, s.page, sim::kPageSize, /*locked=*/false);
   s.is_plaintext = false;
   ++stats_.reencrypts;
+  bus_event(obs::ObsEventKind::kKeystoreSeal, *s.occupant);
   auto& reg = obs::MetricsRegistry::global();
   if (reg.enabled()) {
     reg.counter("enc_keystore.reencrypts").add(1);
@@ -194,6 +203,7 @@ std::optional<std::size_t> EncryptedPoolKeystore::ensure_plaintext(
   const auto key_it = keys_.find(id);
   if (key_it == keys_.end()) {
     ++stats_.refusals;
+    bus_event(obs::ObsEventKind::kKeystoreRefusal, id);
     return std::nullopt;
   }
   Entry& e = key_it->second;
@@ -229,6 +239,7 @@ std::optional<std::size_t> EncryptedPoolKeystore::ensure_plaintext(
     if (!ks) {
       ++stats_.refusals;
       if (metrics_on) reg.counter("enc_keystore.refusals").add(1);
+      bus_event(obs::ObsEventKind::kKeystoreRefusal, id);
       return std::nullopt;
     }
     make_working_room();
@@ -245,6 +256,7 @@ std::optional<std::size_t> EncryptedPoolKeystore::ensure_plaintext(
     s.last_used = ++clock_;
     ++stats_.page_decrypts;
     if (metrics_on) reg.counter("enc_keystore.page_decrypts").add(1);
+    bus_event(obs::ObsEventKind::kKeystoreUnseal, id, /*blob=*/0);
     record_unseal();
     publish_occupancy();
     return static_cast<std::size_t>(e.slot);
@@ -268,6 +280,7 @@ std::optional<std::size_t> EncryptedPoolKeystore::ensure_plaintext(
   if (!der) {
     ++stats_.refusals;
     if (metrics_on) reg.counter("enc_keystore.refusals").add(1);
+    bus_event(obs::ObsEventKind::kKeystoreRefusal, id);
     return std::nullopt;
   }
   auto key = crypto::der_decode_private_key(*der);
@@ -275,6 +288,7 @@ std::optional<std::size_t> EncryptedPoolKeystore::ensure_plaintext(
   if (!key) {  // cannot happen once the tag verified, but stay closed
     ++stats_.refusals;
     if (metrics_on) reg.counter("enc_keystore.refusals").add(1);
+    bus_event(obs::ObsEventKind::kKeystoreRefusal, id);
     return std::nullopt;
   }
 
@@ -322,6 +336,7 @@ std::optional<std::size_t> EncryptedPoolKeystore::ensure_plaintext(
   key->scrub_private_parts();
   ++stats_.blob_unseals;
   if (metrics_on) reg.counter("enc_keystore.blob_unseals").add(1);
+  bus_event(obs::ObsEventKind::kKeystoreUnseal, id, /*blob=*/1);
   record_unseal();
   publish_occupancy();
   return victim;
@@ -412,6 +427,7 @@ void EncryptedPoolKeystore::evict_slot(std::size_t si) {
     span.add(obs::TraceAttr::b("scrub", cfg_.scrub_on_evict));
   }
   keys_.at(*slot.occupant).slot = -1;
+  bus_event(obs::ObsEventKind::kKeystoreEvict, *slot.occupant);
   if (cfg_.scrub_on_evict && slot.used_bytes > 0) {
     kernel_.mem_zero(proc_, slot.page, slot.used_bytes);
   }

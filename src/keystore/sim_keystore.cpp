@@ -6,6 +6,7 @@
 
 #include "crypto/pem.hpp"
 #include "keystore/sealed_blob.hpp"
+#include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/physmem.hpp"
@@ -180,6 +181,9 @@ std::size_t SimKeystore::ensure_pooled(KeyId id) {
   assert(key.has_value());
   wipe(*der);
   ++stats_.unseals;
+  if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+    bus.publish(obs::ObsEventKind::kKeystoreUnseal, id, /*blob=*/1);
+  }
 
   // Materialize: all six private parts as limb images on the one mlocked
   // page (rsa_memory_align's layout, so scanner needles match), viewed as
@@ -240,6 +244,9 @@ void SimKeystore::evict_slot(std::size_t s) {
     span.add(obs::TraceAttr::b("scrub", cfg_.scrub_on_evict));
   }
   keys_.at(*slot.occupant).slot = -1;
+  if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+    bus.publish(obs::ObsEventKind::kKeystoreEvict, *slot.occupant);
+  }
   if (cfg_.scrub_on_evict && slot.used_bytes > 0) {
     obs::Tracer::Span scrub(obs::Tracer::global(), "sim_keystore.scrub");
     if (scrub.live()) {

@@ -34,10 +34,14 @@ constexpr std::string_view kSinkFunctions[] = {
     "vprintf", "puts",   "fputs",   "fwrite",   "syslog",
 };
 // Method-style sinks: JsonWriter::field/value, Tracer span attrs, metric
-// recorders, ad-hoc loggers. Only fire when the argument is tainted, so
-// the generic names stay quiet on ordinary code.
+// recorders, ad-hoc loggers, and the alert/forensic surface (AlertSink::
+// on_alert, AlertEngine::fire, FlightRecorder::write_bundle) — anything
+// that serializes its arguments for a human or a file. Only fire when the
+// argument is tainted, so the generic names stay quiet on ordinary code.
 constexpr std::string_view kSinkMethods[] = {
-    "field", "value", "add", "record", "set", "log", "log_line", "emit",
+    "field", "value", "add",  "record",   "set",
+    "log",   "log_line", "emit", "on_alert", "fire",
+    "write_bundle",
 };
 
 constexpr std::string_view kEscapeCallees[] = {
@@ -711,7 +715,9 @@ const std::vector<CheckInfo>& check_catalogue() {
       {"KL103",
        "secret-derived value reaches a logging/serialization sink",
        "A value derived from a secret-labelled allocation flows through "
-       "local assignments into printf/JsonWriter/Tracer/metric sinks."},
+       "local assignments into printf/JsonWriter/Tracer/metric sinks or "
+       "the alert/forensic surface (AlertSink::on_alert, AlertEngine::"
+       "fire, FlightRecorder::write_bundle)."},
       {"KL104",
        "key-material page allocated outside an mlock-guaranteeing funnel",
        "Allocations carrying a must-lock label (rsa_aligned, key vault, "

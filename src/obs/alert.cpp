@@ -1,0 +1,724 @@
+#include "obs/alert.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+#include "util/json_reader.hpp"
+
+namespace keyguard::obs {
+
+const char* severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+std::optional<Severity> severity_from_name(std::string_view name) noexcept {
+  if (name == "info") return Severity::kInfo;
+  if (name == "warning") return Severity::kWarning;
+  if (name == "critical") return Severity::kCritical;
+  return std::nullopt;
+}
+
+const char* rule_kind_name(RuleKind k) noexcept {
+  switch (k) {
+    case RuleKind::kExposureBudget: return "exposure_budget";
+    case RuleKind::kLockedPagesBound: return "locked_pages_bound";
+    case RuleKind::kWorkingSetBound: return "working_set_bound";
+    case RuleKind::kSecretToSwap: return "secret_to_swap";
+    case RuleKind::kResidueOnFree: return "residue_on_free";
+    case RuleKind::kSecretFrameMerged: return "secret_frame_merged";
+    case RuleKind::kRefusalBurst: return "refusal_burst";
+  }
+  return "?";
+}
+
+std::optional<RuleKind> rule_kind_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kRuleKindCount; ++i) {
+    const auto k = static_cast<RuleKind>(i);
+    if (name == rule_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::string alert_to_json(const Alert& alert) {
+  util::JsonWriter w;
+  w.begin_object()
+      .field("rule", alert.rule)
+      .field("kind", rule_kind_name(alert.kind))
+      .field("severity", severity_name(alert.severity))
+      .field("ts_ns", alert.ts_ns)
+      .field("breach_ts_ns", alert.breach_ts_ns)
+      .field("key", alert.key)
+      .field("a", alert.a)
+      .field("b", alert.b)
+      .field("value", alert.value)
+      .field("threshold", alert.threshold)
+      .end_object();
+  return w.str();
+}
+
+void StderrAlertSink::on_alert(const Alert& alert) {
+  std::fprintf(stderr,
+               "[keyguard-alert] %s %s rule=%s ts_ns=%" PRIu64
+               " breach_ts_ns=%" PRIu64 " key=%" PRId64 " a=%" PRIu64
+               " b=%" PRIu64 " value=%.6g threshold=%.6g\n",
+               severity_name(alert.severity), rule_kind_name(alert.kind),
+               alert.rule.c_str(), alert.ts_ns, alert.breach_ts_ns, alert.key,
+               alert.a, alert.b, alert.value, alert.threshold);
+}
+
+JsonlAlertSink::JsonlAlertSink(const std::string& path)
+    : out_(path, std::ios::app) {}
+
+void JsonlAlertSink::on_alert(const Alert& alert) {
+  if (!out_.good()) return;
+  out_ << alert_to_json(alert) << '\n';
+  out_.flush();
+}
+
+void MetricsAlertSink::on_alert(const Alert& alert) {
+  reg_.counter("obs.alerts.total").add(1);
+  reg_.counter(std::string("obs.alerts.") + severity_name(alert.severity))
+      .add(1);
+  reg_.counter(std::string("obs.alerts.rule.") + alert.rule).add(1);
+}
+
+AlertEngine::AlertEngine(const sim::Kernel& kernel,
+                         const analysis::ShadowTaintMap& shadow,
+                         ExposureMonitor* monitor)
+    : kernel_(kernel), shadow_(shadow), monitor_(monitor) {
+  frames_.resize(kernel_.memory().page_count());
+  slot_secret_bytes_.resize(shadow_.swap_shadow().size() / sim::kPageSize, 0);
+  phys_class_.resize(shadow_.phys_shadow().size(), 0);
+  swap_class_.resize(shadow_.swap_shadow().size(), 0);
+}
+
+void AlertEngine::add_rule(AlertRule rule) {
+  rules_.push_back(std::move(rule));
+  states_.emplace_back();
+}
+
+void AlertEngine::add_sink(AlertSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+namespace {
+
+/// Per-byte class derived from a taint tag: 0 = not secret (kClean,
+/// kSealed ciphertext), 1 = the master key, 2 = any other secret.
+std::uint8_t classify(sim::TaintTag t) noexcept {
+  if (!sim::taint_tag_secret(t)) return 0;
+  return t == sim::TaintTag::kMasterKey ? 1 : 2;
+}
+
+/// A frame entry's share of the aggregate fields, with `sign` +1 to add
+/// and -1 to remove — every mutation applies the old entry at -1 and the
+/// new one at +1, which keeps every aggregate exact without ever walking
+/// the full shadow.
+void apply_frame(WatcherAggregates& agg, std::uint64_t secret_bytes,
+                 bool nonmaster, bool mlocked, sim::FrameState state,
+                 std::int64_t sign) {
+  if (secret_bytes == 0) return;
+  agg.secret_frames += sign;
+  if (mlocked) agg.secret_mlocked_frames += sign;
+  if (!nonmaster) agg.master_key_frames += sign;
+  switch (state) {
+    case sim::FrameState::kFree:
+      agg.secret_unallocated_bytes += sign * static_cast<std::int64_t>(secret_bytes);
+      break;
+    case sim::FrameState::kPageCache:
+      agg.secret_page_cache_bytes += sign * static_cast<std::int64_t>(secret_bytes);
+      break;
+    case sim::FrameState::kKernel:
+      agg.secret_kernel_bytes += sign * static_cast<std::int64_t>(secret_bytes);
+      break;
+    case sim::FrameState::kUserAnon:
+      break;  // allocated bytes are not an invariant input
+  }
+}
+
+}  // namespace
+
+void AlertEngine::resync() {
+  agg_ = WatcherAggregates{};
+  const auto phys = shadow_.phys_shadow();
+  for (std::size_t i = 0; i < phys_class_.size(); ++i) {
+    phys_class_[i] = classify(phys[i]);
+  }
+  for (sim::FrameNumber f = 0; f < frames_.size(); ++f) {
+    FrameEntry e;
+    e.state = kernel_.allocator().state(f);
+    e.mlocked = kernel_.frame_mlocked(f);
+    const std::size_t base = static_cast<std::size_t>(f) * sim::kPageSize;
+    for (std::size_t i = base; i < base + sim::kPageSize; ++i) {
+      e.secret_bytes += phys_class_[i] != 0;
+      e.nonmaster_bytes += phys_class_[i] == 2;
+    }
+    frames_[f] = e;
+    apply_frame(agg_, e.secret_bytes, e.nonmaster_bytes > 0, e.mlocked,
+                e.state, +1);
+  }
+  const auto swap = shadow_.swap_shadow();
+  for (std::size_t i = 0; i < swap_class_.size(); ++i) {
+    swap_class_[i] = classify(swap[i]);
+  }
+  for (std::uint32_t s = 0; s < slot_secret_bytes_.size(); ++s) {
+    const std::size_t base = static_cast<std::size_t>(s) * sim::kPageSize;
+    std::uint32_t n = 0;
+    for (std::size_t i = base; i < base + sim::kPageSize; ++i) {
+      n += swap_class_[i] != 0;
+    }
+    slot_secret_bytes_[s] = n;
+    agg_.secret_swap_bytes += n;
+  }
+  shadow_bytes_examined_ += phys_class_.size() + swap_class_.size();
+}
+
+void AlertEngine::set_phys_class(std::size_t off, std::size_t len,
+                                 std::uint8_t cls) {
+  if (off >= phys_class_.size()) return;
+  len = std::min(len, phys_class_.size() - off);
+  if (len == 0) return;
+  const std::size_t end = off + len;
+  for (std::size_t pos = off; pos < end;) {
+    const auto f = static_cast<sim::FrameNumber>(pos / sim::kPageSize);
+    const std::size_t stop =
+        std::min(end, (static_cast<std::size_t>(f) + 1) * sim::kPageSize);
+    FrameEntry& e = frames_[f];
+    if (cls == 0 && e.secret_bytes == 0) {
+      pos = stop;  // all classes in the frame are already 0: a literal no-op
+      continue;
+    }
+    apply_frame(agg_, e.secret_bytes, e.nonmaster_bytes > 0, e.mlocked,
+                e.state, -1);
+    e.state = kernel_.allocator().state(f);
+    e.mlocked = kernel_.frame_mlocked(f);
+    std::uint32_t old_secret = 0;
+    std::uint32_t old_nm = 0;
+    for (std::size_t i = pos; i < stop; ++i) {
+      old_secret += phys_class_[i] != 0;
+      old_nm += phys_class_[i] == 2;
+    }
+    std::fill(phys_class_.begin() + pos, phys_class_.begin() + stop, cls);
+    const auto n = static_cast<std::uint32_t>(stop - pos);
+    e.secret_bytes += (cls != 0 ? n : 0) - old_secret;
+    e.nonmaster_bytes += (cls == 2 ? n : 0) - old_nm;
+    apply_frame(agg_, e.secret_bytes, e.nonmaster_bytes > 0, e.mlocked,
+                e.state, +1);
+    shadow_bytes_examined_ += stop - pos;
+    pos = stop;
+  }
+}
+
+void AlertEngine::copy_phys_class(std::size_t dst, const std::uint8_t* src,
+                                  std::size_t len, bool src_may_secret) {
+  if (dst >= phys_class_.size()) return;
+  len = std::min(len, phys_class_.size() - dst);
+  if (len == 0) return;
+  const std::size_t end = dst + len;
+  for (std::size_t pos = dst; pos < end;) {
+    const auto f = static_cast<sim::FrameNumber>(pos / sim::kPageSize);
+    const std::size_t stop =
+        std::min(end, (static_cast<std::size_t>(f) + 1) * sim::kPageSize);
+    FrameEntry& e = frames_[f];
+    if (!src_may_secret && e.secret_bytes == 0) {
+      pos = stop;  // class-0 data over class-0 bytes: counts cannot move
+      continue;
+    }
+    apply_frame(agg_, e.secret_bytes, e.nonmaster_bytes > 0, e.mlocked,
+                e.state, -1);
+    e.state = kernel_.allocator().state(f);
+    e.mlocked = kernel_.frame_mlocked(f);
+    std::uint32_t old_secret = 0;
+    std::uint32_t old_nm = 0;
+    std::uint32_t new_secret = 0;
+    std::uint32_t new_nm = 0;
+    for (std::size_t i = pos; i < stop; ++i) {
+      const std::uint8_t o = phys_class_[i];
+      const std::uint8_t c = src[i - dst];
+      old_secret += o != 0;
+      old_nm += o == 2;
+      new_secret += c != 0;
+      new_nm += c == 2;
+      phys_class_[i] = c;
+    }
+    e.secret_bytes += new_secret - old_secret;
+    e.nonmaster_bytes += new_nm - old_nm;
+    apply_frame(agg_, e.secret_bytes, e.nonmaster_bytes > 0, e.mlocked,
+                e.state, +1);
+    shadow_bytes_examined_ += stop - pos;
+    pos = stop;
+  }
+}
+
+void AlertEngine::store_slot_classes(std::uint32_t slot,
+                                     std::size_t phys_src) {
+  if (slot >= slot_secret_bytes_.size()) return;
+  const bool src_secret = range_has_secret(phys_src, sim::kPageSize);
+  if (!src_secret && slot_secret_bytes_[slot] == 0) return;
+  const std::size_t base = static_cast<std::size_t>(slot) * sim::kPageSize;
+  std::uint32_t n = 0;
+  for (std::size_t i = 0; i < sim::kPageSize; ++i) {
+    const std::size_t s = phys_src + i;
+    const std::uint8_t c = s < phys_class_.size() ? phys_class_[s] : 0;
+    swap_class_[base + i] = c;
+    n += c != 0;
+  }
+  agg_.secret_swap_bytes += n;
+  agg_.secret_swap_bytes -= slot_secret_bytes_[slot];
+  slot_secret_bytes_[slot] = n;
+  shadow_bytes_examined_ += sim::kPageSize;
+}
+
+void AlertEngine::clear_slot_classes(std::uint32_t slot) {
+  if (slot >= slot_secret_bytes_.size()) return;
+  if (slot_secret_bytes_[slot] == 0) return;  // already all class 0
+  const std::size_t base = static_cast<std::size_t>(slot) * sim::kPageSize;
+  std::fill(swap_class_.begin() + base,
+            swap_class_.begin() + base + sim::kPageSize, 0);
+  agg_.secret_swap_bytes -= slot_secret_bytes_[slot];
+  slot_secret_bytes_[slot] = 0;
+  shadow_bytes_examined_ += sim::kPageSize;
+}
+
+void AlertEngine::refresh_frame_meta(sim::FrameNumber frame) {
+  if (frame >= frames_.size()) return;
+  FrameEntry& e = frames_[frame];
+  apply_frame(agg_, e.secret_bytes, e.nonmaster_bytes > 0, e.mlocked, e.state,
+              -1);
+  e.state = kernel_.allocator().state(frame);
+  e.mlocked = kernel_.frame_mlocked(frame);
+  apply_frame(agg_, e.secret_bytes, e.nonmaster_bytes > 0, e.mlocked, e.state,
+              +1);
+}
+
+bool AlertEngine::range_has_secret(std::size_t off, std::size_t len) const {
+  if (len == 0) return false;
+  const auto first = static_cast<sim::FrameNumber>(off / sim::kPageSize);
+  const auto last =
+      static_cast<sim::FrameNumber>((off + len - 1) / sim::kPageSize);
+  for (sim::FrameNumber f = first; f <= last; ++f) {
+    if (f < frames_.size() && frames_[f].secret_bytes > 0) return true;
+  }
+  return false;
+}
+
+void AlertEngine::on_phys_store(std::size_t off, std::size_t len,
+                                sim::TaintTag tag) {
+  set_phys_class(off, len, classify(tag));
+  evaluate(now_ns());
+}
+
+void AlertEngine::on_phys_copy(std::size_t dst, std::size_t src,
+                               std::size_t len) {
+  // The copy carries the source's classes. Kernel copies (COW break,
+  // realloc move) never overlap, but snapshot if one ever does so the
+  // in-place walk cannot read bytes it already wrote.
+  const bool src_secret = range_has_secret(src, len);
+  const std::size_t avail =
+      src < phys_class_.size() ? phys_class_.size() - src : 0;
+  if (len <= avail &&
+      (dst >= src + len || src >= dst + len)) {  // disjoint, in range
+    copy_phys_class(dst, phys_class_.data() + src, len, src_secret);
+  } else {
+    std::vector<std::uint8_t> tmp(len, 0);
+    std::copy_n(phys_class_.begin() + std::min(src, phys_class_.size()),
+                std::min(len, avail), tmp.begin());
+    copy_phys_class(dst, tmp.data(), len, src_secret);
+  }
+  evaluate(now_ns());
+}
+
+void AlertEngine::on_phys_clear(std::size_t off, std::size_t len) {
+  set_phys_class(off, len, 0);
+  evaluate(now_ns());
+}
+
+void AlertEngine::on_swap_store(std::uint32_t slot, std::size_t phys_src) {
+  // The slot now holds a copy of the source page; if neither side held
+  // secret bytes the slot count stays 0 and the page walk is skipped.
+  store_slot_classes(slot, phys_src);
+  const std::uint64_t ts = now_ns();
+  if (slot < slot_secret_bytes_.size() && slot_secret_bytes_[slot] > 0) {
+    // Secret bytes just crossed the RAM/swap boundary: a single-event
+    // fact, detected here (on the taint path, so it fires even when the
+    // event bus is disabled) rather than on the later kSwapOut event.
+    for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+      const AlertRule& r = rules_[ri];
+      if (r.kind != RuleKind::kSecretToSwap) continue;
+      if (!cooled_down(r, states_[ri], ts)) continue;
+      Alert a;
+      a.rule = r.name;
+      a.kind = r.kind;
+      a.severity = r.severity;
+      a.ts_ns = ts;
+      a.breach_ts_ns = ts;
+      a.a = slot;
+      a.b = slot_secret_bytes_[slot];
+      a.value = static_cast<double>(slot_secret_bytes_[slot]);
+      fire(ri, std::move(a));
+    }
+  }
+  evaluate(ts);
+}
+
+void AlertEngine::on_swap_load(std::size_t phys_dst, std::uint32_t slot) {
+  if (slot < slot_secret_bytes_.size()) {
+    // The slot's classes stay put — like its bytes, which persist on the
+    // device until the slot is scrubbed.
+    copy_phys_class(phys_dst,
+                    swap_class_.data() +
+                        static_cast<std::size_t>(slot) * sim::kPageSize,
+                    sim::kPageSize, slot_secret_bytes_[slot] > 0);
+  }
+  evaluate(now_ns());
+}
+
+void AlertEngine::on_swap_clear(std::uint32_t slot) {
+  clear_slot_classes(slot);
+  evaluate(now_ns());
+}
+
+void AlertEngine::on_obs_event(const ObsEvent& ev) {
+  // State/mlock flips move no bytes: an O(1) reapplication of the
+  // frame's cached counts under the new state keeps every aggregate
+  // exact. This is the entire cost of the hot alloc/free path.
+  switch (ev.kind) {
+    case ObsEventKind::kFrameAllocated:
+    case ObsEventKind::kMlockChanged:
+      refresh_frame_meta(static_cast<sim::FrameNumber>(ev.a));
+      break;
+    case ObsEventKind::kFrameFreed: {
+      const auto frame = static_cast<sim::FrameNumber>(ev.a);
+      refresh_frame_meta(frame);
+      if (frame < frames_.size() && frames_[frame].secret_bytes > 0) {
+        // The frame went back to the free lists with live taint — the
+        // scrub-free residue the paper's scans kept finding. kFrameFreed
+        // is published after any zero-on-free clear, so a defended
+        // kernel never reaches this branch.
+        for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+          const AlertRule& r = rules_[ri];
+          if (r.kind != RuleKind::kResidueOnFree) continue;
+          if (!cooled_down(r, states_[ri], ev.ts_ns)) continue;
+          Alert a;
+          a.rule = r.name;
+          a.kind = r.kind;
+          a.severity = r.severity;
+          a.ts_ns = ev.ts_ns;
+          a.breach_ts_ns = ev.ts_ns;
+          a.a = frame;
+          a.b = frames_[frame].secret_bytes;
+          a.value = static_cast<double>(frames_[frame].secret_bytes);
+          fire(ri, std::move(a));
+        }
+      }
+      break;
+    }
+    case ObsEventKind::kPageMerged: {
+      const auto frame = static_cast<sim::FrameNumber>(ev.a);
+      if (frame < frames_.size() && frames_[frame].secret_bytes > 0 &&
+          ev.b > 1) {
+        // A secret-tainted frame now backs a stranger's mapping: the
+        // share-count side channel the dedup probe times (PR 8).
+        for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+          const AlertRule& r = rules_[ri];
+          if (r.kind != RuleKind::kSecretFrameMerged) continue;
+          if (!cooled_down(r, states_[ri], ev.ts_ns)) continue;
+          Alert a;
+          a.rule = r.name;
+          a.kind = r.kind;
+          a.severity = r.severity;
+          a.ts_ns = ev.ts_ns;
+          a.breach_ts_ns = ev.ts_ns;
+          a.a = frame;
+          a.b = ev.b;
+          a.value = static_cast<double>(ev.b);
+          a.threshold = 1.0;
+          fire(ri, std::move(a));
+        }
+      }
+      break;
+    }
+    case ObsEventKind::kKeystoreRefusal:
+    case ObsEventKind::kDomainRefusal:
+      note_refusal(ev.ts_ns);
+      break;
+    default:
+      break;  // swap/cow/keystore traffic: taint hooks already updated state
+  }
+  evaluate(ev.ts_ns);
+}
+
+void AlertEngine::poll() { evaluate(now_ns()); }
+
+void AlertEngine::evaluate(std::uint64_t ts) {
+  ++evaluations_;
+  for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+    switch (rules_[ri].kind) {
+      case RuleKind::kExposureBudget:
+        evaluate_budget(ri, ts);
+        break;
+      case RuleKind::kLockedPagesBound:
+      case RuleKind::kWorkingSetBound:
+        evaluate_invariant(ri, ts);
+        break;
+      case RuleKind::kRefusalBurst: {
+        RuleState& st = states_[ri];
+        const AlertRule& r = rules_[ri];
+        while (!st.bursts.empty() &&
+               st.bursts.front() + r.window_ns < ts) {
+          st.bursts.pop_front();
+        }
+        if (st.bursts.size() >= r.bound && r.bound > 0 &&
+            cooled_down(r, st, ts)) {
+          Alert a;
+          a.rule = r.name;
+          a.kind = r.kind;
+          a.severity = r.severity;
+          a.ts_ns = ts;
+          a.breach_ts_ns = ts;
+          a.a = st.bursts.size();
+          a.b = r.window_ns;
+          a.value = static_cast<double>(st.bursts.size());
+          a.threshold = static_cast<double>(r.bound);
+          fire(ri, std::move(a));
+        }
+        break;
+      }
+      default:
+        break;  // anomaly rules fire at their triggering event
+    }
+  }
+}
+
+void AlertEngine::evaluate_budget(std::size_t ri, std::uint64_t ts) {
+  if (monitor_ == nullptr) return;
+  const AlertRule& r = rules_[ri];
+  RuleState& st = states_[ri];
+  if (st.budget.size() < monitor_->key_count()) {
+    st.budget.resize(monitor_->key_count());
+  }
+  const std::size_t lo = r.key >= 0 ? static_cast<std::size_t>(r.key) : 0;
+  const std::size_t hi =
+      r.key >= 0 ? lo + 1 : monitor_->key_count();
+  for (std::size_t k = lo; k < hi && k < st.budget.size(); ++k) {
+    BudgetState& b = st.budget[k];
+    const KeyExposure ex = monitor_->exposure(k);
+    if (b.primed && !b.fired && ex.byte_seconds >= r.budget_byte_seconds) {
+      // Between the previous sample (t0, I0) and this one the live-byte
+      // count was the constant b.last_live (it only changes at taint
+      // events, and every taint event is a sample point), so the
+      // integral was exactly linear — invert it for the crossing
+      // instant. See DESIGN §13 for why this is exact, not estimated.
+      std::uint64_t breach = ts;
+      if (b.last_bs < r.budget_byte_seconds && b.last_live > 0) {
+        const double dt_s =
+            (r.budget_byte_seconds - b.last_bs) / static_cast<double>(b.last_live);
+        breach = b.last_ts + static_cast<std::uint64_t>(dt_s * 1e9 + 0.5);
+      } else if (b.last_bs >= r.budget_byte_seconds) {
+        breach = b.last_ts;
+      }
+      Alert a;
+      a.rule = r.name;
+      a.kind = r.kind;
+      a.severity = r.severity;
+      a.ts_ns = ts;
+      a.breach_ts_ns = breach;
+      a.key = static_cast<std::int64_t>(k);
+      a.a = ex.live_copies;
+      a.b = ex.live_bytes;
+      a.value = ex.byte_seconds;
+      a.threshold = r.budget_byte_seconds;
+      b.fired = true;  // the integral is monotone: once over, always over
+      fire(ri, std::move(a));
+    }
+    b.last_bs = ex.byte_seconds;
+    b.last_ts = ts;
+    b.last_live = ex.live_bytes;
+    b.primed = true;
+  }
+}
+
+void AlertEngine::evaluate_invariant(std::size_t ri, std::uint64_t ts) {
+  const AlertRule& r = rules_[ri];
+  RuleState& st = states_[ri];
+  if (r.kind == RuleKind::kLockedPagesBound && !st.armed) {
+    // bounded_locked_pages_only demands >= 1 secret frame, which is
+    // false before the first key loads. Arm the rule at the first sight
+    // of secret taint so startup is not a violation.
+    if (agg_.secret_frames == 0) return;
+    st.armed = true;
+  }
+  const bool ok = r.kind == RuleKind::kLockedPagesBound
+                      ? agg_.bounded_locked_pages_only(r.bound)
+                      : agg_.bounded_plaintext_working_set(r.bound);
+  if (ok) {
+    st.pending_since = 0;
+    return;
+  }
+  if (st.pending_since == 0) st.pending_since = ts;
+  if (ts - st.pending_since < r.grace_ns) return;
+  if (!cooled_down(r, st, ts)) return;
+  Alert a;
+  a.rule = r.name;
+  a.kind = r.kind;
+  a.severity = r.severity;
+  a.ts_ns = ts;
+  a.breach_ts_ns = st.pending_since;  // when the violation began
+  a.a = agg_.secret_frames;
+  a.b = agg_.secret_unallocated_bytes + agg_.secret_page_cache_bytes +
+        agg_.secret_kernel_bytes + agg_.secret_swap_bytes;
+  a.value = static_cast<double>(agg_.secret_frames - agg_.master_key_frames);
+  a.threshold = static_cast<double>(r.bound);
+  fire(ri, std::move(a));
+}
+
+void AlertEngine::note_refusal(std::uint64_t ts) {
+  for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+    if (rules_[ri].kind == RuleKind::kRefusalBurst) {
+      states_[ri].bursts.push_back(ts);
+    }
+  }
+}
+
+bool AlertEngine::cooled_down(const AlertRule& rule, const RuleState& st,
+                              std::uint64_t ts) const {
+  if (!st.fired_once) return true;
+  return ts - st.last_fired >= rule.cooldown_ns;
+}
+
+void AlertEngine::fire(std::size_t ri, Alert alert) {
+  RuleState& st = states_[ri];
+  st.last_fired = alert.ts_ns;
+  st.fired_once = true;
+  ++alerts_fired_;
+  for (auto* s : sinks_) s->on_alert(alert);
+}
+
+namespace {
+
+std::optional<AlertRule> rule_from_value(const util::JsonValue& v,
+                                         std::size_t index,
+                                         std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = "rules[" + std::to_string(index) + "]: " + msg;
+    }
+    return std::nullopt;
+  };
+  if (v.kind() != util::JsonValue::Kind::kObject) {
+    return fail("not an object");
+  }
+  AlertRule r;
+  const auto* name = v.get("name");
+  if (name == nullptr || name->kind() != util::JsonValue::Kind::kString) {
+    return fail("missing string field \"name\"");
+  }
+  r.name = name->as_string();
+  const auto* kind = v.get("kind");
+  if (kind == nullptr || kind->kind() != util::JsonValue::Kind::kString) {
+    return fail("missing string field \"kind\"");
+  }
+  const auto parsed_kind = rule_kind_from_name(kind->as_string());
+  if (!parsed_kind) return fail("unknown kind \"" + kind->as_string() + "\"");
+  r.kind = *parsed_kind;
+  if (const auto* sev = v.get("severity"); sev != nullptr) {
+    if (sev->kind() != util::JsonValue::Kind::kString) {
+      return fail("\"severity\" must be a string");
+    }
+    const auto parsed = severity_from_name(sev->as_string());
+    if (!parsed) return fail("unknown severity \"" + sev->as_string() + "\"");
+    r.severity = *parsed;
+  }
+  r.budget_byte_seconds = v.get_number("budget_byte_seconds", 0.0);
+  r.key = static_cast<std::int64_t>(v.get_number("key", -1.0));
+  r.bound = static_cast<std::uint64_t>(v.get_number("bound", 0.0));
+  r.window_ns = static_cast<std::uint64_t>(v.get_number("window_ns", 0.0));
+  r.grace_ns = static_cast<std::uint64_t>(v.get_number("grace_ns", 0.0));
+  r.cooldown_ns = static_cast<std::uint64_t>(v.get_number("cooldown_ns", 0.0));
+  switch (r.kind) {
+    case RuleKind::kExposureBudget:
+      if (r.budget_byte_seconds <= 0.0) {
+        return fail("exposure_budget needs budget_byte_seconds > 0");
+      }
+      break;
+    case RuleKind::kRefusalBurst:
+      if (r.bound == 0) return fail("refusal_burst needs bound > 0");
+      if (r.window_ns == 0) return fail("refusal_burst needs window_ns > 0");
+      break;
+    default:
+      break;  // bounds of 0 are legal for the invariant rules
+  }
+  return r;
+}
+
+}  // namespace
+
+std::optional<std::vector<AlertRule>> rules_from_json(std::string_view text,
+                                                      std::string* error) {
+  auto doc = util::json_parse(text, error);
+  if (!doc) return std::nullopt;
+  if (doc->kind() != util::JsonValue::Kind::kObject) {
+    if (error != nullptr) *error = "root is not an object";
+    return std::nullopt;
+  }
+  const auto* rules = doc->get("rules");
+  if (rules == nullptr || rules->kind() != util::JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "missing array field \"rules\"";
+    return std::nullopt;
+  }
+  std::vector<AlertRule> out;
+  out.reserve(rules->items().size());
+  for (std::size_t i = 0; i < rules->items().size(); ++i) {
+    auto r = rule_from_value(rules->items()[i], i, error);
+    if (!r) return std::nullopt;
+    out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+std::vector<AlertRule> default_rules() {
+  std::vector<AlertRule> out;
+  {
+    AlertRule r;
+    r.name = "secret-to-swap";
+    r.kind = RuleKind::kSecretToSwap;
+    r.severity = Severity::kCritical;
+    out.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "residue-on-free";
+    r.kind = RuleKind::kResidueOnFree;
+    r.severity = Severity::kWarning;
+    out.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "secret-frame-merged";
+    r.kind = RuleKind::kSecretFrameMerged;
+    r.severity = Severity::kCritical;
+    out.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "refusal-burst";
+    r.kind = RuleKind::kRefusalBurst;
+    r.severity = Severity::kWarning;
+    r.bound = 8;
+    r.window_ns = 1'000'000'000ull;
+    r.cooldown_ns = 1'000'000'000ull;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace keyguard::obs

@@ -1,0 +1,78 @@
+#include "obs/event_bus.hpp"
+
+#include <algorithm>
+
+#include "obs/clock.hpp"
+
+namespace keyguard::obs {
+
+const char* obs_event_kind_name(ObsEventKind k) noexcept {
+  switch (k) {
+    case ObsEventKind::kFrameAllocated:
+      return "frame_allocated";
+    case ObsEventKind::kFrameFreed:
+      return "frame_freed";
+    case ObsEventKind::kCowBreak:
+      return "cow_break";
+    case ObsEventKind::kMlockChanged:
+      return "mlock_changed";
+    case ObsEventKind::kPageMerged:
+      return "page_merged";
+    case ObsEventKind::kSwapOut:
+      return "swap_out";
+    case ObsEventKind::kSwapIn:
+      return "swap_in";
+    case ObsEventKind::kKeystoreUnseal:
+      return "keystore_unseal";
+    case ObsEventKind::kKeystoreSeal:
+      return "keystore_seal";
+    case ObsEventKind::kKeystoreEvict:
+      return "keystore_evict";
+    case ObsEventKind::kKeystoreRefusal:
+      return "keystore_refusal";
+    case ObsEventKind::kDomainRefusal:
+      return "domain_refusal";
+    case ObsEventKind::kServerRequest:
+      return "server_request";
+  }
+  return "unknown";
+}
+
+EventBus& EventBus::global() {
+  static EventBus bus;
+  return bus;
+}
+
+void EventBus::publish(ObsEventKind kind, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) {
+  if (!enabled()) return;
+  ObsEvent ev;
+  ev.kind = kind;
+  ev.ts_ns = now_ns();
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  published_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto* s : sinks_) s->on_obs_event(ev);
+}
+
+void EventBus::subscribe(ObsEventSink* sink) {
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
+    sinks_.push_back(sink);
+  }
+}
+
+void EventBus::unsubscribe(ObsEventSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+std::size_t EventBus::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sinks_.size();
+}
+
+}  // namespace keyguard::obs

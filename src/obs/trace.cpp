@@ -170,6 +170,23 @@ std::string Tracer::jsonl() const {
     out += w.str();
     out += '\n';
   }
+  // Exact drop accounting travels with the file: a reader of a truncated
+  // trace can tell "quiet" from "saturated" without the live Tracer.
+  if (const auto n = dropped(); n > 0) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.field("name", "trace.dropped");
+    w.field("ph", "M");
+    w.field("ts_ns", events.empty() ? 0 : events.back().ts_ns);
+    w.field("tid", 0);
+    w.key("args");
+    w.begin_object();
+    w.field("value", static_cast<double>(n));
+    w.end_object();
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
   return out;
 }
 

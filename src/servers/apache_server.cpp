@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/pem.hpp"
+#include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -77,6 +78,7 @@ void ApacheServer::set_concurrency(int concurrency) {
 
 bool ApacheServer::handle_request() {
   if (master_ == nullptr || workers_.empty()) return false;
+  obs::ServerRequestScope ev(obs::kServerKindApache);
   obs::Tracer::Span span(obs::Tracer::global(), "apache.request");
   if (span.live()) {
     span.add(obs::TraceAttr::s("level", cfg_.protection_label));
@@ -118,6 +120,7 @@ bool ApacheServer::handle_request() {
     }
   }
   ++handshakes_;
+  ev.ok = true;
   return true;
 }
 

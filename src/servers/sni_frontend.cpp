@@ -1,6 +1,7 @@
 #include "servers/sni_frontend.hpp"
 
 #include "crypto/pem.hpp"
+#include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/bytes.hpp"
@@ -58,6 +59,7 @@ sim::Pid SniFrontend::pid() const { return proc_ ? proc_->pid() : 0; }
 
 bool SniFrontend::handle_request(std::size_t vhost) {
   if (proc_ == nullptr || vhost >= ids_.size()) return false;
+  obs::ServerRequestScope ev(obs::kServerKindSni);
   obs::Tracer::Span span(obs::Tracer::global(), "sni.request");
   if (span.live()) {
     span.add(obs::TraceAttr::s("level", cfg_.protection_label));
@@ -112,7 +114,8 @@ bool SniFrontend::handle_request(std::size_t vhost) {
   const std::vector<std::byte> tail(
       block.end() - static_cast<std::ptrdiff_t>(secret.size()), block.end());
   ++handshakes_;
-  return tail == secret;
+  ev.ok = (tail == secret);
+  return ev.ok;
 }
 
 bool SniFrontend::handle_request() {

@@ -2,6 +2,7 @@
 
 #include "bignum/prime.hpp"
 #include "crypto/pem.hpp"
+#include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -184,6 +185,7 @@ void SshServer::close_connection(ConnectionId id) {
 }
 
 bool SshServer::handle_connection(std::size_t transfer_bytes) {
+  obs::ServerRequestScope ev(obs::kServerKindSsh);
   obs::Tracer::Span span(obs::Tracer::global(), "ssh.connection");
   if (span.live()) {
     span.add(obs::TraceAttr::s("level", cfg_.protection_label));
@@ -194,6 +196,7 @@ bool SshServer::handle_connection(std::size_t transfer_bytes) {
   if (!id) return false;
   if (transfer_bytes > 0) transfer(*id, transfer_bytes);
   close_connection(*id);
+  ev.ok = true;
   return true;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/sha256.hpp"
+#include "obs/event_bus.hpp"
 #include "util/rng.hpp"
 
 namespace keyguard::sim {
@@ -68,7 +69,12 @@ bool CoprocessorDomain::keystream(std::uint64_t nonce, std::span<std::byte> out,
 
 bool CoprocessorDomain::keystream_batch(std::span<KeystreamRequest> requests) {
   std::lock_guard lk(mu_);
-  if (!powered_) return false;
+  if (!powered_) {
+    if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+      bus.publish(obs::ObsEventKind::kDomainRefusal, requests.size() == 1 ? 0 : 1);
+    }
+    return false;
+  }
   ++round_trips_;
   ++keystream_round_trips_;
   for (const auto& req : requests) fill_locked(req);
@@ -78,7 +84,12 @@ bool CoprocessorDomain::keystream_batch(std::span<KeystreamRequest> requests) {
 std::optional<std::array<std::byte, CoprocessorDomain::kTagBytes>>
 CoprocessorDomain::mac(std::uint64_t nonce, std::span<const std::byte> data) {
   std::lock_guard lk(mu_);
-  if (!powered_) return std::nullopt;
+  if (!powered_) {
+    if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+      bus.publish(obs::ObsEventKind::kDomainRefusal, 2);
+    }
+    return std::nullopt;
+  }
   ++round_trips_;
   ++mac_round_trips_;
   std::byte trailer[17];

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -152,6 +153,13 @@ std::size_t DedupEngine::scan() {
           ++stats_.pages_merged;
           stats_.bytes_saved += kPageSize;
           ++merged_now;
+          // A merge raises the canonical frame's share count without any
+          // byte moving — the signal the secret-frame-merged alert rule
+          // (and the PR-8 probe's victim) hinges on.
+          if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+            bus.publish(obs::ObsEventKind::kPageMerged, canon_frame,
+                        kernel_.allocator().refcount(canon_frame));
+          }
         }
       }
       if (any) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 
 namespace keyguard::sim {
@@ -74,7 +75,12 @@ void Kernel::release_address_space(Process& p) {
   // PageAllocator zeroes at free). Swap slots are released WITHOUT being
   // scrubbed — a stock kernel never wipes swap, so the disk keeps the
   // bytes (Gutmann'96's point about disk remnants).
-  for (auto& [addr, pte] : p.pages_) {
+  // Detach the page table BEFORE releasing frames: the kFrameFreed
+  // publish inside unref must see post-free state (frame_mlocked and
+  // owner queries would otherwise observe the dying mappings).
+  const auto pages = std::move(p.pages_);
+  p.pages_.clear();
+  for (const auto& [addr, pte] : pages) {
     if (pte.swapped) {
       // A stock kernel never wipes the slot; the zero-on-free defense
       // scrubs it eagerly, same as it clears the RAM frames below.
@@ -83,7 +89,6 @@ void Kernel::release_address_space(Process& p) {
       alloc_.unref(pte.frame, FreeKind::kBulk);
     }
   }
-  p.pages_.clear();
   p.vmas_.clear();
   p.heap_ = HeapAllocator(kHeapBase, kHeapCapacity);
   p.next_mmap_ = kMmapBase;
@@ -146,21 +151,33 @@ void Kernel::munmap(Process& p, VirtAddr addr, std::size_t bytes) {
   for (VirtAddr a = page_floor(addr); a < addr + len; a += kPageSize) {
     const auto it = p.pages_.find(a);
     if (it == p.pages_.end()) continue;
-    if (it->second.swapped) {
-      swap_->free_slot(it->second.swap_slot, /*scrub=*/cfg_.zero_on_free);
-    } else {
-      alloc_.unref(it->second.frame, FreeKind::kHot);
-    }
+    // Erase the PTE first: unref publishes kFrameFreed, and observers
+    // querying frame_mlocked() must see the mapping already gone.
+    const Pte pte = it->second;
     p.pages_.erase(it);
+    if (pte.swapped) {
+      swap_->free_slot(pte.swap_slot, /*scrub=*/cfg_.zero_on_free);
+    } else {
+      alloc_.unref(pte.frame, FreeKind::kHot);
+    }
   }
   std::erase_if(p.vmas_, [&](const Vma& v) { return v.start == page_floor(addr); });
 }
 
 void Kernel::mlock_range(Process& p, VirtAddr addr, std::size_t bytes, bool locked) {
   const std::size_t len = page_round(bytes);
+  auto& bus = obs::EventBus::global();
   for (VirtAddr a = page_floor(addr); a < addr + len; a += kPageSize) {
     const auto it = p.pages_.find(a);
-    if (it != p.pages_.end()) it->second.mlocked = locked;
+    if (it != p.pages_.end()) {
+      it->second.mlocked = locked;
+      // mlock is classification state, not bytes: no taint hook fires, so
+      // invariant watchers need the bus to re-evaluate the frame.
+      if (!it->second.swapped && bus.enabled()) {
+        bus.publish(obs::ObsEventKind::kMlockChanged, it->second.frame,
+                    locked ? 1 : 0);
+      }
+    }
   }
   for (auto& vma : p.vmas_) {
     if (vma.start >= page_floor(addr) && vma.start < addr + len) vma.mlocked = locked;
@@ -193,6 +210,9 @@ void Kernel::swap_in(Process& p, VirtAddr page_addr, Pte& pte) {
   if (taint_) {
     taint_->on_swap_load(static_cast<std::size_t>(*frame) * kPageSize, pte.swap_slot);
   }
+  if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+    bus.publish(obs::ObsEventKind::kSwapIn, pte.swap_slot, *frame);
+  }
   // On a stock kernel the slot is released but NOT scrubbed: the plaintext
   // (or ciphertext, under encryption) stays on disk until the slot is
   // reused. The zero-on-free defense scrubs it here too.
@@ -223,13 +243,19 @@ std::size_t Kernel::swap_out_pages(Process& p, std::size_t n) {
     if (taint_) {
       taint_->on_swap_store(*slot, static_cast<std::size_t>(pte.frame) * kPageSize);
     }
+    if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+      bus.publish(obs::ObsEventKind::kSwapOut, *slot, pte.frame);
+    }
     if (cfg_.encrypt_swap) crypt_slot(*slot);
     // The vacated frame keeps its content on a stock kernel: swapping
     // DUPLICATES the page (RAM residue + disk copy), it does not move it.
-    alloc_.unref(pte.frame, FreeKind::kHot);
+    // Re-point the PTE before unref so the kFrameFreed publish sees the
+    // frame already unmapped (no stale mlocked/owner state).
+    const FrameNumber old = pte.frame;
     pte.swapped = true;
     pte.swap_slot = *slot;
     pte.frame = 0;
+    alloc_.unref(old, FreeKind::kHot);
     ++done;
   }
   return done;
@@ -268,8 +294,15 @@ FrameNumber Kernel::frame_for_write(Process& p, VirtAddr page_addr) {
                              static_cast<std::size_t>(pte.frame) * kPageSize, kPageSize);
       }
       if (cow_obs_ != nullptr) cow_obs_->on_cow_break(pte.frame, *fresh);
-      alloc_.unref(pte.frame, FreeKind::kHot);
+      if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+        bus.publish(obs::ObsEventKind::kCowBreak, pte.frame, *fresh);
+      }
+      // Re-point the PTE before unref: the frame stays shared here (refcount
+      // > 1 drops by one), but the same ordering rule applies everywhere a
+      // mapping lets go of a frame.
+      const FrameNumber old = pte.frame;
       pte.frame = *fresh;
+      alloc_.unref(old, FreeKind::kHot);
     }
     pte.cow = false;
   }
@@ -466,10 +499,13 @@ bool Kernel::merge_page(Process& p, VirtAddr vaddr, FrameNumber canonical) {
   alloc_.ref(canonical);
   // The duplicate frame is released WITHOUT its bytes moving: on a stock
   // kernel (zero_on_free off) dedup itself seeds residue in unallocated
-  // memory. Its shadow taint stays with the bytes, like any free.
-  alloc_.unref(pte.frame, FreeKind::kHot);
+  // memory. Its shadow taint stays with the bytes, like any free. The PTE
+  // is re-pointed before unref so the kFrameFreed publish sees the
+  // duplicate already unmapped.
+  const FrameNumber dup = pte.frame;
   pte.frame = canonical;
   pte.cow = true;
+  alloc_.unref(dup, FreeKind::kHot);
   return true;
 }
 

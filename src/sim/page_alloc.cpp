@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/event_bus.hpp"
+
 namespace keyguard::sim {
 
 PageAllocator::PageAllocator(PhysicalMemory& mem, PageAllocPolicy policy, util::Rng rng)
@@ -39,6 +41,10 @@ std::optional<FrameNumber> PageAllocator::alloc(FrameState state) {
   }
   // ...but kernel and page-cache allocations do (the ext2 leak's channel).
   ++stats_.allocs;
+  if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+    bus.publish(obs::ObsEventKind::kFrameAllocated, frame,
+                static_cast<std::uint64_t>(state));
+  }
   return frame;
 }
 
@@ -58,6 +64,13 @@ void PageAllocator::free(FrameNumber frame, FreeKind kind) {
     pool_.push_back(frame);
   }
   ++stats_.frees;
+  // Published AFTER the zero-on-free clear so a subscriber inspecting the
+  // frame's shadow sees exactly what a disclosure would: residue on a
+  // stock kernel, nothing under the paper's patch (the residue-on-free
+  // alert rule depends on this ordering).
+  if (auto& bus = obs::EventBus::global(); bus.enabled()) {
+    bus.publish(obs::ObsEventKind::kFrameFreed, frame);
+  }
 }
 
 void PageAllocator::ref(FrameNumber frame) {

@@ -1,0 +1,353 @@
+#include "util/json_reader.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace keyguard::util {
+
+const JsonValue* JsonValue::get(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) found = &v;  // last duplicate wins, like most readers
+  }
+  return found;
+}
+
+double JsonValue::get_number(std::string_view key, double def) const noexcept {
+  const auto* v = get(key);
+  return (v != nullptr && v->is_number()) ? v->num_ : def;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool def) const noexcept {
+  const auto* v = get(key);
+  return (v != nullptr && v->is_bool()) ? v->flag_ : def;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string_view def) const {
+  const auto* v = get(key);
+  return (v != nullptr && v->is_string()) ? v->str_ : std::string(def);
+}
+
+JsonValue JsonValue::null() { return {}; }
+JsonValue JsonValue::boolean(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.flag_ = v;
+  return j;
+}
+JsonValue JsonValue::number(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = v;
+  return j;
+}
+JsonValue JsonValue::string(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(v);
+  return j;
+}
+JsonValue JsonValue::array(std::vector<JsonValue> v) {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  j.items_ = std::move(v);
+  return j;
+}
+JsonValue JsonValue::object(std::vector<std::pair<std::string, JsonValue>> v) {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  j.members_ = std::move(v);
+  return j;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    skip_ws();
+    auto v = parse_value();
+    if (v) {
+      skip_ws();
+      if (pos_ != text_.size()) fail("trailing garbage after document");
+    }
+    if (!err_.empty()) {
+      if (error != nullptr) *error = err_;
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(std::string_view why) {
+    if (err_.empty()) {
+      err_ = "byte " + std::to_string(pos_) + ": " + std::string(why);
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return eof() ? '\0' : text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    if (++depth_ > kMaxDepth) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    std::optional<JsonValue> out;
+    switch (peek()) {
+      case '{':
+        out = parse_object();
+        break;
+      case '[':
+        out = parse_array();
+        break;
+      case '"': {
+        auto s = parse_string();
+        if (s) out = JsonValue::string(std::move(*s));
+        break;
+      }
+      case 't':
+        out = parse_literal("true", JsonValue::boolean(true));
+        break;
+      case 'f':
+        out = parse_literal("false", JsonValue::boolean(false));
+        break;
+      case 'n':
+        out = parse_literal("null", JsonValue::null());
+        break;
+      default:
+        out = parse_number();
+        break;
+    }
+    --depth_;
+    return out;
+  }
+
+  std::optional<JsonValue> parse_literal(std::string_view word, JsonValue v) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("bad literal");
+      return std::nullopt;
+    }
+    pos_ += word.size();
+    return v;
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      pos_ = start;
+      fail("expected a value");
+      return std::nullopt;
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digits required after decimal point");
+        return std::nullopt;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digits required in exponent");
+        return std::nullopt;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double v = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(v)) {
+      fail("number out of range");
+      return std::nullopt;
+    }
+    return JsonValue::number(v);
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!expect('"')) return std::nullopt;
+    std::string out;
+    while (true) {
+      if (eof()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) {
+        fail("unterminated escape");
+        return std::nullopt;
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(e);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          const auto cp = parse_hex4();
+          if (!cp) return std::nullopt;
+          append_utf8(out, *cp);
+          break;
+        }
+        default:
+          fail("bad escape");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<std::uint32_t> parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) {
+        fail("truncated \\u escape");
+        return std::nullopt;
+      }
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape");
+        return std::nullopt;
+      }
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    // Surrogate halves are emitted as-is in the 3-byte form; pairing is
+    // more machinery than machine-written configs warrant.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    if (!expect('[')) return std::nullopt;
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::array(std::move(items));
+    }
+    while (true) {
+      skip_ws();
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      items.push_back(std::move(*v));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!expect(']')) return std::nullopt;
+      return JsonValue::array(std::move(items));
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    if (!expect('{')) return std::nullopt;
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      auto k = parse_string();
+      if (!k) return std::nullopt;
+      skip_ws();
+      if (!expect(':')) return std::nullopt;
+      skip_ws();
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      members.emplace_back(std::move(*k), std::move(*v));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!expect('}')) return std::nullopt;
+      return JsonValue::object(std::move(members));
+    }
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error) {
+  return Parser(text).parse(error);
+}
+
+}  // namespace keyguard::util

@@ -1,0 +1,88 @@
+// Minimal recursive-descent JSON reader — the read half JsonWriter never
+// needed until alert rules arrived as files (--alerts rules.json).
+//
+// Parses a full document into a small DOM (JsonValue). Deliberately
+// modest: UTF-8 passes through verbatim, \uXXXX escapes decode to UTF-8,
+// numbers parse as double (every count this repo reads round-trips below
+// 2^53 — the same contract JsonWriter emits under). No streaming, no
+// comments, no trailing commas: inputs are machine-written configs and
+// reports, and a strict reader surfaces producer bugs instead of hiding
+// them. parse() returns nullopt (plus a position-stamped error string)
+// on any malformed input.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace keyguard::util {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool def = false) const noexcept {
+    return is_bool() ? flag_ : def;
+  }
+  double as_number(double def = 0.0) const noexcept {
+    return is_number() ? num_ : def;
+  }
+  const std::string& as_string() const noexcept { return str_; }
+  const std::vector<JsonValue>& items() const noexcept { return items_; }
+  /// Object members in document order (duplicate keys keep both; last
+  /// one wins through get()).
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(std::string_view key) const noexcept;
+  /// Typed member shortcuts with defaults (absent/mistyped -> def).
+  double get_number(std::string_view key, double def = 0.0) const noexcept;
+  bool get_bool(std::string_view key, bool def = false) const noexcept;
+  std::string get_string(std::string_view key, std::string_view def = "") const;
+
+  static JsonValue null();
+  static JsonValue boolean(bool v);
+  static JsonValue number(double v);
+  static JsonValue string(std::string v);
+  static JsonValue array(std::vector<JsonValue> v);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool flag_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (leading/trailing whitespace allowed, nothing
+/// else after the value). On failure returns nullopt and, when `error` is
+/// non-null, a "byte <pos>: <reason>" message.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace keyguard::util

@@ -1,0 +1,17 @@
+// An unredacted forensic path: the bundle writer is handed a value
+// derived from the secret allocation itself. The alert/forensic surface
+// (on_alert, write_bundle) is a serialization sink — secret-derived
+// values must never reach it; bundles carry offsets and counts only.
+#include "obs/flight_recorder.hpp"
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+void dump_breach(sim::Kernel& k, sim::Process& p, obs::FlightRecorder& rec) {
+  const auto secret = k.heap_alloc(p, 32, "session secret");
+  const auto leaked = secret;
+  rec.write_bundle(leaked);  // expect: KL103
+  k.heap_clear_free(p, secret);
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// The redaction-by-construction bundle writer: the recorder only ever
+// sees a file PATH and alert metadata built from counts and offsets —
+// no value derived from the secret allocation reaches the forensic
+// surface, so the alert/forensic sinks stay quiet.
+#include "obs/flight_recorder.hpp"
+#include "sim/kernel.hpp"
+
+namespace fixture {
+
+void dump_breach(sim::Kernel& k, sim::Process& p, obs::FlightRecorder& rec,
+                 const char* out_path) {
+  const auto secret = k.heap_alloc(p, 32, "session secret");
+  obs::Alert a;
+  a.rule = "residue-on-free";
+  a.value = 32.0;  // a byte COUNT, not the bytes
+  rec.on_alert(a);
+  rec.write_bundle(out_path);
+  k.heap_clear_free(p, secret);
+}
+
+}  // namespace fixture

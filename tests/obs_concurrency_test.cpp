@@ -84,6 +84,32 @@ TEST(MetricsConcurrency, HistogramCountSumMinMaxExact) {
   EXPECT_EQ(bucket_total, h.count());
 }
 
+TEST(MetricsConcurrency, HistogramBucketPlacementIsExactPerBucket) {
+  // Every thread hammers a DIFFERENT bucket (values 0.5, 1.5, ... target
+  // bucket t under the lower-inclusive edge rule), so a lost or misplaced
+  // increment shows up as a wrong per-bucket count, not just a wrong
+  // total. Bounds 1..kThreads-1 give kThreads buckets, one per thread.
+  std::vector<double> bounds;
+  for (std::size_t b = 1; b < kThreads; ++b) {
+    bounds.push_back(static_cast<double>(b));
+  }
+  MetricsRegistry reg;
+  auto& h = reg.histogram("conc.buckets", bounds);
+  run_threads([&](std::size_t t) {
+    const double v = static_cast<double>(t) + 0.5;
+    for (std::size_t i = 0; i < kOpsPerThread; ++i) h.record(v);
+  });
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), kThreads);
+  std::uint64_t total = 0;
+  for (const auto c : buckets) {
+    EXPECT_EQ(c, kOpsPerThread);
+    total += c;
+  }
+  EXPECT_EQ(total, h.count());
+  EXPECT_EQ(h.count(), kThreads * kOpsPerThread);
+}
+
 TEST(MetricsConcurrency, SnapshotRacesWithWriters) {
   MetricsRegistry reg;
   auto& c = reg.counter("snap.counter");

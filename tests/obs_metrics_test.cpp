@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/json.hpp"
 
@@ -70,10 +71,55 @@ TEST(Histogram, CountSumMinMaxMean) {
   EXPECT_DOUBLE_EQ(h.mean(), 111.1);
   const auto buckets = h.bucket_counts();
   ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
-  EXPECT_EQ(buckets[0], 1u);      // <= 1
-  EXPECT_EQ(buckets[1], 2u);      // <= 10
-  EXPECT_EQ(buckets[2], 1u);      // <= 100
-  EXPECT_EQ(buckets[3], 1u);      // +inf
+  EXPECT_EQ(buckets[0], 1u);      // < 1
+  EXPECT_EQ(buckets[1], 2u);      // [1, 10)
+  EXPECT_EQ(buckets[2], 1u);      // [10, 100)
+  EXPECT_EQ(buckets[3], 1u);      // >= 100
+}
+
+TEST(Histogram, BucketEdgesAreLowerInclusive) {
+  // A sample exactly on a bound belongs to the bucket ABOVE it: bucket i
+  // covers [bounds[i-1], bounds[i]). Pinned so refactors cannot silently
+  // flip the edge rule and shift every boundary sample one bucket down.
+  MetricsRegistry reg;
+  auto& h = reg.histogram("edges", {1.0, 10.0, 100.0});
+  for (const double v : {1.0, 10.0, 100.0}) h.record(v);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 0u);  // nothing strictly below 1.0
+  EXPECT_EQ(buckets[1], 1u);  // 1.0
+  EXPECT_EQ(buckets[2], 1u);  // 10.0
+  EXPECT_EQ(buckets[3], 1u);  // 100.0 — the top bound opens the overflow
+}
+
+TEST(Histogram, OverflowBucketCatchesEverythingAboveTheLadder) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("over", {1.0, 2.0});
+  h.record(2.5);
+  h.record(1e12);
+  h.record(std::numeric_limits<double>::max());
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[2], 3u);
+  EXPECT_EQ(h.count(), 3u);
+  // Overflow samples still feed the scalar aggregates.
+  EXPECT_DOUBLE_EQ(h.max(), std::numeric_limits<double>::max());
+  EXPECT_DOUBLE_EQ(h.min(), 2.5);
+}
+
+TEST(Histogram, BucketCountsSumToCountAndResetClears) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("sum", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 250; ++i) h.record(static_cast<double>(i));
+  const auto buckets = h.bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : buckets) total += c;
+  EXPECT_EQ(total, h.count());
+  EXPECT_EQ(total, 250u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  for (const auto c : h.bucket_counts()) EXPECT_EQ(c, 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
 TEST(Histogram, QuantilesInterpolateWithinBucket) {

@@ -52,6 +52,7 @@ TARGETS=(
   obs_trace_test
   obs_concurrency_test
   obs_exposure_test
+  obs_alert_test
   lint_selftest
 )
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Gate bench_alert_latency output: detection must be real-time and free.
+
+The bench seeds four breaches (secret page swapped out, secret frame
+merged by dedup, plaintext working-set overflow, exposure-budget
+overrun), runs each undefended and defended, and measures the ssh-churn
+overhead of running the engine plus event bus inline. This checker
+fails CI unless the JSON proves:
+
+  * every seeded breach is DETECTED by the engine, with at least one
+    alert, and the periodic-sweep baseline confirms the breach is real
+    (audit clean before seeding, dirty after);
+  * detection is event-accurate: the engine's latency is strictly below
+    one sweep period for every scenario, and the reconstructed breach
+    timestamp matches the seeded instant to within the bench's epsilon
+    (the budget scenario additionally proves exact interpolation);
+  * the engine is CHEAPER than the sweep: derived-state bytes walked
+    stay below sweeps x full shadow size for every scenario;
+  * the defended twin of every scenario fires ZERO alerts — the rules
+    separate breach from defense, not noise from noise;
+  * the forensic bundle froze on the breach, replays the exact breach
+    instant, and contains no key bytes (raw or hex);
+  * inline overhead on ssh churn is within 5% of the passive run.
+
+The latency, cost, and exactness gates are machine-independent (the sim
+clock is virtual); only the overhead gate touches wall time, and it has
+the 5% tolerance baked into the bench.
+
+Usage:
+  tools/check_alert_gate.py BENCH_alert_latency.json
+
+Exit codes: 0 ok, 1 gate failure, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_alert_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="JSON produced by bench_alert_latency --json")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    failures: list[str] = []
+    checks: list[tuple[str, bool]] = []
+
+    def gate(label: str, ok: bool) -> None:
+        checks.append((label, ok))
+        if not ok:
+            failures.append(label)
+
+    scenarios = cur.get("scenarios", [])
+    if len(scenarios) < 4:
+        print(f"check_alert_gate: expected >= 4 scenarios, got {len(scenarios)}",
+              file=sys.stderr)
+        return 2
+    period = int(cur.get("sweep_period_ns", 0))
+    eps = int(cur.get("breach_epsilon_ns", 0))
+    if period <= 0:
+        print("check_alert_gate: JSON lacks sweep_period_ns", file=sys.stderr)
+        return 2
+
+    for s in scenarios:
+        name = s.get("name", "?")
+        gate(f"{name}: engine detected the seeded breach", bool(s["detected"]))
+        gate(f"{name}: fired >= 1 alert ({s['alerts']})", int(s["alerts"]) >= 1)
+        gate(f"{name}: sweep baseline confirms the breach is real",
+             bool(s["sweep_detects"]))
+        lat = int(s["engine_latency_ns"])
+        gate(f"{name}: latency {lat / 1e6:.3f} ms strictly below one sweep period",
+             lat < period)
+        gate(f"{name}: breach timestamp exact (err {s['breach_err_ns']} ns"
+             f" <= {eps} ns)", int(s["breach_err_ns"]) <= eps)
+        gate(f"{name}: defended twin fired zero alerts"
+             f" ({s['defended_alerts']})",
+             bool(s["defended_clean"]) and int(s["defended_alerts"]) == 0)
+        eng, swp = int(s["engine_shadow_bytes"]), int(s["sweep_shadow_bytes"])
+        gate(f"{name}: engine walked {eng} bytes < sweep's {swp}",
+             0 < eng < swp)
+
+    bundle = cur.get("bundle", {})
+    gate("flight recorder froze on the breach", bool(bundle.get("frozen")))
+    gate("bundle trigger replays the exact breach instant",
+         bool(bundle.get("exact")))
+    gate("bundle contains no key bytes (raw or hex)",
+         bool(bundle.get("redacted")))
+
+    overhead = cur.get("overhead", {})
+    pct = float(overhead.get("overhead_pct", 100.0))
+    gate(f"engine+bus overhead {pct:.2f}% within 5%",
+         bool(overhead.get("within_5pct")))
+
+    gate("bench-side shape checks passed", bool(cur.get("shape_checks_ok")))
+
+    for label, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    if failures:
+        print("check_alert_gate: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("check_alert_gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

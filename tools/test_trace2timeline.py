@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/trace2timeline.py — the JSONL-to-timeline
+renderer CI runs over bench_exposure_observatory traces. Covers the golden
+counter-table and span-summary output, malformed-line resilience (a bad
+line warns and is skipped, the rest still renders), and the
+'trace.dropped' metadata record Tracer::jsonl appends at capacity."""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import trace2timeline  # noqa: E402
+
+
+def counter(name: str, ts_ns: int, value: float) -> str:
+    return json.dumps(
+        {"name": name, "ph": "C", "ts_ns": ts_ns, "tid": 1,
+         "args": {"value": value}}
+    )
+
+
+def span(name: str, ts_ns: int, dur_ns: int) -> str:
+    return json.dumps(
+        {"name": name, "ph": "X", "ts_ns": ts_ns, "dur_ns": dur_ns, "tid": 1}
+    )
+
+
+def write_trace(lines: list[str]) -> Path:
+    f = tempfile.NamedTemporaryFile(
+        "w", suffix=".jsonl", delete=False, encoding="utf-8"
+    )
+    f.write("\n".join(lines) + "\n")
+    f.close()
+    return Path(f.name)
+
+
+def load(lines: list[str]):
+    path = write_trace(lines)
+    try:
+        with redirect_stderr(io.StringIO()) as err:
+            events = trace2timeline.load_events(path)
+        return events, err.getvalue()
+    finally:
+        path.unlink()
+
+
+class CounterTable(unittest.TestCase):
+    GOLDEN = [
+        counter("exposure.copies", 0, 0),
+        counter("exposure.copies", 1_500_000_000, 2),
+        counter("exposure.key1.copies", 1_500_000_000, 1),
+        counter("exposure.copies", 3_000_000_000, 0),
+    ]
+
+    def render(self, lines, prefix="exposure."):
+        events, _ = load(lines)
+        with redirect_stdout(io.StringIO()) as out:
+            ok = trace2timeline.render_counters(events, prefix)
+        return ok, out.getvalue()
+
+    def test_golden_table(self):
+        ok, out = self.render(self.GOLDEN)
+        self.assertTrue(ok)
+        rows = out.splitlines()
+        # Header names both tracks with the prefix folded away.
+        self.assertIn("copies", rows[0])
+        self.assertIn("key1.copies", rows[0])
+        # One row per timestamp, seconds formatted without trailing zeros.
+        self.assertTrue(rows[2].startswith("0"))
+        self.assertTrue(rows[3].startswith("1.5"))
+        self.assertTrue(rows[4].startswith("3"))
+        # A track with no sample at some timestamp renders "-".
+        self.assertIn("-", rows[2])
+        self.assertIn("3 samples x 2 track(s)", out)
+
+    def test_later_sample_at_same_ts_wins(self):
+        ok, out = self.render(
+            [counter("exposure.copies", 7, 1), counter("exposure.copies", 7, 5)]
+        )
+        self.assertTrue(ok)
+        self.assertIn("5", out)
+        self.assertIn("1 samples x 1 track(s)", out)
+
+    def test_no_matching_prefix_reports_failure(self):
+        ok, _ = self.render(self.GOLDEN, prefix="no.such.")
+        self.assertFalse(ok)
+
+    def test_spans_are_not_counters(self):
+        ok, _ = self.render([span("exposure.scan", 0, 10)])
+        self.assertFalse(ok)
+
+
+class SpanSummary(unittest.TestCase):
+    def test_spans_fold_by_name(self):
+        events, _ = load(
+            [span("scan", 0, 2_000_000), span("scan", 5, 1_000_000),
+             span("seal", 9, 500_000)]
+        )
+        with redirect_stdout(io.StringIO()) as out:
+            trace2timeline.render_spans(events)
+        text = out.getvalue()
+        self.assertIn("x2", text)       # scan count
+        self.assertIn("3.000 ms", text)  # scan total duration
+        self.assertIn("seal", text)
+
+
+class MalformedLines(unittest.TestCase):
+    def test_bad_line_warns_and_rest_renders(self):
+        events, err = load(
+            [counter("exposure.copies", 0, 1),
+             '{"name": "exposure.copies", "ph": "C", truncated',
+             counter("exposure.copies", 9, 2)]
+        )
+        self.assertEqual(len(events), 2)  # the bad line is skipped...
+        self.assertIn(":2:", err)         # ...and named with its line number
+        self.assertIn("bad JSON line", err)
+        with redirect_stdout(io.StringIO()) as out:
+            self.assertTrue(trace2timeline.render_counters(events, "exposure."))
+        self.assertIn("2 samples x 1 track(s)", out.getvalue())
+
+    def test_blank_lines_are_ignored(self):
+        events, err = load(["", counter("exposure.copies", 0, 1), "   "])
+        self.assertEqual(len(events), 1)
+        self.assertEqual(err, "")
+
+
+class DropRecords(unittest.TestCase):
+    DROP = json.dumps(
+        {"name": "trace.dropped", "ph": "M", "ts_ns": 9, "tid": 0,
+         "args": {"value": 17}}
+    )
+
+    def test_drop_record_is_counted(self):
+        events, _ = load([counter("exposure.copies", 0, 1), self.DROP])
+        self.assertEqual(trace2timeline.dropped_events(events), 17)
+
+    def test_drop_record_is_not_a_counter_track(self):
+        events, _ = load([counter("exposure.copies", 0, 1), self.DROP])
+        with redirect_stdout(io.StringIO()) as out:
+            trace2timeline.render_counters(events, "")
+        self.assertNotIn("trace.dropped", out.getvalue())
+
+    def test_clean_trace_has_no_drops(self):
+        events, _ = load([counter("exposure.copies", 0, 1)])
+        self.assertEqual(trace2timeline.dropped_events(events), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

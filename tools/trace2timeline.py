@@ -39,6 +39,16 @@ def load_events(path):
     return events
 
 
+def dropped_events(events):
+    """Total events the Tracer dropped at capacity, from 'trace.dropped'
+    metadata records (Tracer::jsonl appends one when the count is nonzero)."""
+    return sum(
+        int(e.get("args", {}).get("value", 0))
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "trace.dropped"
+    )
+
+
 def render_counters(events, prefix):
     """Counter samples -> one row per timestamp, one column per track."""
     tracks = sorted(
@@ -98,6 +108,9 @@ def main():
     args = ap.parse_args()
 
     events = load_events(args.trace)
+    if (drops := dropped_events(events)) > 0:
+        print(f"warning: trace dropped {drops} event(s) at capacity — "
+              "the timeline below is incomplete", file=sys.stderr)
     ok = render_counters(events, args.counter)
     if not ok:
         print(f"no counter samples matching prefix {args.counter!r}",
