@@ -23,13 +23,32 @@
 //                     [--threads N]           scan shard count; 1 reproduces the
 //                                             LKM's serial walk, 0 = auto; also
 //                                             via KEYGUARD_SCAN_THREADS
-//                     [--matcher auto|legacy|multi]
+//                     [--matcher auto|legacy|multi|simd]
 //                                             pattern-matching engine: legacy
 //                                             reproduces the LKM's per-needle
 //                                             walk, multi forces the
-//                                             single-pass MultiMatcher, auto
-//                                             (default) picks by needle count;
-//                                             also via KEYGUARD_SCAN_MATCHER
+//                                             single-pass MultiMatcher, simd
+//                                             adds the AVX2/AVX-512BW candidate
+//                                             first stage (falls back to the
+//                                             scalar multi walk, bit-identically,
+//                                             on CPUs without it), auto
+//                                             (default) picks by needle count
+//                                             and hardware; also via
+//                                             KEYGUARD_SCAN_MATCHER
+//                     [--capture-file FILE]   stream-scan a disclosure dump
+//                                             (cold-boot image, hibernation
+//                                             file, exploit capture) for the
+//                                             scenario key patterns instead of
+//                                             scanning the simulated machine:
+//                                             the file is walked in bounded
+//                                             windows with seam overlap, so
+//                                             multi-GB captures scan in
+//                                             O(window) resident memory. The
+//                                             workload flags --incremental /
+//                                             --taint / --dedup / --alerts do
+//                                             not apply and are rejected
+//                     [--window-mb N]         streaming window size in MiB for
+//                                             --capture-file (default 64)
 //                     [--incremental]         attach a DirtyFrameJournal before
 //                                             the workload, prime a sweep
 //                                             cache after the main traffic,
@@ -118,6 +137,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "scan/capture_stream.hpp"
 #include "scan/dirty_journal.hpp"
 #include "sim/dedup.hpp"
 #include "servers/apache_server.hpp"
@@ -131,10 +151,10 @@ using namespace keyguard;
 
 namespace {
 
-constexpr std::array<std::string_view, 16> kKnownFlags = {
+constexpr std::array<std::string_view, 18> kKnownFlags = {
     "server",  "backend", "connections", "level",   "threads", "matcher",
-    "incremental", "taint", "dedup",     "json",    "metrics", "trace",
-    "alerts",  "flight-record", "version", "help"};
+    "capture-file", "window-mb", "incremental", "taint", "dedup", "json",
+    "metrics", "trace",   "alerts",  "flight-record", "version", "help"};
 
 void print_usage(std::FILE* out) {
   std::fprintf(
@@ -142,7 +162,8 @@ void print_usage(std::FILE* out) {
       "usage: scanmemory_tool [--server ssh|apache|sni] [--connections N]\n"
       "                       [--backend mlocked|encrypted]\n"
       "                       [--level none|application|library|kernel|integrated]\n"
-      "                       [--threads N] [--matcher auto|legacy|multi]\n"
+      "                       [--threads N] [--matcher auto|legacy|multi|simd]\n"
+      "                       [--capture-file FILE] [--window-mb N]\n"
       "                       [--incremental] [--taint] [--dedup]\n"
       "                       [--json [FILE]] [--metrics [FILE]] [--trace [FILE]]\n"
       "                       [--alerts [RULES.json]] [--flight-record DIR]\n"
@@ -152,7 +173,12 @@ void print_usage(std::FILE* out) {
       "memory for key copies the way the paper's scanmemory LKM did.\n"
       "  --backend      --server sni pool discipline: mlocked N-page pool or\n"
       "                 the encrypted-at-rest pool (W-page working set)\n"
-      "  --matcher      legacy per-needle walk, single-pass multi, or auto\n"
+      "  --matcher      legacy per-needle walk, single-pass multi, simd\n"
+      "                 (AVX2/AVX-512BW first stage, scalar fallback), or auto\n"
+      "  --capture-file stream-scan a disclosure dump for the scenario key\n"
+      "                 patterns in bounded windows (multi-GB safe); the\n"
+      "                 workload flags do not apply\n"
+      "  --window-mb    streaming window size in MiB (default 64)\n"
       "  --incremental  prime a sweep cache, run follow-up traffic, report\n"
       "                 the delta sweep (dirty frames only)\n"
       "  --taint    shadow-taint residue audit + scanner cross-check\n"
@@ -374,13 +400,32 @@ int main(int argc, char** argv) {
     matcher = scan::MatcherKind::kLegacy;
   } else if (matcher_name == "multi") {
     matcher = scan::MatcherKind::kMulti;
+  } else if (matcher_name == "simd") {
+    matcher = scan::MatcherKind::kSimd;
   } else if (matcher_name != "auto") {
     std::fprintf(stderr, "scanmemory_tool: bad --matcher value '%s'\n\n",
                  matcher_name.c_str());
     print_usage(stderr);
     return 2;
   }
+  const std::string capture_path = flags.get("capture-file", "");
+  const auto window_mb = flags.get_int("window-mb", 64);
+  if (window_mb <= 0) {
+    std::fprintf(stderr, "scanmemory_tool: bad --window-mb value\n\n");
+    print_usage(stderr);
+    return 2;
+  }
   const bool incremental = flags.has("incremental");
+  if (!capture_path.empty() &&
+      (incremental || flags.has("taint") || flags.has("dedup") ||
+       flags.has("alerts"))) {
+    std::fprintf(stderr,
+                 "scanmemory_tool: --capture-file scans a dump, not the live "
+                 "machine; --incremental/--taint/--dedup/--alerts do not "
+                 "apply\n\n");
+    print_usage(stderr);
+    return 2;
+  }
   const bool json = flags.has("json");
   std::string json_path = json ? flags.get("json", "") : "";
   if (json_path == "1") json_path.clear();  // bare --json means stdout
@@ -458,6 +503,68 @@ int main(int argc, char** argv) {
     }
     sni_scanner = std::make_unique<scan::KeyScanner>(
         scan::KeyPatterns::from_keys(sni_distinct));
+  }
+
+  // --capture-file: the machine above only supplied the (deterministic)
+  // key patterns; the bytes scanned come from the dump, streamed in
+  // bounded windows so a capture far larger than RAM never loads whole.
+  if (!capture_path.empty()) {
+    scan::KeyScanner& scanner = sni_scanner ? *sni_scanner : s.scanner();
+    if (threads > 0) scanner.set_shards(static_cast<std::size_t>(threads));
+    scanner.set_matcher(matcher);
+    scan::CaptureStream stream(
+        capture_path, static_cast<std::size_t>(window_mb) * 1024 * 1024);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "scanmemory_tool: %s\n", stream.error().c_str());
+      return 1;
+    }
+    scan::ScanStats stats;
+    const auto matches = scanner.scan_capture_stream(stream, &stats);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "scanmemory_tool: %s\n", stream.error().c_str());
+      return 1;
+    }
+    if (json) {
+      util::JsonWriter w;
+      obs::begin_report(w, "scanmemory.capture");
+      w.field("capture_file", capture_path)
+          .field("server", which)
+          .field("window_bytes",
+                 static_cast<std::uint64_t>(stream.window_bytes()))
+          .field("mapped", stream.mapped());
+      w.key("matches").begin_array();
+      for (const auto& m : matches) {
+        w.begin_object()
+            .field("part", m.part)
+            .field("bytes", static_cast<std::uint64_t>(
+                                part_bytes(scanner.patterns(), m.part)))
+            .field("offset", static_cast<std::uint64_t>(m.offset))
+            .end_object();
+      }
+      w.end_array();
+      w.key("scan");
+      stats.write_json(w);
+      if (metrics) obs::write_metrics_field(w, obs::MetricsRegistry::global());
+      w.end_object();
+      if (json_path.empty()) {
+        std::printf("%s\n", w.str().c_str());
+      } else if (!write_text_file(json_path, w.str(), "JSON")) {
+        return 1;
+      }
+    } else {
+      std::printf("%s\n", obs::build_info::one_line().c_str());
+      std::printf("Request recieved\n");  // the LKM's greeting, typo and all
+      for (const auto& m : matches) {
+        std::printf("Full match found for %s of size %zu bytes at: %09zu\n",
+                    m.part.c_str(), part_bytes(scanner.patterns(), m.part),
+                    m.offset);
+      }
+      std::printf("\n%zu matches total in %zu-byte capture (%s)\n",
+                  matches.size(), stream.size(),
+                  stream.mapped() ? "mmap" : "read");
+      std::printf("scan: %s\n", stats.summary().c_str());
+    }
+    return 0;
   }
 
   // Trackers must observe the whole workload, so attach them first. A

@@ -6,6 +6,8 @@
 
 #include "crypto/pem.hpp"
 #include "obs/metrics.hpp"
+#include "scan/capture_stream.hpp"
+#include "scan/multi_matcher.hpp"
 #include "sslsim/ssl_library.hpp"
 #include "util/bytes.hpp"
 #include "util/flags.hpp"
@@ -82,6 +84,7 @@ MatcherKind KeyScanner::effective_matcher() const {
   const auto env = util::env_string("KEYGUARD_SCAN_MATCHER");
   if (env == "legacy") return MatcherKind::kLegacy;
   if (env == "multi") return MatcherKind::kMulti;
+  if (env == "simd") return MatcherKind::kSimd;
   return MatcherKind::kAuto;  // unset / "auto" / unrecognized
 }
 
@@ -236,6 +239,13 @@ std::vector<MemoryMatch> KeyScanner::scan_kernel_incremental(
     stats->overlap_bytes = reach;
     stats->pattern_count = active_needles;
     stats->matcher = resolved;
+    // Probe the compiled tables so a density fallback inside the matcher
+    // (MultiMatcher::simd_profitable) is reported, not papered over.
+    stats->simd_kind =
+        resolved == MatcherKind::kSimd && simd_available() != SimdKind::kNone &&
+                MultiMatcher(needle_views, 0).simd_profitable()
+            ? simd_available()
+            : SimdKind::kNone;
     stats->incremental = true;
     stats->dirty_frames = dirty.size();
     stats->wall_millis = std::max(
@@ -265,6 +275,95 @@ std::vector<PartialMatch> KeyScanner::scan_capture_prefix(
     ScanStats* stats) const {
   const auto raw = sharded_scan(capture, needles(), effective_shards(),
                                 min_bytes, stats, effective_matcher());
+  std::vector<PartialMatch> matches;
+  matches.reserve(raw.size());
+  for (const auto& r : raw) {
+    matches.push_back({r.offset, patterns_.patterns[r.pattern_index].name,
+                       r.matched_bytes, r.full});
+  }
+  return matches;
+}
+
+std::vector<RawMatch> KeyScanner::stream_raw(CaptureStream& stream,
+                                             std::size_t min_prefix_bytes,
+                                             ScanStats* stats) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto needle_views = needles();
+  // Reach covers the longest needle that can actually match (prefix mode
+  // skips needles shorter than the minimum, exactly as the matcher does).
+  std::size_t max_len = 0;
+  std::size_t active = 0;
+  for (const auto n : needle_views) {
+    if (n.empty()) continue;
+    if (min_prefix_bytes > 0 && n.size() < min_prefix_bytes) continue;
+    ++active;
+    max_len = std::max(max_len, n.size());
+  }
+  const std::size_t reach = max_len > 0 ? max_len - 1 : 0;
+  const MatcherKind resolved = resolve_matcher(effective_matcher(), active);
+  stream.rewind(reach);
+  std::vector<RawMatch> all;
+  std::size_t windows = 0;
+  std::size_t payload_total = 0;
+  SimdKind used = SimdKind::kNone;
+  while (auto w = stream.next()) {
+    ScanStats ws;
+    auto raw = sharded_scan_window(w->bytes, w->payload, needle_views,
+                                   effective_shards(), min_prefix_bytes,
+                                   stats != nullptr ? &ws : nullptr,
+                                   effective_matcher());
+    // Windows ascend and each window's hits are (offset, pattern)-sorted,
+    // so rebasing to file offsets keeps the concatenation globally sorted
+    // — the one-shot scan's order.
+    for (auto& r : raw) r.offset += w->offset;
+    if (stats != nullptr) {
+      stats->shards.push_back(
+          {windows, w->offset, w->payload, raw.size(), ws.wall_millis});
+      used = ws.simd_kind;  // per-window stats carry the density fallback
+    }
+    all.insert(all.end(), raw.begin(), raw.end());
+    payload_total += w->payload;
+    ++windows;
+  }
+  if (stats != nullptr) {
+    stats->bytes_scanned = payload_total;
+    stats->match_count = all.size();
+    stats->shard_count = windows;
+    stats->overlap_bytes = reach;
+    stats->pattern_count = active;
+    stats->matcher = resolved;
+    stats->simd_kind = used;
+    stats->bytes_streamed = stream.size();
+    stats->incremental = false;
+    stats->dirty_frames = 0;
+    stats->wall_millis = std::max(
+        0.0, std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count());
+    // Each window already published a scan into the registry; only the
+    // streaming-specific byte count is added here (never double-counted).
+    auto& reg = obs::MetricsRegistry::global();
+    if (reg.enabled() && stream.size() > 0) {
+      reg.counter("scan.bytes_streamed").add(stream.size());
+    }
+  }
+  return all;
+}
+
+std::vector<CaptureMatch> KeyScanner::scan_capture_stream(
+    CaptureStream& stream, ScanStats* stats) const {
+  const auto raw = stream_raw(stream, /*min_prefix_bytes=*/0, stats);
+  std::vector<CaptureMatch> matches;
+  matches.reserve(raw.size());
+  for (const auto& r : raw) {
+    matches.push_back({r.offset, patterns_.patterns[r.pattern_index].name});
+  }
+  return matches;
+}
+
+std::vector<PartialMatch> KeyScanner::scan_capture_prefix_stream(
+    CaptureStream& stream, std::size_t min_bytes, ScanStats* stats) const {
+  const auto raw = stream_raw(stream, min_bytes, stats);
   std::vector<PartialMatch> matches;
   matches.reserve(raw.size());
   for (const auto& r : raw) {

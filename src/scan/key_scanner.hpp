@@ -29,6 +29,8 @@
 
 namespace keyguard::scan {
 
+class CaptureStream;
+
 /// The byte patterns whose disclosure compromises the key (paper §2:
 /// "we call any appearance of any of them a copy of the private key").
 struct KeyPatterns {
@@ -131,10 +133,11 @@ class KeyScanner {
   void set_shards(std::size_t shards) noexcept { shards_ = shards; }
   std::size_t shards() const noexcept { return shards_; }
 
-  /// Inner-loop matcher. kAuto (the default) picks the single-pass
-  /// MultiMatcher at/above kMultiMatcherMinNeedles active needles and the
-  /// legacy walk below it; KEYGUARD_SCAN_MATCHER=legacy|multi|auto
-  /// overrides kAuto. Results are byte-identical at every setting.
+  /// Inner-loop matcher. kAuto (the default) picks the best multi-pattern
+  /// path at/above kMultiMatcherMinNeedles active needles (kSimd when the
+  /// CPU has AVX2/AVX-512BW, kMulti otherwise) and the legacy walk below
+  /// it; KEYGUARD_SCAN_MATCHER=legacy|multi|simd|auto overrides kAuto.
+  /// Results are byte-identical at every setting.
   void set_matcher(MatcherKind m) noexcept { matcher_ = m; }
   MatcherKind matcher() const noexcept { return matcher_; }
 
@@ -181,6 +184,20 @@ class KeyScanner {
                                                 std::size_t min_bytes = 20,
                                                 ScanStats* stats = nullptr) const;
 
+  /// Streaming variants: walk a CaptureStream window by window (seam
+  /// overlap = max_needle_len - 1, the shard-seam rule) and return
+  /// matches bit-identical to scan_capture / scan_capture_prefix over the
+  /// whole file loaded at once — with O(window) resident memory instead
+  /// of O(file). `stats` aggregates across windows: bytes_scanned and
+  /// bytes_streamed both report the file size and `shards` lists one
+  /// entry per window. Check stream.ok() afterwards — a mid-walk read
+  /// error ends the walk early with partial results.
+  std::vector<CaptureMatch> scan_capture_stream(CaptureStream& stream,
+                                                ScanStats* stats = nullptr) const;
+  std::vector<PartialMatch> scan_capture_prefix_stream(
+      CaptureStream& stream, std::size_t min_bytes = 20,
+      ScanStats* stats = nullptr) const;
+
   /// Scans one process's resident virtual address space — what a core dump
   /// or /proc/<pid>/mem disclosure of that process would reveal.
   std::vector<ProcessMatch> scan_process(const sim::Kernel& kernel,
@@ -200,6 +217,11 @@ class KeyScanner {
   /// Layers frame state / owners / provenance onto raw engine hits.
   std::vector<MemoryMatch> resolve_raw(const sim::Kernel& kernel,
                                        std::span<const RawMatch> raw) const;
+  /// Shared body of the two streaming scans: windowed walk, offsets
+  /// rebased to file offsets, per-window stats aggregated.
+  std::vector<RawMatch> stream_raw(CaptureStream& stream,
+                                   std::size_t min_prefix_bytes,
+                                   ScanStats* stats) const;
 
   KeyPatterns patterns_;
   std::size_t shards_ = 0;  // 0 = auto

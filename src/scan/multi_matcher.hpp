@@ -9,7 +9,9 @@
 // and predicts near-perfectly — a one-byte starter table mispredicts
 // ~P/256 of the time, which dominates the walk), a 256-entry first-byte
 // dispatch table maps survivors to the bucket of needles starting with
-// that byte, an 8-byte SWAR prefix filter ((load ^ prefix) & mask, built
+// that byte (a binary search then narrows to the run sharing the actual
+// SECOND byte, so huge buckets cost log, not linear, time per candidate),
+// an 8-byte SWAR prefix filter ((load ^ prefix) & mask, built
 // with memcpy so it is endian-neutral) rejects accidental pair hits in
 // one compare, and only survivors of THAT pay a memcmp of the tail. Cost
 // is ~one pass plus work proportional to real candidate hits,
@@ -34,6 +36,7 @@
 #include <vector>
 
 #include "scan/scan_engine.hpp"
+#include "scan/simd_match.hpp"
 
 namespace keyguard::scan {
 
@@ -57,7 +60,35 @@ class MultiMatcher {
             std::size_t end, std::size_t window_end,
             std::vector<RawMatch>& out) const;
 
+  /// scan() with the vector candidate first stage: 32/64 positions per
+  /// iteration are classified against the shufti tables, survivors
+  /// re-check the exact pair bitmap and fall through to the same bucket
+  /// walk, and the scalar loop finishes the sub-vector tail — so the
+  /// output is bit-identical to scan() (the scalar multi path stays the
+  /// oracle; tests/scan_matcher_test.cpp fuzzes the pair). Degrades to
+  /// scan() when simd_available() is kNone OR when simd_profitable() is
+  /// false (dense tables). Thread-safe like scan().
+  void scan_simd(std::span<const std::byte> buffer, std::size_t begin,
+                 std::size_t end, std::size_t window_end,
+                 std::vector<RawMatch>& out) const;
+
+  /// False when the compiled shufti tables are too dense to pay for the
+  /// vector stage: the ctor evaluates the nibble classifier over all
+  /// 65536 byte pairs and disables the skim if more than a quarter of
+  /// them would survive (hundreds of needles with unstructured prefixes
+  /// saturate the 8-bucket nibble tables; the candidate stream then
+  /// approaches every position and the skim costs more than the scalar
+  /// pair-bitmap walk it feeds). scan_simd() falls back to scan() then,
+  /// and ScanStats::simd_kind reports kNone so the downgrade is visible.
+  bool simd_profitable() const noexcept { return simd_profitable_; }
+
  private:
+  /// Scalar hot loop over [pos, limit) plus the final-byte walk up to
+  /// `limit_total` — shared by scan() (whole range) and scan_simd() (the
+  /// sub-vector tail).
+  void scan_scalar(const unsigned char* base, std::size_t buf_size,
+                   std::size_t pos, std::size_t pair_limit, std::size_t limit,
+                   std::size_t window_end, std::vector<RawMatch>& out) const;
   struct Entry {
     std::uint64_t prefix = 0;       ///< first cmp_len bytes (memcpy image)
     std::uint64_t mask = 0;         ///< 0xFF per prefix byte (memcpy image)
@@ -65,6 +96,9 @@ class MultiMatcher {
     std::uint32_t len = 0;          ///< full needle length
     std::uint32_t match_len = 0;    ///< len (exact) or min_prefix (prefix mode)
     std::uint32_t pattern_index = 0;
+    /// Second needle byte, cached inline so the bucket binary search walks
+    /// the contiguous entry array instead of chasing needle pointers.
+    std::uint8_t second = 0;
   };
 
   /// Emits every needle matching at `pos` (bucket walk + SWAR + tail).
@@ -73,12 +107,25 @@ class MultiMatcher {
                        std::vector<RawMatch>& out) const;
 
   std::size_t min_prefix_ = 0;
-  std::vector<Entry> entries_;  ///< grouped by first byte, needle-ordered
+  /// Grouped by first byte; within a bucket the length-1 needles (which
+  /// match regardless of the second byte) come first in pattern order,
+  /// then the rest sorted by (second byte, pattern order) so
+  /// check_candidate can binary-search straight to the run matching the
+  /// buffer's actual second byte — with hundreds of needles sharing a
+  /// first byte (multi-tenant pattern sets) the walk touches ~the needles
+  /// that can still match instead of the whole bucket. The two runs merge
+  /// by pattern index at emit time, restoring the legacy loop's order.
+  std::vector<Entry> entries_;
   std::array<std::uint32_t, 256> bucket_begin_{};  ///< index into entries_
+  std::array<std::uint32_t, 256> short_end_{};     ///< end of len-1 run
   std::array<std::uint32_t, 256> bucket_end_{};
   /// Bit (b0 | b1<<8) set iff some needle requires first bytes b0,b1 (or
   /// requires only b0 and may be followed by anything). 8 KB, L1-resident.
   std::array<std::uint64_t, 1024> pair_bits_{};
+  /// Nibble-classification tables for the vector first stage — a superset
+  /// filter over pair_bits_, built alongside it (see simd_match.hpp).
+  simd_detail::ShuftiTables shufti_{};
+  bool simd_profitable_ = false;  ///< shufti density below the skim cutoff
 };
 
 }  // namespace keyguard::scan

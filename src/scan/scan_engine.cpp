@@ -74,15 +74,20 @@ void legacy_scan(std::span<const std::byte> buffer, std::size_t begin,
 }
 
 /// Dispatches one window to the selected matcher. `mm` non-null means the
-/// single-pass matcher; null means the legacy reference walk.
+/// single-pass matcher (vector first stage when `use_simd`); null means
+/// the legacy reference walk.
 void scan_window(std::span<const std::byte> buffer, std::size_t begin,
                  std::size_t end, std::size_t window_end,
                  std::span<const std::span<const std::byte>> needles,
                  std::size_t min_prefix_bytes, const MultiMatcher* mm,
-                 std::vector<RawMatch>& out) {
+                 bool use_simd, std::vector<RawMatch>& out) {
   if (begin >= end) return;
   if (mm != nullptr) {
-    mm->scan(buffer, begin, end, window_end, out);
+    if (use_simd) {
+      mm->scan_simd(buffer, begin, end, window_end, out);
+    } else {
+      mm->scan(buffer, begin, end, window_end, out);
+    }
   } else {
     legacy_scan(buffer, begin, end, window_end, needles, min_prefix_bytes, out);
   }
@@ -98,6 +103,8 @@ const char* matcher_name(MatcherKind k) noexcept {
       return "legacy";
     case MatcherKind::kMulti:
       return "multi";
+    case MatcherKind::kSimd:
+      return "simd";
   }
   return "legacy";
 }
@@ -105,8 +112,9 @@ const char* matcher_name(MatcherKind k) noexcept {
 MatcherKind resolve_matcher(MatcherKind requested,
                             std::size_t active_needles) noexcept {
   if (requested != MatcherKind::kAuto) return requested;
-  return active_needles >= kMultiMatcherMinNeedles ? MatcherKind::kMulti
-                                                   : MatcherKind::kLegacy;
+  if (active_needles < kMultiMatcherMinNeedles) return MatcherKind::kLegacy;
+  return simd_available() != SimdKind::kNone ? MatcherKind::kSimd
+                                             : MatcherKind::kMulti;
 }
 
 double ShardStats::mb_per_sec() const {
@@ -121,14 +129,23 @@ double ScanStats::mb_per_sec() const {
 }
 
 std::string ScanStats::summary() const {
-  char buf[200];
+  char buf[224];
+  char matcher_buf[32];
+  if (matcher == MatcherKind::kSimd) {
+    std::snprintf(matcher_buf, sizeof(matcher_buf), "simd/%s",
+                  simd_kind_name(simd_kind));
+  } else {
+    std::snprintf(matcher_buf, sizeof(matcher_buf), "%s",
+                  matcher_name(matcher));
+  }
   std::snprintf(buf, sizeof(buf),
                 "%.1f MB in %zu shard%s, %zu patterns, %.2f ms, %.1f MB/s "
-                "[%s%s]",
+                "[%s%s%s]",
                 static_cast<double>(bytes_scanned) / (1024.0 * 1024.0),
                 shard_count, shard_count == 1 ? "" : "s", pattern_count,
-                wall_millis, mb_per_sec(), matcher_name(matcher),
-                incremental ? ", incremental" : "");
+                wall_millis, mb_per_sec(), matcher_buf,
+                incremental ? ", incremental" : "",
+                bytes_streamed > 0 ? ", streamed" : "");
   return buf;
 }
 
@@ -142,6 +159,8 @@ void ScanStats::write_json(util::JsonWriter& w) const {
   w.field("wall_ms", wall_millis);
   w.field("mb_per_sec", mb_per_sec());
   w.field("matcher", matcher_name(matcher));
+  w.field("simd_kind", simd_kind_name(simd_kind));
+  w.field("bytes_streamed", static_cast<std::uint64_t>(bytes_streamed));
   w.field("incremental", incremental);
   w.field("dirty_frames", static_cast<std::uint64_t>(dirty_frames));
   w.key("shard_list");
@@ -167,6 +186,10 @@ void ScanStats::publish(obs::MetricsRegistry& reg) const {
   reg.gauge("scan.mb_per_sec").set(mb_per_sec());
   reg.gauge("scan.shards").set(static_cast<double>(shard_count));
   reg.histogram("scan.wall_ms").record(wall_millis);
+  reg.gauge("scan.simd_kind").set(static_cast<double>(simd_kind));
+  if (bytes_streamed > 0) {
+    reg.counter("scan.bytes_streamed").add(bytes_streamed);
+  }
   if (incremental) {
     reg.counter("scan.incremental_scans").add(1);
     reg.gauge("scan.dirty_frames").set(static_cast<double>(dirty_frames));
@@ -203,13 +226,14 @@ void scan_range(std::span<const std::byte> buffer, std::size_t begin,
     if (n.empty() || (min_prefix_bytes > 0 && n.size() < min_prefix_bytes)) continue;
     ++active;
   }
-  if (resolve_matcher(matcher, active) == MatcherKind::kMulti) {
+  const MatcherKind resolved = resolve_matcher(matcher, active);
+  if (resolved == MatcherKind::kMulti || resolved == MatcherKind::kSimd) {
     const MultiMatcher mm(needles, min_prefix_bytes);
     scan_window(buffer, begin, end, window_end, needles, min_prefix_bytes, &mm,
-                out);
+                resolved == MatcherKind::kSimd, out);
   } else {
     scan_window(buffer, begin, end, window_end, needles, min_prefix_bytes,
-                nullptr, out);
+                nullptr, false, out);
   }
 }
 
@@ -218,6 +242,17 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
                                    std::size_t requested_shards,
                                    std::size_t min_prefix_bytes,
                                    ScanStats* stats, MatcherKind matcher) {
+  return sharded_scan_window(buffer, buffer.size(), needles, requested_shards,
+                             min_prefix_bytes, stats, matcher);
+}
+
+std::vector<RawMatch> sharded_scan_window(std::span<const std::byte> buffer,
+                                          std::size_t payload_bytes,
+                                          std::span<const std::span<const std::byte>> needles,
+                                          std::size_t requested_shards,
+                                          std::size_t min_prefix_bytes,
+                                          ScanStats* stats, MatcherKind matcher) {
+  const std::size_t payload = std::min(payload_bytes, buffer.size());
   // Observability gate: when both sinks are off this whole scan pays two
   // relaxed atomic loads — the ≤5% budget bench_exposure_observatory
   // enforces against bench_scan_throughput rides on this being cheap.
@@ -239,27 +274,34 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
   }
 
   const MatcherKind resolved = resolve_matcher(matcher, active_needles);
+  const bool use_simd = resolved == MatcherKind::kSimd;
   // One dispatch table shared by every chunk: MultiMatcher::scan is const
   // over immutable state, so concurrent chunks read it without locking.
   std::optional<MultiMatcher> multi;
-  if (resolved == MatcherKind::kMulti) multi.emplace(needles, min_prefix_bytes);
+  if (resolved == MatcherKind::kMulti || use_simd) {
+    multi.emplace(needles, min_prefix_bytes);
+  }
   const MultiMatcher* mm = multi ? &*multi : nullptr;
 
-  const ShardPlan plan = plan_shards(buffer.size(), max_len, requested_shards);
+  const ShardPlan plan = plan_shards(payload, max_len, requested_shards);
   std::vector<std::vector<RawMatch>> per_shard(plan.shard_count);
   std::vector<double> shard_millis(plan.shard_count, 0.0);
 
   if (plan.shard_count == 1) {
     // Serial oracle: one thread, one window, no chunking — the reference
     // both the equivalence tests and the bench speedup columns compare to.
+    // The window extends past the payload into the stream-overlap view
+    // (when the caller supplied one) so boundary-straddling matches
+    // complete, clamped at the true end of the buffer.
     obs::Tracer::Span span(tracer, "scan.shard");  // inert when disabled
     const auto ts = Clock::now();
-    scan_window(buffer, 0, buffer.size(), buffer.size(), needles,
-                min_prefix_bytes, mm, per_shard[0]);
+    scan_window(buffer, 0, payload,
+                std::min(buffer.size(), payload + plan.overlap), needles,
+                min_prefix_bytes, mm, use_simd, per_shard[0]);
     shard_millis[0] = millis_since(ts);
     if (span.live()) {
       span.add(obs::TraceAttr::n("shard", 0.0));
-      span.add(obs::TraceAttr::n("bytes", static_cast<double>(buffer.size())));
+      span.add(obs::TraceAttr::n("bytes", static_cast<double>(payload)));
       span.add(obs::TraceAttr::n("matches",
                                  static_cast<double>(per_shard[0].size())));
     }
@@ -279,7 +321,7 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
     std::vector<Chunk> chunks;
     for (std::size_t i = 0; i < plan.shard_count; ++i) {
       const std::size_t begin = plan.shard_begin(i);
-      const std::size_t end = std::min(buffer.size(), begin + plan.shard_bytes);
+      const std::size_t end = std::min(payload, begin + plan.shard_bytes);
       for (std::size_t cb = begin; cb < end; cb += kChunkBytes) {
         chunks.push_back({i, cb, std::min(end, cb + kChunkBytes)});
       }
@@ -292,7 +334,7 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
       const Chunk& c = chunks[ci];
       const std::size_t window_end = std::min(buffer.size(), c.end + plan.overlap);
       scan_window(buffer, c.begin, c.end, window_end, needles,
-                  min_prefix_bytes, mm, per_chunk[ci]);
+                  min_prefix_bytes, mm, use_simd, per_chunk[ci]);
       chunk_millis[ci] = millis_since(ts);
       if (span.live()) {
         span.add(obs::TraceAttr::n("shard", static_cast<double>(c.shard)));
@@ -324,12 +366,19 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
   }
 
   if (stats != nullptr) {
-    stats->bytes_scanned = buffer.size();
+    stats->bytes_scanned = payload;
     stats->match_count = merged.size();
     stats->shard_count = plan.shard_count;
     stats->overlap_bytes = plan.overlap;
     stats->pattern_count = active_needles;
     stats->matcher = resolved;
+    // kNone here covers BOTH scalar hardware and the matcher's density
+    // fallback (simd_profitable() false) — either way the bytes went
+    // through the scalar walk and the stats must say so.
+    stats->simd_kind = use_simd && mm != nullptr && mm->simd_profitable()
+                           ? simd_available()
+                           : SimdKind::kNone;
+    stats->bytes_streamed = 0;
     stats->incremental = false;
     stats->dirty_frames = 0;
     stats->shards.clear();
@@ -337,8 +386,8 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
     for (std::size_t i = 0; i < plan.shard_count; ++i) {
       const std::size_t begin = plan.shard_begin(i);
       const std::size_t end =
-          std::min(buffer.size(),
-                   begin + (plan.shard_count == 1 ? buffer.size() : plan.shard_bytes));
+          std::min(payload,
+                   begin + (plan.shard_count == 1 ? payload : plan.shard_bytes));
       stats->shards.push_back(
           {i, begin, end - begin, per_shard[i].size(), shard_millis[i]});
     }

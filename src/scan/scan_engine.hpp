@@ -32,23 +32,49 @@ class MetricsRegistry;
 namespace keyguard::scan {
 
 /// Which inner-loop matcher a scan uses. Results are bit-identical at
-/// every setting — the legacy loop is kept as the reference oracle and
-/// the fuzz battery in tests/scan_matcher_test.cpp enforces equivalence.
+/// every setting — the legacy loop is kept as the reference oracle, the
+/// scalar multi path is the oracle for the vector stage, and the fuzz
+/// battery in tests/scan_matcher_test.cpp enforces both equivalences.
 enum class MatcherKind : std::uint8_t {
-  kAuto = 0,  ///< legacy below kMultiMatcherMinNeedles, multi at/above it
+  kAuto = 0,  ///< legacy below kMultiMatcherMinNeedles, best multi at/above
   kLegacy,    ///< per-needle memchr-then-memcmp walk (the LKM's loop)
   kMulti,     ///< single-pass MultiMatcher (first-byte dispatch + SWAR)
+  kSimd,      ///< MultiMatcher with the AVX2/AVX-512BW candidate first
+              ///< stage; degrades to the scalar multi walk (bit-identically)
+              ///< when the CPU lacks the instructions
 };
 
-/// "auto" / "legacy" / "multi" — the names the JSON envelope and the
-/// KEYGUARD_SCAN_MATCHER environment override use.
+/// "auto" / "legacy" / "multi" / "simd" — the names the JSON envelope and
+/// the KEYGUARD_SCAN_MATCHER environment override use.
 const char* matcher_name(MatcherKind k) noexcept;
+
+/// Which vector ISA the kSimd first stage runs on. Detected once at
+/// startup via CPUID; KEYGUARD_SCAN_SIMD=none|avx2 caps (never raises)
+/// the level so the scalar fallback and the 32-byte kernel are testable
+/// on AVX-512 hardware.
+enum class SimdKind : std::uint8_t {
+  kNone = 0,  ///< no usable vector ISA — kSimd degrades to the scalar walk
+  kAvx2,      ///< 32 positions per iteration
+  kAvx512,    ///< 64 positions per iteration (AVX-512F + AVX-512BW)
+};
+
+/// "none" / "avx2" / "avx512" — ScanStats::simd_kind's JSON spelling.
+const char* simd_kind_name(SimdKind k) noexcept;
+
+/// The vector level scans will actually use (CPUID ∧ KEYGUARD_SCAN_SIMD
+/// cap), computed once and cached.
+SimdKind simd_available() noexcept;
 
 /// Needle count at which kAuto switches to the single-pass matcher. Below
 /// it, P memchr passes are cheaper than the per-byte dispatch loop.
 inline constexpr std::size_t kMultiMatcherMinNeedles = 8;
 
-/// Resolves kAuto against the active (non-skipped) needle count.
+/// Resolves kAuto against the active (non-skipped) needle count: legacy
+/// below the threshold, kSimd at/above it when simd_available() reports a
+/// vector ISA, kMulti otherwise. Explicit requests pass through unchanged
+/// (kSimd on a scalar-only machine still resolves to kSimd — the matcher
+/// falls back internally and ScanStats::simd_kind records kNone, so a
+/// silent downgrade stays visible).
 MatcherKind resolve_matcher(MatcherKind requested,
                             std::size_t active_needles) noexcept;
 
@@ -78,6 +104,15 @@ struct ScanStats {
   std::size_t pattern_count = 0;  ///< needles actually searched
   double wall_millis = 0.0;       ///< end-to-end, including the merge
   MatcherKind matcher = MatcherKind::kLegacy;  ///< matcher actually used
+  /// Vector ISA the scan ran on: kNone unless the resolved matcher was
+  /// kSimd AND the CPU had the instructions. A kSimd scan reporting kNone
+  /// is the graceful scalar fallback — CI's schema check reads this field
+  /// so the downgrade is visible, not just slow.
+  SimdKind simd_kind = SimdKind::kNone;
+  /// Capture bytes walked by a streaming scan (CaptureStream): the file
+  /// size, while bytes_scanned stays the payload actually matched. 0 for
+  /// in-memory scans.
+  std::size_t bytes_streamed = 0;
   /// Delta sweep (KeyScanner::scan_kernel_incremental): bytes_scanned is
   /// the rescanned window total, shards lists the rescan windows, and
   /// dirty_frames counts the frames the journal reported.
@@ -156,6 +191,24 @@ std::vector<RawMatch> sharded_scan(std::span<const std::byte> buffer,
                                    std::size_t min_prefix_bytes = 0,
                                    ScanStats* stats = nullptr,
                                    MatcherKind matcher = MatcherKind::kAuto);
+
+/// sharded_scan over a window of a larger stream: only the first
+/// `payload_bytes` of `buffer` are payload (shards are planned over them
+/// and every reported first byte lies inside them); the bytes past the
+/// payload are the seam-overlap view into the NEXT window, scanned so a
+/// match that starts in this payload and continues across the boundary is
+/// still found whole — the same rule a shard seam follows, which is what
+/// makes concatenated window results bit-identical to a one-shot scan of
+/// the stream (tests/scan_stream_test.cpp). Offsets are buffer-local; the
+/// caller rebases them. payload_bytes is clamped to buffer.size(), and
+/// sharded_scan is exactly this call with payload_bytes == buffer.size().
+std::vector<RawMatch> sharded_scan_window(std::span<const std::byte> buffer,
+                                          std::size_t payload_bytes,
+                                          std::span<const std::span<const std::byte>> needles,
+                                          std::size_t requested_shards,
+                                          std::size_t min_prefix_bytes = 0,
+                                          ScanStats* stats = nullptr,
+                                          MatcherKind matcher = MatcherKind::kAuto);
 
 /// Single-window scan primitive shared by sharded_scan's chunks and the
 /// incremental delta path: scans buffer bytes [begin, window_end) and

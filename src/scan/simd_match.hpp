@@ -1,0 +1,56 @@
+// Vector candidate finder for the MultiMatcher's first stage.
+//
+// The scalar multi path tests ONE position per iteration against the
+// two-byte-prefix bitmap; that single L1 load per byte is the throughput
+// ceiling the ROADMAP names. This stage tests 32 (AVX2) or 64 (AVX-512BW)
+// positions per iteration with the classic two-nibble PSHUFB
+// classification ("shufti"): each needle's first byte is assigned one of
+// eight buckets, and four 16-entry tables — low/high nibble of the first
+// byte, low/high nibble of the second byte — are built so that
+//
+//   classes0[p] = lo0[b[p] & 15] & hi0[b[p] >> 4]
+//   classes1[p] = lo1[b[p+1] & 15] & hi1[b[p+1] >> 4]
+//   candidate(p) ⟺ (classes0[p] & classes1[p]) != 0
+//
+// Every real match sets its bucket's bit in all four lookups, so the
+// candidate mask is a SUPERSET of the true two-byte-prefix hits — never a
+// false negative. False positives (nibble cross-products inside a bucket,
+// bucket collisions past eight distinct first bytes) are cheap: each
+// surviving position re-checks the exact 65536-bit pair bitmap and then
+// walks the ordinary bucket/SWAR/tail verify, so the emitted matches are
+// bit-identical to the scalar walk by construction.
+//
+// This header is an internal seam between multi_matcher.cpp and the
+// target-attributed kernels in simd_match.cpp; the public surface
+// (SimdKind, simd_kind_name, simd_available) lives in scan_engine.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "scan/scan_engine.hpp"
+
+namespace keyguard::scan::simd_detail {
+
+/// The four nibble-classification tables. 64 bytes, one cache line.
+struct ShuftiTables {
+  alignas(64) std::uint8_t lo0[16] = {};  ///< first-byte low nibble -> buckets
+  std::uint8_t hi0[16] = {};              ///< first-byte high nibble -> buckets
+  std::uint8_t lo1[16] = {};              ///< second-byte low nibble -> buckets
+  std::uint8_t hi1[16] = {};              ///< second-byte high nibble -> buckets
+};
+
+/// Scans positions [pos, limit) in whole 32/64-byte blocks and appends every
+/// candidate position (ascending) to `out`. Stops at the last position that
+/// still leaves a full vector inside [pos, limit) — the caller finishes the
+/// tail with the scalar loop. `limit` must satisfy limit < buf_size (the
+/// classifier reads base[p + 1]), which the caller's pair_limit already
+/// guarantees. Returns the position scalar processing should resume from.
+/// `kind` must be a level simd_available() reported (kNone returns pos).
+std::size_t collect_candidates(SimdKind kind, const unsigned char* base,
+                               std::size_t pos, std::size_t limit,
+                               const ShuftiTables& tables,
+                               std::vector<std::size_t>& out);
+
+}  // namespace keyguard::scan::simd_detail

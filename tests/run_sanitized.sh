@@ -31,6 +31,7 @@ TARGETS=(
   scan_boundary_test
   scan_matcher_test
   scan_incremental_test
+  scan_stream_test
   scan_dedup_equivalence_test
   scan_hunter_test
   sim_physmem_test
@@ -76,6 +77,20 @@ for t in "${TARGETS[@]}"; do
   if ! "$BUILD/tests/$t" --gtest_brief=1; then
     status=1
   fi
+done
+
+# The SIMD-vs-scalar and streaming equivalence batteries re-run at every
+# vector level the hardware allows (KEYGUARD_SCAN_SIMD caps, never
+# raises), so the AVX kernels' unaligned loads and the CaptureStream
+# mmap/pread seam handling are sanitizer-checked at each level — not just
+# whichever one this machine happens to dispatch to.
+for simd in avx2 none; do
+  for t in scan_matcher_test scan_stream_test; do
+    echo "== [$SAN] $t (KEYGUARD_SCAN_SIMD=$simd)"
+    if ! KEYGUARD_SCAN_SIMD="$simd" "$BUILD/tests/$t" --gtest_brief=1; then
+      status=1
+    fi
+  done
 done
 
 if [ "$status" -eq 0 ]; then

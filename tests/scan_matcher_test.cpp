@@ -44,18 +44,25 @@ void expect_same_raw(const std::vector<RawMatch>& legacy,
   }
 }
 
-/// Runs both matchers over the same window and compares outputs.
+/// Runs all three matchers over the same window and compares outputs.
+/// kSimd runs whatever level simd_available() reports (the CI battery
+/// re-runs this binary under KEYGUARD_SCAN_SIMD=avx2 and =none, so every
+/// kernel and the scalar fallback all face the same oracle).
 void check_window(std::span<const std::byte> buffer, std::size_t begin,
                   std::size_t end, std::size_t window_end, const Needles& n,
                   std::size_t min_prefix, const std::string& label) {
   const auto nv = views(n);
   std::vector<RawMatch> legacy;
   std::vector<RawMatch> multi;
+  std::vector<RawMatch> simd;
   scan_range(buffer, begin, end, window_end, nv, min_prefix,
              MatcherKind::kLegacy, legacy);
   scan_range(buffer, begin, end, window_end, nv, min_prefix,
              MatcherKind::kMulti, multi);
+  scan_range(buffer, begin, end, window_end, nv, min_prefix,
+             MatcherKind::kSimd, simd);
   expect_same_raw(legacy, multi, label);
+  expect_same_raw(legacy, simd, label + " (simd)");
 }
 
 void check_full_buffer(std::span<const std::byte> buffer, const Needles& n,
@@ -67,13 +74,24 @@ TEST(MatcherResolve, AutoThresholdAndNames) {
   EXPECT_EQ(resolve_matcher(MatcherKind::kAuto, 0), MatcherKind::kLegacy);
   EXPECT_EQ(resolve_matcher(MatcherKind::kAuto, kMultiMatcherMinNeedles - 1),
             MatcherKind::kLegacy);
-  EXPECT_EQ(resolve_matcher(MatcherKind::kAuto, kMultiMatcherMinNeedles),
-            MatcherKind::kMulti);
+  // At/above the threshold kAuto picks the best multi-pattern path the
+  // hardware (∧ KEYGUARD_SCAN_SIMD cap) offers.
+  const MatcherKind best = simd_available() != SimdKind::kNone
+                               ? MatcherKind::kSimd
+                               : MatcherKind::kMulti;
+  EXPECT_EQ(resolve_matcher(MatcherKind::kAuto, kMultiMatcherMinNeedles), best);
   EXPECT_EQ(resolve_matcher(MatcherKind::kLegacy, 1000), MatcherKind::kLegacy);
   EXPECT_EQ(resolve_matcher(MatcherKind::kMulti, 1), MatcherKind::kMulti);
+  // Explicit kSimd passes through even on scalar-only hardware — the
+  // matcher falls back internally and stats record simd_kind = none.
+  EXPECT_EQ(resolve_matcher(MatcherKind::kSimd, 1), MatcherKind::kSimd);
   EXPECT_STREQ(matcher_name(MatcherKind::kAuto), "auto");
   EXPECT_STREQ(matcher_name(MatcherKind::kLegacy), "legacy");
   EXPECT_STREQ(matcher_name(MatcherKind::kMulti), "multi");
+  EXPECT_STREQ(matcher_name(MatcherKind::kSimd), "simd");
+  EXPECT_STREQ(simd_kind_name(SimdKind::kNone), "none");
+  EXPECT_STREQ(simd_kind_name(SimdKind::kAvx2), "avx2");
+  EXPECT_STREQ(simd_kind_name(SimdKind::kAvx512), "avx512");
 }
 
 TEST(MultiMatcherEquivalence, SharedFirstBytes) {
@@ -276,13 +294,157 @@ TEST(MultiMatcherEquivalence, ShardedScanLegacyVsMultiAllShardCounts) {
     expect_same_raw(legacy, multi, "sharded, " + std::to_string(shards));
     EXPECT_EQ(legacy_stats.matcher, MatcherKind::kLegacy);
     EXPECT_EQ(multi_stats.matcher, MatcherKind::kMulti);
-    // 16 needles ≥ threshold: kAuto must resolve to the multi matcher and
-    // still match the oracle.
+    EXPECT_EQ(multi_stats.simd_kind, SimdKind::kNone);
+    // Forced simd: same bytes, and the stats name both the matcher and
+    // the vector level actually used (kNone == visible scalar fallback).
+    ScanStats simd_stats;
+    const auto simd = sharded_scan(hay, nv, shards, 0, &simd_stats,
+                                   MatcherKind::kSimd);
+    expect_same_raw(legacy, simd, "sharded simd, " + std::to_string(shards));
+    EXPECT_EQ(simd_stats.matcher, MatcherKind::kSimd);
+    EXPECT_EQ(simd_stats.simd_kind, simd_available());
+    // 16 needles ≥ threshold: kAuto must resolve to the best multi path
+    // and still match the oracle.
     ScanStats auto_stats;
     const auto aut = sharded_scan(hay, nv, shards, 0, &auto_stats,
                                   MatcherKind::kAuto);
     expect_same_raw(legacy, aut, "sharded auto, " + std::to_string(shards));
-    EXPECT_EQ(auto_stats.matcher, MatcherKind::kMulti);
+    EXPECT_EQ(auto_stats.matcher, simd_available() != SimdKind::kNone
+                                      ? MatcherKind::kSimd
+                                      : MatcherKind::kMulti);
+  }
+}
+
+TEST(SimdEquivalence, DenseNeedleSetFallsBackToScalarVisibly) {
+  // 512 random 32-byte needles saturate the 8-bucket shufti nibble tables
+  // (most byte pairs survive the classifier), so MultiMatcher's build-time
+  // density check must route forced-kSimd scans through the scalar walk:
+  // simd_profitable() false, stats simd_kind == kNone even on vector
+  // hardware, and the bytes still come out identical to kMulti. A sparse
+  // structured set built the same way stays profitable — the cutoff
+  // discriminates, it doesn't blanket-disable.
+  util::Rng rng(717);
+  std::vector<std::byte> hay(32 * 1024);
+  rng.fill_bytes(hay);
+  Needles dense;
+  for (int k = 0; k < 512; ++k) {
+    std::vector<std::byte> needle(32);
+    rng.fill_bytes(needle);
+    dense.push_back(std::move(needle));
+  }
+  const auto dv = views(dense);
+  EXPECT_FALSE(MultiMatcher(dv, 0).simd_profitable());
+  ScanStats multi_stats;
+  ScanStats simd_stats;
+  const auto multi = sharded_scan(hay, dv, 1, 0, &multi_stats,
+                                  MatcherKind::kMulti);
+  const auto simd = sharded_scan(hay, dv, 1, 0, &simd_stats,
+                                 MatcherKind::kSimd);
+  expect_same_raw(multi, simd, "dense fallback");
+  EXPECT_EQ(simd_stats.matcher, MatcherKind::kSimd);
+  EXPECT_EQ(simd_stats.simd_kind, SimdKind::kNone);  // visible downgrade
+
+  Needles sparse;
+  for (int k = 0; k < 64; ++k) {
+    std::vector<std::byte> needle(32);
+    rng.fill_bytes(needle);
+    needle[0] = std::byte{'K'};  // one shared first byte: one tight bucket
+    sparse.push_back(std::move(needle));
+  }
+  EXPECT_TRUE(MultiMatcher(views(sparse), 0).simd_profitable());
+}
+
+TEST(SimdEquivalence, NeedleCountSweepFuzz) {
+  // The ISSUE's fuzz grid: needle counts spanning one bucket to heavy
+  // bucket collision (512 needles over 8 shufti buckets), random and
+  // low-entropy haystacks, exact and prefix mode. check_window runs the
+  // three-way compare, so the SIMD path faces the legacy oracle directly.
+  util::Rng rng(550);
+  for (const std::size_t count :
+       {std::size_t{1}, std::size_t{8}, std::size_t{64}, std::size_t{512}}) {
+    std::vector<std::byte> hay(64 * 1024);
+    rng.fill_bytes(hay);
+    for (std::size_t i = 0; i < hay.size(); ++i) {
+      if (rng.next_below(8) == 0) hay[i] = std::byte(rng.next_below(3));
+    }
+    Needles n;
+    for (std::size_t k = 0; k < count; ++k) {
+      std::vector<std::byte> needle(1 + rng.next_below(40));
+      if (rng.next_below(2) == 0) {
+        rng.fill_bytes(needle);
+      } else {
+        for (auto& b : needle) b = std::byte(rng.next_below(3));
+      }
+      n.push_back(std::move(needle));
+    }
+    for (std::size_t p = 0; p < 4 * count; ++p) {
+      const auto& pick = n[rng.next_below(n.size())];
+      if (pick.size() >= hay.size()) continue;
+      const std::size_t off = rng.next_below(hay.size() - pick.size());
+      std::copy(pick.begin(), pick.end(), hay.begin() + off);
+    }
+    const std::string label = "needle count " + std::to_string(count);
+    check_full_buffer(hay, n, 0, label);
+    check_full_buffer(hay, n, 12, label + " (prefix)");
+  }
+}
+
+TEST(SimdEquivalence, VectorBoundaryStraddleAndUnalignedWindows) {
+  // Matches planted so they straddle every 32- and 64-byte lane boundary
+  // (the v0/v1 shifted-load seam), plus window starts at every offset in
+  // [0, 130) — the vector loop must agree with the oracle no matter how
+  // the window start misaligns the lanes.
+  Needles n;
+  n.push_back(util::to_bytes("XYZZY-needle"));
+  n.push_back(util::to_bytes("XY"));
+  n.push_back(util::to_bytes("Q"));
+  std::vector<std::byte> hay(4096, std::byte{'.'});
+  const auto& m0 = n[0];
+  // One copy ENDING at, one STRADDLING, each multiple of 32 up to 512.
+  for (std::size_t b = 32; b <= 512; b += 32) {
+    if (b >= m0.size()) {
+      std::copy(m0.begin(), m0.end(), hay.begin() + (b - m0.size()));
+    }
+    std::copy(m0.begin(), m0.end(), hay.begin() + b + 512 - m0.size() / 2);
+  }
+  hay[63] = std::byte{'Q'};
+  hay[64] = std::byte{'X'};
+  hay[65] = std::byte{'Y'};  // "XY" straddling a 64-byte boundary
+  for (std::size_t begin = 0; begin < 130; ++begin) {
+    check_window(hay, begin, hay.size(), hay.size(), n, 0,
+                 "window begin " + std::to_string(begin));
+  }
+  // Window END misalignment: every end in the last two vectors' range.
+  for (std::size_t end = hay.size() - 130; end <= hay.size(); ++end) {
+    check_window(hay, 0, end, end, n, 0, "window end " + std::to_string(end));
+  }
+}
+
+TEST(SimdEquivalence, WindowsShorterThanOneVector) {
+  // Sub-vector windows never enter the vector loop — the scalar tail must
+  // handle everything, including 0- and 1-byte windows.
+  Needles n;
+  n.push_back(util::to_bytes("ab"));
+  n.push_back(util::to_bytes("a"));
+  n.push_back(util::to_bytes("abcabc"));
+  util::Rng rng(707);
+  std::vector<std::byte> hay(256);
+  for (auto& b : hay) {
+    b = std::byte("abc?"[rng.next_below(4)]);
+  }
+  for (std::size_t len = 0; len <= 70; ++len) {
+    for (const std::size_t begin : {std::size_t{0}, std::size_t{13},
+                                    std::size_t{31}, std::size_t{64}}) {
+      if (begin + len > hay.size()) continue;
+      check_window(hay, begin, begin + len, begin + len, n, 0,
+                   "short window [" + std::to_string(begin) + ", +" +
+                       std::to_string(len) + ")");
+      // Seam shape: window_end extends past end like a shard overlap.
+      const std::size_t wend = std::min(hay.size(), begin + len + 8);
+      check_window(hay, begin, begin + len, wend, n, 0,
+                   "short window+overlap [" + std::to_string(begin) + ", +" +
+                       std::to_string(len) + ")");
+    }
   }
 }
 

@@ -7,8 +7,17 @@ RATIOS, which are machine-independent to first order:
   * needle_sweep speedups — legacy_ms / multi_ms at a fixed needle count
     is dominated by the number of per-needle passes the legacy loop
     makes, not by the host's memory bandwidth.
+  * simd_sweep speedups — multi_ms / simd_ms is the vector candidate
+    stage's edge over the scalar walk. Gated ONLY when the row reports a
+    real vector level; on scalar hardware (simd_kind == "none") the simd
+    path falls back to the multi walk, so the floor is skipped with a
+    visible [skip] line — fallback is graceful, not a failure. The
+    identity flag is still enforced there.
   * incremental speedup — full_ms / incremental_ms at a fixed dirty
     fraction is dominated by the rescanned-bytes ratio.
+  * streaming — capture_ratio (capture vs simulated RAM) and rss_bounded
+    (peak-RSS delta <= ~3 windows) are structural, not machine-speed,
+    properties, so they gate everywhere; MB/s is reported only.
 
 The committed numbers in bench/baselines/BENCH_scan_baseline.json are
 deliberately conservative (floors well under locally measured values) so
@@ -74,9 +83,25 @@ def main() -> int:
         if not row.get("identical", False):
             failures.append(f"needle_sweep needles={row.get('needles')}: "
                             "MultiMatcher diverged from the legacy loop")
+    for row in cur.get("simd_sweep", []):
+        if "simd_kind" not in row:
+            failures.append(f"simd_sweep needles={row.get('needles')}: row "
+                            "missing simd_kind (schema regression — silent "
+                            "fallback would be invisible)")
+        if not row.get("identical", False):
+            failures.append(f"simd_sweep needles={row.get('needles')}: SIMD "
+                            "path diverged from the scalar multi walk")
+    dense = cur.get("simd_dense_guard", {})
+    if dense and not dense.get("identical", False):
+        failures.append("simd_dense_guard: dense-set forced-simd run diverged "
+                        "from the scalar multi walk")
     inc = cur.get("incremental", {})
     if not inc.get("identical", False):
         failures.append("incremental: delta sweep diverged from a fresh full sweep")
+    stream = cur.get("streaming", {})
+    if not stream.get("identical", False):
+        failures.append("streaming: windowed capture scan diverged from the "
+                        "one-shot scan of the whole file")
 
     # Ratio gates. Keys in the baseline name the needle counts to gate;
     # counts below the auto threshold stay ungated (legacy regime).
@@ -96,6 +121,45 @@ def main() -> int:
             failures.append(f"needle_sweep needles={needles}: speedup {got:.2f}x "
                             f"< {need:.2f}x ({floor:.2f}x - {tol:.0%})")
 
+    # SIMD floors apply only where the hardware has the instructions; a
+    # scalar runner reports simd_kind == "none" and the row is skipped
+    # loudly rather than failed (the identity check above still ran).
+    cur_by_simd = {row.get("needles"): row for row in cur.get("simd_sweep", [])}
+    for needles_str, floor in base.get("simd_needle_sweep", {}).items():
+        needles = int(needles_str)
+        row = cur_by_simd.get(needles)
+        if row is None:
+            failures.append(f"simd_sweep: run has no needles={needles} row")
+            continue
+        kind = row.get("simd_kind", "none")
+        if kind == "none":
+            checks.append((f"simd needles={needles}: no vector unit "
+                           "(scalar fallback verified identical)", "skip"))
+            continue
+        got = float(row.get("speedup", 0.0))
+        need = floor * (1.0 - tol)
+        checks.append((f"simd needles={needles}: {kind} speedup {got:.2f}x "
+                       f"(baseline {floor:.2f}x, gate {need:.2f}x)",
+                       "ok" if got >= need else "REGRESSION"))
+        if got < need:
+            failures.append(f"simd_sweep needles={needles}: speedup {got:.2f}x "
+                            f"< {need:.2f}x ({floor:.2f}x - {tol:.0%})")
+
+    # Dense-guard: a needle set that saturates the shufti tables must cost
+    # ~nothing under forced kSimd (the matcher's density check routes it to
+    # the scalar walk) — this is the regression the check exists to stop.
+    if dense and "simd_dense_floor" in base:
+        dfloor = float(base["simd_dense_floor"])
+        got = float(dense.get("speedup", 0.0))
+        kind = dense.get("simd_kind", "?")
+        checks.append((f"dense guard: forced-simd {got:.2f}x vs multi "
+                       f"(floor {dfloor:.2f}x, simd_kind={kind})",
+                       "ok" if got >= dfloor else "REGRESSION"))
+        if got < dfloor:
+            failures.append(f"simd_dense_guard: dense fallback {got:.2f}x < "
+                            f"{dfloor:.2f}x — the skim is running on a "
+                            "saturated table set")
+
     floor = float(base.get("incremental", 0.0))
     got = float(inc.get("speedup", 0.0))
     need = floor * (1.0 - tol)
@@ -105,6 +169,30 @@ def main() -> int:
     if got < need:
         failures.append(f"incremental: speedup {got:.2f}x < {need:.2f}x "
                         f"({floor:.2f}x - {tol:.0%})")
+
+    # Streaming gates: structural, so no tolerance scaling.
+    sbase = base.get("streaming", {})
+    if sbase:
+        min_ratio = float(sbase.get("min_capture_ratio", 4.0))
+        got_ratio = float(stream.get("capture_ratio", 0.0))
+        checks.append((f"streaming: capture {got_ratio:.1f}x sim RAM "
+                       f"(floor {min_ratio:.1f}x)",
+                       "ok" if got_ratio >= min_ratio else "REGRESSION"))
+        if got_ratio < min_ratio:
+            failures.append(f"streaming: capture_ratio {got_ratio:.1f}x < "
+                            f"{min_ratio:.1f}x")
+        bounded = bool(stream.get("rss_bounded", False))
+        delta_mb = int(stream.get("rss_delta_bytes", 0)) >> 20
+        limit_mb = int(stream.get("rss_limit_bytes", 0)) >> 20
+        checks.append((f"streaming: peak-RSS delta {delta_mb} MB within "
+                       f"{limit_mb} MB window bound",
+                       "ok" if bounded else "REGRESSION"))
+        if not bounded:
+            failures.append(f"streaming: peak-RSS delta {delta_mb} MB exceeds "
+                            f"the {limit_mb} MB window bound")
+        if "bytes_streamed" in stream and "capture_bytes" in stream:
+            if int(stream["bytes_streamed"]) != int(stream["capture_bytes"]):
+                failures.append("streaming: bytes_streamed != capture_bytes")
 
     for line, verdict in checks:
         print(f"  [{verdict}] {line}")
